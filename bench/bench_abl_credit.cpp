@@ -1,0 +1,48 @@
+// Ablation A2: §3.2's flow-control repair under NIC packet dropping.
+//
+// Dropped packets consumed MPICH credits the receiver can never return. The
+// paper fixes this with sequence numbers plus NIC-side credit tracking; this
+// testbed refunds at the sender from the drop notices. With the repair
+// disabled, the window leaks shut and the sender survives only through a
+// timeout/resync fallback. The repair is a LIVENESS feature: both variants
+// must complete with identical signatures. Run time may move either way —
+// in the congestion regime the broken variant's stalls act as accidental
+// send throttling, which is itself an instructive data point.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> stations = {900, 2000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t s : stations) {
+    for (bool repair : {true, false}) {
+      harness::ExperimentConfig cfg = bench::cancel_preset(harness::ModelKind::kPolice);
+      cfg.police.stations = s;
+      cfg.early_cancel = true;
+      cfg.credit_repair = repair;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Ablation A2 — early cancellation with/without credit repair");
+  t.set_header({"police stations", "repaired (s)", "broken (s)", "delta",
+                "NIC drops (repaired)", "signatures"});
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const auto& with = results[2 * i];
+    const auto& without = results[2 * i + 1];
+    const double penalty =
+        100.0 * (without.sim_seconds - with.sim_seconds) / with.sim_seconds;
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(stations[i])),
+               harness::Table::num(with.sim_seconds, 4),
+               harness::Table::num(without.sim_seconds, 4),
+               harness::Table::pct(penalty, 2), harness::Table::num(with.dropped_by_nic),
+               with.signature == without.signature ? "match" : "MISMATCH"});
+    bench::register_point("abl_credit/repair/stations:" + std::to_string(stations[i]),
+                          with);
+    bench::register_point("abl_credit/broken/stations:" + std::to_string(stations[i]),
+                          without);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,58 @@
+// Ablation A3: the paper's closing conjecture — "As programmable cards with
+// better processors continue to appear, it is possible that a significantly
+// larger class of optimizations will become feasible" / "we expect to be
+// able to drop significantly more messages with a better NIC processor".
+//
+// Sweep the NIC's per-packet firmware cost (a proxy for NIC CPU speed) and
+// measure (a) both optimizations' combined benefit over the plain baseline
+// and (b) the cancellation drop share — showing how the win depends on where
+// the NIC sits relative to the congestion knee.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<double> nic_us = {2.0, 6.0, 10.0, 11.25, 11.75};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (double n : nic_us) {
+    // Baseline: host Mattern, no cancellation.
+    harness::ExperimentConfig base = bench::gvt_preset(harness::ModelKind::kPolice);
+    base.gvt_mode = warped::GvtMode::kHostMattern;
+    base.gvt_period = 200;
+    base.cost.nic_per_packet_us = n;
+    base.max_sim_seconds = 30;  // bound the deep-thrash points
+    cfgs.push_back(base);
+    // Both paper optimizations on the same hardware.
+    harness::ExperimentConfig opt = base;
+    opt.gvt_mode = warped::GvtMode::kNic;
+    opt.early_cancel = true;
+    cfgs.push_back(opt);
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Ablation A3 — NIC processor speed sweep (POLICE, both optimizations)");
+  t.set_header({"NIC us/pkt", "baseline (s)", "optimized (s)", "improvement",
+                "NIC drops", "drop share", "signatures"});
+  for (std::size_t i = 0; i < nic_us.size(); ++i) {
+    const auto& base = results[2 * i];
+    const auto& opt = results[2 * i + 1];
+    const double impr = 100.0 * (base.sim_seconds - opt.sim_seconds) / base.sim_seconds;
+    const double share = opt.antis_generated > 0
+                             ? 100.0 * static_cast<double>(opt.dropped_by_nic) /
+                                   static_cast<double>(opt.antis_generated)
+                             : 0.0;
+    t.add_row({harness::Table::num(nic_us[i], 2),
+               base.completed ? harness::Table::num(base.sim_seconds, 4) : ">cap",
+               opt.completed ? harness::Table::num(opt.sim_seconds, 4) : ">cap",
+               harness::Table::pct(impr, 1), harness::Table::num(opt.dropped_by_nic),
+               harness::Table::pct(share, 1),
+               base.signature == opt.signature
+                   ? "match"
+                   : (base.completed && opt.completed ? "MISMATCH" : "n/a")});
+    bench::register_point("abl_nic_speed/base/us:" + harness::Table::num(nic_us[i], 2),
+                          base);
+    bench::register_point("abl_nic_speed/opt/us:" + harness::Table::num(nic_us[i], 2),
+                          opt);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,43 @@
+// Ablation A4: WARPED's two host GVT algorithms against the NIC version.
+//
+// The paper: "WARPED implements two GVT algorithms, pGVT and Mattern's
+// algorithm. We use Mattern's algorithm because it has a lower overhead and
+// produces good estimates." pGVT's cost is an acknowledgement per remote
+// event message; this bench quantifies that and places all three on one
+// axis.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> periods = {10, 100, 1000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t p : periods) {
+    for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kPGvt,
+                      warped::GvtMode::kNic}) {
+      harness::ExperimentConfig cfg = bench::gvt_preset(harness::ModelKind::kRaid);
+      cfg.gvt_period = p;
+      cfg.gvt_mode = mode;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Ablation A4 — Mattern vs pGVT vs NIC GVT (RAID)");
+  t.set_header({"GVT period", "Mattern (s)", "pGVT (s)", "NIC GVT (s)",
+                "pGVT wire pkts", "Mattern wire pkts"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& mat = results[3 * i];
+    const auto& pg = results[3 * i + 1];
+    const auto& nic = results[3 * i + 2];
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
+               harness::Table::num(mat.sim_seconds, 4),
+               harness::Table::num(pg.sim_seconds, 4),
+               harness::Table::num(nic.sim_seconds, 4),
+               harness::Table::num(pg.wire_packets), harness::Table::num(mat.wire_packets)});
+    bench::register_point("abl_pgvt/mattern/period:" + std::to_string(periods[i]), mat);
+    bench::register_point("abl_pgvt/pgvt/period:" + std::to_string(periods[i]), pg);
+    bench::register_point("abl_pgvt/nic/period:" + std::to_string(periods[i]), nic);
+  }
+  return bench::finish(t, argc, argv);
+}

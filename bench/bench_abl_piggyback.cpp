@@ -1,0 +1,46 @@
+// Ablation A1: what does opportunistic piggybacking buy NIC-level GVT?
+//
+// The paper piggybacks both the GVT token (onto event packets already headed
+// for the next LP in the ring) and the host handshake reply (into "four
+// unused fields in the Basic Event Message"). This ablation disables both:
+// every token becomes a dedicated wire message and every handshake reply a
+// dedicated mailbox write.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  struct Point {
+    harness::ModelKind model;
+    const char* name;
+  };
+  const std::vector<Point> points = {{harness::ModelKind::kRaid, "RAID"},
+                                     {harness::ModelKind::kPolice, "POLICE"}};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (const Point& pt : points) {
+    for (bool piggyback : {true, false}) {
+      harness::ExperimentConfig cfg = bench::gvt_preset(pt.model);
+      cfg.gvt_mode = warped::GvtMode::kNic;
+      cfg.gvt_period = 10;  // aggressive enough that token transport matters
+      cfg.piggyback = piggyback;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Ablation A1 — NIC GVT with and without piggybacking (period 10)");
+  t.set_header({"model", "piggyback (s)", "dedicated (s)", "penalty", "signatures"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& with = results[2 * i];
+    const auto& without = results[2 * i + 1];
+    const double penalty =
+        100.0 * (without.sim_seconds - with.sim_seconds) / with.sim_seconds;
+    t.add_row({points[i].name, harness::Table::num(with.sim_seconds, 4),
+               harness::Table::num(without.sim_seconds, 4),
+               harness::Table::pct(penalty, 2),
+               with.signature == without.signature ? "match" : "MISMATCH"});
+    bench::register_point(std::string("abl_piggyback/on/") + points[i].name, with);
+    bench::register_point(std::string("abl_piggyback/off/") + points[i].name, without);
+  }
+  return bench::finish(t, argc, argv);
+}

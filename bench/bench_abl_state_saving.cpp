@@ -1,0 +1,45 @@
+// Ablation A5: the classic Time-Warp state-saving trade-off.
+//
+// Copy state saving every event (WARPED's default and this testbed's) makes
+// rollback cheap but taxes every forward step; saving every N events
+// amortizes the copy but forces a coast-forward replay from the nearest
+// snapshot on rollback. The sweet spot depends on the rollback rate — this
+// bench sweeps the period on both a mild workload (RAID) and a
+// rollback-heavy one (POLICE).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> periods = {1, 2, 4, 8, 16, 64};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (auto model : {harness::ModelKind::kRaid, harness::ModelKind::kPolice}) {
+    for (std::int64_t p : periods) {
+      harness::ExperimentConfig cfg = bench::gvt_preset(model);
+      cfg.gvt_mode = warped::GvtMode::kNic;
+      cfg.gvt_period = 200;
+      cfg.state_save_period = p;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Ablation A5 — state-saving period sweep (simulated seconds)");
+  t.set_header({"save period", "RAID (s)", "RAID replays", "POLICE (s)",
+                "POLICE replays", "signatures stable"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& raid = results[i];
+    const auto& police = results[periods.size() + i];
+    const bool stable = raid.signature == results[0].signature &&
+                        police.signature == results[periods.size()].signature;
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
+               harness::Table::num(raid.sim_seconds, 4),
+               harness::Table::num(raid.events_replayed),
+               harness::Table::num(police.sim_seconds, 4),
+               harness::Table::num(police.events_replayed), stable ? "yes" : "NO"});
+    bench::register_point("abl_state/raid/period:" + std::to_string(periods[i]), raid);
+    bench::register_point("abl_state/police/period:" + std::to_string(periods[i]),
+                          police);
+  }
+  return bench::finish(t, argc, argv);
+}

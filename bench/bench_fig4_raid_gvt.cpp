@@ -1,0 +1,41 @@
+// Figure 4: "RAID GVT Execution Time" — simulated execution time of the RAID
+// model as a function of the GVT period, host-resident Mattern (WARPED)
+// versus NIC-resident GVT.
+//
+// Expected shape (paper): WARPED degrades steeply as the period approaches 1
+// (control-message storm); NIC-GVT is nearly flat, wins decisively at
+// aggressive periods, and is slightly slower at very infrequent GVT (the
+// per-packet NIC checks).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> periods = {1, 10, 100, 1000, 10000, 100000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t p : periods) {
+    for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic}) {
+      harness::ExperimentConfig cfg = bench::gvt_preset(harness::ModelKind::kRaid);
+      cfg.gvt_period = p;
+      cfg.gvt_mode = mode;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Fig. 4 — RAID performance with NIC GVT (simulated seconds)");
+  t.set_header({"GVT period (events)", "WARPED (s)", "NIC GVT (s)", "WARPED rounds",
+                "NIC rounds", "signatures"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& host = results[2 * i];
+    const auto& nic = results[2 * i + 1];
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
+               harness::Table::num(host.sim_seconds, 4),
+               harness::Table::num(nic.sim_seconds, 4),
+               harness::Table::num(host.gvt_rounds), harness::Table::num(nic.gvt_rounds),
+               host.signature == nic.signature ? "match" : "MISMATCH"});
+    bench::register_point("fig4/warped/period:" + std::to_string(periods[i]), host);
+    bench::register_point("fig4/nicgvt/period:" + std::to_string(periods[i]), nic);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,40 @@
+// Figure 5(b): "POLICE — NIC GVT Rounds" — number of GVT ring circulations
+// over the whole run versus GVT period.
+//
+// Expected shape (paper): WARPED's round count explodes toward small periods
+// (the paper reports ~450,000 at GVT_COUNT = 1) because the host initiates
+// an estimation per period regardless of outstanding tokens; the NIC's count
+// stays "relatively constant" because GvtTokenPending serializes estimations
+// and the NIC opportunistically forwards GVT information.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> periods = {1, 10, 100, 1000, 10000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t p : periods) {
+    for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic}) {
+      harness::ExperimentConfig cfg = bench::gvt_preset(harness::ModelKind::kPolice);
+      cfg.gvt_period = p;
+      cfg.gvt_mode = mode;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Fig. 5b — POLICE number of GVT rounds");
+  t.set_header({"GVT period (events)", "WARPED rounds", "NIC GVT rounds",
+                "WARPED estimations", "NIC estimations"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& host = results[2 * i];
+    const auto& nic = results[2 * i + 1];
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
+               harness::Table::num(host.gvt_rounds), harness::Table::num(nic.gvt_rounds),
+               harness::Table::num(host.gvt_estimations),
+               harness::Table::num(nic.gvt_estimations)});
+    bench::register_point("fig5b/warped/period:" + std::to_string(periods[i]), host);
+    bench::register_point("fig5b/nicgvt/period:" + std::to_string(periods[i]), nic);
+  }
+  return bench::finish(t, argc, argv);
+}

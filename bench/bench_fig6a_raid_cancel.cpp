@@ -1,0 +1,42 @@
+// Figure 6(a): "RAID Performance with NIC Direct Cancelation" — percentage
+// runtime improvement from early message cancellation versus the number of
+// disk requests.
+//
+// Expected shape (paper): a modest improvement (<5%) — RAID's request/reply
+// chains drain the send ring quickly, so few messages can be cancelled in
+// place. Request counts are scaled 1:10 from the paper's 50k–400k so each
+// point completes in seconds on a laptop; the x-axis *shape* (flat, small
+// improvement across sizes) is what is being reproduced.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> requests = {5000, 10000, 20000, 40000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t r : requests) {
+    for (bool cancel : {false, true}) {
+      harness::ExperimentConfig cfg = bench::cancel_preset(harness::ModelKind::kRaid);
+      cfg.raid.total_requests = r;
+      cfg.early_cancel = cancel;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Fig. 6a — RAID performance with NIC direct cancellation");
+  t.set_header({"disk requests", "baseline (s)", "cancel (s)", "improvement",
+                "signatures"});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& off = results[2 * i];
+    const auto& on = results[2 * i + 1];
+    const double impr = 100.0 * (off.sim_seconds - on.sim_seconds) / off.sim_seconds;
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(requests[i])),
+               harness::Table::num(off.sim_seconds, 4),
+               harness::Table::num(on.sim_seconds, 4), harness::Table::pct(impr, 2),
+               off.signature == on.signature ? "match" : "MISMATCH"});
+    bench::register_point("fig6a/warped/requests:" + std::to_string(requests[i]), off);
+    bench::register_point("fig6a/cancel/requests:" + std::to_string(requests[i]), on);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,41 @@
+// Figure 6(b): "RAID Message Count — NIC Direct Cancelation" — total
+// messages sent versus the number of disk requests, baseline WARPED versus
+// direct cancellation.
+//
+// Expected shape (paper): both grow linearly with requests; the cancellation
+// line sits visibly below the baseline (dropped-in-place messages plus the
+// secondary rollbacks they no longer cause).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> requests = {5000, 10000, 20000, 40000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t r : requests) {
+    for (bool cancel : {false, true}) {
+      harness::ExperimentConfig cfg = bench::cancel_preset(harness::ModelKind::kRaid);
+      cfg.raid.total_requests = r;
+      cfg.early_cancel = cancel;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Fig. 6b — RAID messages sent with NIC direct cancellation");
+  t.set_header({"disk requests", "WARPED msgs sent", "cancel msgs sent", "NIC drops",
+                "reduction"});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& off = results[2 * i];
+    const auto& on = results[2 * i + 1];
+    const double red =
+        100.0 * static_cast<double>(off.wire_packets - on.wire_packets) /
+        static_cast<double>(off.wire_packets);
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(requests[i])),
+               harness::Table::num(off.wire_packets), harness::Table::num(on.wire_packets),
+               harness::Table::num(on.dropped_by_nic), harness::Table::pct(red, 2)});
+    bench::register_point("fig6b/warped/requests:" + std::to_string(requests[i]), off);
+    bench::register_point("fig6b/cancel/requests:" + std::to_string(requests[i]), on);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,44 @@
+// Figure 8: "Overall Messages Generated (including messages that will be
+// canceled)" for the POLICE model, baseline WARPED versus direct
+// cancellation, versus the number of police stations.
+//
+// Expected shape (paper): cancellation reduces the total message count
+// "ostensibly because of the reduction in the rollbacks due to the
+// elimination of some of the anti-messages before they cause erroneous
+// computation at their destination".
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nicwarp;
+  const std::vector<std::int64_t> stations = {900, 1000, 2000, 3000, 4000};
+
+  std::vector<harness::ExperimentConfig> cfgs;
+  for (std::int64_t s : stations) {
+    for (bool cancel : {false, true}) {
+      harness::ExperimentConfig cfg = bench::cancel_preset(harness::ModelKind::kPolice);
+      cfg.police.stations = s;
+      cfg.early_cancel = cancel;
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = bench::run_sweep(cfgs);
+
+  harness::Table t("Fig. 8 — POLICE overall messages generated (incl. later-cancelled)");
+  t.set_header({"police stations", "WARPED msgs", "cancel msgs", "WARPED rollbacks",
+                "cancel rollbacks", "reduction"});
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const auto& off = results[2 * i];
+    const auto& on = results[2 * i + 1];
+    const std::int64_t moff = off.event_msgs_generated + off.antis_generated;
+    const std::int64_t mon = on.event_msgs_generated + on.antis_generated;
+    const double red =
+        100.0 * static_cast<double>(moff - mon) / static_cast<double>(moff);
+    t.add_row({harness::Table::num(static_cast<std::int64_t>(stations[i])),
+               harness::Table::num(moff), harness::Table::num(mon),
+               harness::Table::num(off.rollbacks), harness::Table::num(on.rollbacks),
+               harness::Table::pct(red, 1)});
+    bench::register_point("fig8/warped/stations:" + std::to_string(stations[i]), off);
+    bench::register_point("fig8/cancel/stations:" + std::to_string(stations[i]), on);
+  }
+  return bench::finish(t, argc, argv);
+}

@@ -1,0 +1,110 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Each bench binary reproduces one table/figure from the paper's §4: it runs
+// the sweep (points in parallel across cores; each run is single-threaded
+// and deterministic), registers the measured simulated times with
+// google-benchmark for uniform reporting, and prints the figure's rows as an
+// aligned table plus CSV.
+//
+// Two calibrated testbed presets (see EXPERIMENTS.md):
+//  * gvt_preset    — the configuration for the GVT figures (Figs. 4, 5a, 5b);
+//  * cancel_preset — the congestion-point configuration for the early-
+//                    cancellation figures (Figs. 6, 7, 8), where the paper's
+//                    system demonstrably operated (e.g. RAID's ~350 messages
+//                    per disk request in Fig. 6b).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace nicwarp::bench {
+
+inline harness::ExperimentConfig gvt_preset(harness::ModelKind model) {
+  harness::ExperimentConfig cfg;
+  cfg.model = model;
+  cfg.nodes = 8;
+  cfg.seed = 23;
+  cfg.rollback_scope = warped::RollbackScope::kLp;
+  cfg.max_sim_seconds = 600;
+  if (model == harness::ModelKind::kRaid) {
+    cfg.raid.sources = 10;  // paper: "10 processes ... 8 forks ... 8 disks"
+    cfg.raid.forks = 8;
+    cfg.raid.disks = 8;
+    cfg.raid.total_requests = 8000;
+    cfg.cost.host_event_exec_us = 18.0;
+  } else if (model == harness::ModelKind::kPolice) {
+    cfg.police.stations = 900;
+    cfg.cost.host_event_exec_us = 8.0;  // POLICE is fine-grained
+  }
+  return cfg;
+}
+
+inline harness::ExperimentConfig cancel_preset(harness::ModelKind model) {
+  harness::ExperimentConfig cfg = gvt_preset(model);
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 200;
+  // Operate the testbed at its congestion point: the LANai4-class NIC is
+  // the bottleneck and the baseline is rollback-bound, which is the regime
+  // where in-place cancellation pays (and where the paper's message counts
+  // place its system).
+  cfg.cost.nic_per_packet_us = 11.25;
+  if (model == harness::ModelKind::kRaid) {
+    cfg.raid.sources = 16;  // paper §4.2: "16 source processes"
+  }
+  return cfg;
+}
+
+// Runs all configs in parallel and returns the results in order.
+inline std::vector<harness::ExperimentResult> run_sweep(
+    const std::vector<harness::ExperimentConfig>& cfgs) {
+  std::fprintf(stderr, "[bench] running %zu experiments...\n", cfgs.size());
+  auto results = harness::run_parallel(cfgs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].completed) {
+      std::fprintf(stderr, "[bench] WARNING: point %zu hit the simulated-time cap\n", i);
+    }
+  }
+  return results;
+}
+
+// Registers one google-benchmark entry per sweep point that reports the
+// already-measured simulated seconds (manual time) and key counters.
+inline void register_point(const std::string& name, const harness::ExperimentResult& r) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [r](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   state.SetIterationTime(r.sim_seconds);
+                                 }
+                                 state.counters["sim_seconds"] = r.sim_seconds;
+                                 state.counters["committed"] =
+                                     static_cast<double>(r.committed_events);
+                                 state.counters["rollbacks"] =
+                                     static_cast<double>(r.rollbacks);
+                                 state.counters["wire_packets"] =
+                                     static_cast<double>(r.wire_packets);
+                                 state.counters["gvt_rounds"] =
+                                     static_cast<double>(r.gvt_rounds);
+                                 state.counters["nic_drops"] =
+                                     static_cast<double>(r.dropped_by_nic);
+                               })
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+inline int finish(harness::Table& table, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n");
+  table.print();
+  std::printf("\nCSV:\n%s\n", table.to_csv().c_str());
+  return 0;
+}
+
+}  // namespace nicwarp::bench

@@ -1,0 +1,262 @@
+#include "comm/host_comm.hpp"
+
+#include "core/assert.hpp"
+#include "core/log.hpp"
+
+namespace nicwarp::comm {
+
+HostComm::HostComm(hw::Node& node, CommOptions opts)
+    : node_(node),
+      opts_(opts),
+      stats_(node.stats()),
+      window_(node.cost().mpi_credit_window) {
+  node_.set_raw_rx([this](hw::Packet pkt) { on_raw_rx(std::move(pkt)); });
+  node_.set_tx_ready_cb([this] { pump_nic_queue(); });
+}
+
+bool HostComm::is_sequenced(const hw::Packet& pkt) const {
+  switch (pkt.hdr.kind) {
+    case hw::PacketKind::kEvent:
+    case hw::PacketKind::kHostGvtToken:
+    case hw::PacketKind::kPGvtReport:
+    case hw::PacketKind::kPGvtRequest:
+    case hw::PacketKind::kAck:
+      return true;
+    case hw::PacketKind::kGvtBroadcast:
+    case hw::PacketKind::kNicGvtToken:
+    case hw::PacketKind::kCreditUpdate:
+      return false;
+  }
+  return false;
+}
+
+void HostComm::send(hw::Packet pkt) {
+  NW_CHECK_MSG(pkt.hdr.dst != node_.id(), "local delivery must bypass HostComm");
+  pkt.hdr.src = node_.id();
+  auto& ch = tx_[pkt.hdr.dst];
+  if (!ch.opened) {  // first contact with this peer: the window opens full
+    ch.opened = true;
+    ch.credits = window_;
+  }
+  // Only event-class traffic consumes credits; tiny control packets ride the
+  // dedicated control path (as MPICH's internal packets do).
+  const bool needs_credit = pkt.hdr.kind == hw::PacketKind::kEvent;
+  if (needs_credit) {
+    if (ch.credits == 0) {
+      ch.credit_waiting.push_back(std::move(pkt));
+      if (ch.stall_since == SimTime::max()) ch.stall_since = node_.engine().now();
+      stats_.counter("comm.credit_stalls").add(1);
+      check_stalls();
+      return;
+    }
+    --ch.credits;
+    ++ch.consumed_total;
+  }
+  dispatch(std::move(pkt));
+}
+
+void HostComm::dispatch(hw::Packet&& pkt) {
+  auto& ch = tx_[pkt.hdr.dst];
+  if (is_sequenced(pkt)) pkt.hdr.bip_seq = ch.next_seq++;
+  // NOTE: credit returns deliberately do NOT piggyback on event packets --
+  // the cancellation firmware may drop those in place, and credits riding a
+  // dropped packet would leak irrecoverably. Returns travel only on
+  // dedicated kCreditUpdate packets, which the NIC never drops.
+  if (node_.nic_tx_ready() && nic_waiting_.empty()) {
+    node_.dma_to_nic(std::move(pkt));
+  } else {
+    nic_waiting_.push_back(std::move(pkt));
+    stats_.counter("comm.nic_backpressure").add(1);
+  }
+}
+
+void HostComm::pump_nic_queue() {
+  while (!nic_waiting_.empty() && node_.nic_tx_ready()) {
+    hw::Packet pkt = std::move(nic_waiting_.front());
+    nic_waiting_.pop_front();
+    node_.dma_to_nic(std::move(pkt));
+  }
+}
+
+void HostComm::pump_credit_queue(NodeId dst) {
+  auto& ch = tx_[dst];
+  while (!ch.credit_waiting.empty() && ch.credits > 0) {
+    hw::Packet pkt = std::move(ch.credit_waiting.front());
+    ch.credit_waiting.pop_front();
+    --ch.credits;
+    ++ch.consumed_total;
+    dispatch(std::move(pkt));
+  }
+  if (ch.credit_waiting.empty()) ch.stall_since = SimTime::max();
+}
+
+void HostComm::grant_credits(NodeId src, std::int64_t n) {
+  if (n <= 0) return;
+  auto& ch = tx_[src];
+  if (!ch.opened) {
+    ch.opened = true;
+    ch.credits = window_;  // peer contacted us first; open our window lazily
+    pump_credit_queue(src);
+    return;  // a fresh window already covers anything owed
+  }
+  ch.credits += n;
+  ch.granted_total += n;
+  if (ch.credits > window_) {
+    stats_.counter("comm.credit_clamped").add(ch.credits - window_);
+    ch.credits = window_;  // clamp against repair races
+  }
+  pump_credit_queue(src);
+}
+
+void HostComm::send_credit_update(NodeId src) {
+  auto& rxch = rx_[src];
+  if (rxch.credits_owed <= 0) return;
+  hw::Packet cr;
+  cr.hdr.kind = hw::PacketKind::kCreditUpdate;
+  cr.hdr.dst = src;
+  cr.hdr.size_bytes = static_cast<std::uint32_t>(node_.cost().credit_msg_bytes);
+  cr.hdr.credits_pb = static_cast<std::uint32_t>(rxch.credits_owed);
+  rxch.returned_total += rxch.credits_owed;
+  rxch.credits_owed = 0;
+  stats_.counter("comm.credit_msgs").add(1);
+  send(std::move(cr));
+}
+
+void HostComm::maybe_return_credits(NodeId src) {
+  // Without reverse traffic to piggyback on, return credits explicitly once
+  // half the window has accumulated; a timer covers the quiescent tail.
+  if (rx_[src].credits_owed >= window_ / 2) {
+    send_credit_update(src);
+  } else {
+    arm_credit_timer();
+  }
+}
+
+void HostComm::arm_credit_timer() {
+  if (credit_timer_armed_) return;
+  credit_timer_armed_ = true;
+  node_.engine().schedule(SimTime::from_us(opts_.credit_return_timeout_us), [this] {
+    credit_timer_armed_ = false;
+    bool more = false;
+    for (auto& [src, ch] : rx_) {
+      if (ch.credits_owed > 0) {
+        send_credit_update(src);
+        more = true;
+      }
+    }
+    if (more) arm_credit_timer();
+  });
+}
+
+void HostComm::on_raw_rx(hw::Packet pkt) {
+  const NodeId src = pkt.hdr.src;
+  // 1. Credits returned to us (piggybacked on anything).
+  if (pkt.hdr.credits_pb > 0) grant_credits(src, pkt.hdr.credits_pb);
+
+  // 2. BIP sequencing / drop detection.
+  if (is_sequenced(pkt) && pkt.hdr.bip_seq != 0) {
+    auto& rxch = rx_[src];
+    NW_CHECK_MSG(pkt.hdr.bip_seq >= rxch.expected_seq,
+                 "BIP sequence moved backwards on a FIFO fabric");
+    const std::uint64_t gap = pkt.hdr.bip_seq - rxch.expected_seq;
+    if (gap > 0) {
+      // On a FIFO fabric a gap proves the sender's NIC dropped packets in
+      // place (early cancellation). Repair the sender's credit accounting.
+      // Detection only: the credits themselves are refunded at the sender
+      // (refund_credits), keeping the accounting exact.
+      stats_.counter("comm.seq_gaps").add(static_cast<std::int64_t>(gap));
+    }
+    rxch.expected_seq = pkt.hdr.bip_seq + 1;
+  }
+
+  // 3. Credit consumption accounting for event traffic.
+  if (pkt.hdr.kind == hw::PacketKind::kEvent) {
+    rx_[src].credits_owed += 1;
+    maybe_return_credits(src);
+  }
+
+  // 4. Pure credit packets are consumed here.
+  if (pkt.hdr.kind == hw::PacketKind::kCreditUpdate) return;
+
+  NW_CHECK_MSG(deliver_ != nullptr, "no deliver handler installed");
+  deliver_(std::move(pkt));
+}
+
+void HostComm::check_stalls() {
+  if (opts_.credit_repair || stall_probe_scheduled_) return;
+  // With repair disabled, dropped packets leak credits; model the MPICH
+  // timeout/resync path so the simulation stays live (at a price).
+  stall_probe_scheduled_ = true;
+  node_.engine().schedule(SimTime::from_us(opts_.credit_timeout_us), [this] {
+    stall_probe_scheduled_ = false;
+    bool still_stalled = false;
+    for (auto& [dst, ch] : tx_) {
+      if (!ch.credit_waiting.empty() &&
+          node_.engine().now() - ch.stall_since >=
+              SimTime::from_us(opts_.credit_timeout_us)) {
+        stats_.counter("comm.credit_resyncs").add(1);
+        // Resynchronize: recover the full window after a costly host-side
+        // timeout handler.
+        node_.run_host_task(node_.cost().us(node_.cost().host_msg_recv_us * 4), [] {});
+        ch.credits = window_;
+        pump_credit_queue(dst);
+      }
+      still_stalled |= !ch.credit_waiting.empty();
+    }
+    if (still_stalled) check_stalls();
+  });
+}
+
+void HostComm::refund_credits(NodeId dst, std::int64_t n) {
+  if (!opts_.credit_repair || n <= 0) return;
+  auto& ch = tx_[dst];
+  ch.credits += n;
+  ch.refunded_total += n;
+  if (ch.credits > window_) {
+    stats_.counter("comm.credit_clamped_refund").add(ch.credits - window_);
+    ch.credits = window_;
+  }
+  stats_.counter("comm.credits_refunded").add(n);
+  pump_credit_queue(dst);
+}
+
+void HostComm::dump_state() const {
+  for (const auto& [dst, ch] : tx_) {
+    std::fprintf(stderr,
+                 "  node%u->%u credits=%lld staged=%zu consumed=%lld granted=%lld refunded=%lld\n",
+                 node_.id(), dst, (long long)ch.credits, ch.credit_waiting.size(),
+                 (long long)ch.consumed_total, (long long)ch.granted_total,
+                 (long long)ch.refunded_total);
+  }
+  for (const auto& [src, ch] : rx_) {
+    std::fprintf(stderr, "  node%u<-%u expected_seq=%llu owed=%lld returned=%lld\n",
+                 node_.id(), src, (unsigned long long)ch.expected_seq,
+                 (long long)ch.credits_owed, (long long)ch.returned_total);
+  }
+  std::fprintf(stderr, "  node%u nic_waiting=%zu\n", node_.id(), nic_waiting_.size());
+}
+
+std::size_t HostComm::staged() const {
+  std::size_t n = nic_waiting_.size();
+  for (const auto& [dst, ch] : tx_) n += ch.credit_waiting.size();
+  return n;
+}
+
+VirtualTime HostComm::min_staged_event_ts() const {
+  VirtualTime m = VirtualTime::inf();
+  auto fold = [&m](const hw::Packet& p) {
+    if (p.hdr.kind == hw::PacketKind::kEvent) m = VirtualTime::min(m, p.hdr.recv_ts);
+  };
+  for (const auto& p : nic_waiting_) fold(p);
+  for (const auto& [dst, ch] : tx_) {
+    for (const auto& p : ch.credit_waiting) fold(p);
+  }
+  return m;
+}
+
+std::int64_t HostComm::credits_for(NodeId dst) const {
+  auto it = tx_.find(dst);
+  return it == tx_.end() ? window_ : it->second.credits;
+}
+
+}  // namespace nicwarp::comm

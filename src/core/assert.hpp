@@ -1,0 +1,33 @@
+// Lightweight always-on invariant checks.
+//
+// The simulator is deterministic; when an invariant breaks we want to fail
+// loudly at the exact simulated instant rather than produce a silently wrong
+// measurement, so these checks stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nicwarp {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace nicwarp
+
+#define NW_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::nicwarp::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NW_CHECK_MSG(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) ::nicwarp::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Documents an unreachable branch (e.g. exhaustive switch over an enum).
+#define NW_UNREACHABLE(msg) ::nicwarp::check_failed("unreachable", __FILE__, __LINE__, msg)

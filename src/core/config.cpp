@@ -1,0 +1,101 @@
+#include "core/config.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+ParamSet ParamSet::parse(std::string_view text) {
+  ParamSet out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::string_view tok = text.substr(start, i - start);
+    auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    out.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+  }
+  return out;
+}
+
+void ParamSet::set(std::string key, std::string value) {
+  kv_[std::move(key)] = std::move(value);
+}
+
+void ParamSet::set_i64(std::string key, std::int64_t v) {
+  set(std::move(key), std::to_string(v));
+}
+
+void ParamSet::set_f64(std::string key, double v) {
+  std::ostringstream os;
+  os << v;
+  set(std::move(key), os.str());
+}
+
+bool ParamSet::contains(std::string_view key) const {
+  return kv_.find(key) != kv_.end();
+}
+
+std::optional<std::string> ParamSet::get(std::string_view key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t ParamSet::get_i64(std::string_view key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::int64_t v{};
+  auto [p, ec] = std::from_chars(it->second.data(), it->second.data() + it->second.size(), v);
+  NW_CHECK_MSG(ec == std::errc{} && p == it->second.data() + it->second.size(),
+               "malformed integer parameter");
+  return v;
+}
+
+double ParamSet::get_f64(std::string_view key, double def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  // std::from_chars for double is not universally available; use strtod.
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  NW_CHECK_MSG(end == it->second.c_str() + it->second.size(), "malformed float parameter");
+  return v;
+}
+
+bool ParamSet::get_bool(std::string_view key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& s = it->second;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  NW_CHECK_MSG(false, "malformed boolean parameter");
+  return def;
+}
+
+std::string ParamSet::get_str(std::string_view key, std::string def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::string ParamSet::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : kv_) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+ParamSet ParamSet::merged_with(const ParamSet& overrides) const {
+  ParamSet out = *this;
+  for (const auto& [k, v] : overrides.kv_) out.kv_[k] = v;
+  return out;
+}
+
+}  // namespace nicwarp

@@ -1,0 +1,51 @@
+// Flat key=value parameter set used to describe experiments.
+//
+// Configs are plain data (string map) so a whole experiment — workload,
+// GVT mode, cost-model overrides — serializes to one line, which the harness
+// prints next to every result row for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nicwarp {
+
+class ParamSet {
+ public:
+  ParamSet() = default;
+
+  // Parses "a=1 b=2.5 c=hello" (whitespace separated). Throws nothing; bad
+  // tokens (no '=') are ignored.
+  static ParamSet parse(std::string_view text);
+
+  void set(std::string key, std::string value);
+  void set_i64(std::string key, std::int64_t v);
+  void set_f64(std::string key, double v);
+
+  bool contains(std::string_view key) const;
+
+  // Typed getters with defaults. A present-but-malformed value is a
+  // programming error and aborts.
+  std::int64_t get_i64(std::string_view key, std::int64_t def) const;
+  double get_f64(std::string_view key, double def) const;
+  bool get_bool(std::string_view key, bool def) const;
+  std::string get_str(std::string_view key, std::string def) const;
+
+  std::optional<std::string> get(std::string_view key) const;
+
+  // "a=1 b=2" canonical (sorted) form.
+  std::string to_string() const;
+
+  // Right-hand values override left-hand ones.
+  ParamSet merged_with(const ParamSet& overrides) const;
+
+  std::size_t size() const { return kv_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> kv_;
+};
+
+}  // namespace nicwarp

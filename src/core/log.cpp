@@ -1,0 +1,42 @@
+#include "core/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace nicwarp {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+}  // namespace
+
+std::uint64_t traced_event() {
+  static const std::uint64_t id = [] {
+    const char* e = std::getenv("NICWARP_TRACE_EVENT");
+    return e ? std::strtoull(e, nullptr, 10) : 0ULL;
+  }();
+  return id;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void log_line(LogLevel lvl, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", level_tag(lvl));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nicwarp

@@ -1,0 +1,39 @@
+// Minimal leveled logging.
+//
+// Debug logging of a discrete-event simulation is extremely hot (every packet
+// hop is a candidate log line), so the level check is a single branch on an
+// inline global and formatting cost is only paid when enabled.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace nicwarp {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+// Event-id trace hook for debugging message lifecycle: set the
+// NICWARP_TRACE_EVENT environment variable to a decimal event id and every
+// instrumented site will log when it touches that event.
+std::uint64_t traced_event();
+
+// printf-style; callers go through the NW_LOG_* macros below.
+void log_line(LogLevel lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace nicwarp
+
+#define NW_LOG_AT(lvl, ...)                                      \
+  do {                                                           \
+    if (static_cast<int>(lvl) <= static_cast<int>(::nicwarp::log_level())) \
+      ::nicwarp::log_line(lvl, __VA_ARGS__);                     \
+  } while (0)
+
+#define NW_ERROR(...) NW_LOG_AT(::nicwarp::LogLevel::kError, __VA_ARGS__)
+#define NW_WARN(...) NW_LOG_AT(::nicwarp::LogLevel::kWarn, __VA_ARGS__)
+#define NW_INFO(...) NW_LOG_AT(::nicwarp::LogLevel::kInfo, __VA_ARGS__)
+#define NW_DEBUG(...) NW_LOG_AT(::nicwarp::LogLevel::kDebug, __VA_ARGS__)
+#define NW_TRACE(...) NW_LOG_AT(::nicwarp::LogLevel::kTrace, __VA_ARGS__)

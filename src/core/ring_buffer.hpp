@@ -1,0 +1,76 @@
+// Fixed-capacity ring buffer.
+//
+// Models the bounded SRAM structures on the NIC (send/receive rings, the
+// 10-entry per-object dropped-event-ID buffers from §3.2 of the paper), where
+// overflow is a real protocol condition the firmware must handle — so
+// try_push reports failure instead of growing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    NW_CHECK(capacity > 0);
+  }
+
+  bool try_push(T v) {
+    if (size_ == buf_.size()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    ++size_;
+    return true;
+  }
+
+  // Pops the oldest element. Precondition: !empty().
+  T pop() {
+    NW_CHECK(size_ > 0);
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  const T& front() const {
+    NW_CHECK(size_ > 0);
+    return buf_[head_];
+  }
+
+  // Indexed access, 0 == oldest. Precondition: i < size().
+  const T& at(std::size_t i) const {
+    NW_CHECK(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+  T& at(std::size_t i) {
+    NW_CHECK(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  // Removes the element at logical index i (0 == oldest), preserving order.
+  // O(n); rings here are small by construction (NIC memory limits).
+  T remove_at(std::size_t i) {
+    NW_CHECK(i < size_);
+    T out = std::move(at(i));
+    for (std::size_t j = i; j + 1 < size_; ++j) at(j) = std::move(at(j + 1));
+    --size_;
+    return out;
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  void clear() { head_ = 0; size_ = 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace nicwarp

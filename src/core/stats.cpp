@@ -1,0 +1,85 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+std::vector<double> Histogram::default_bounds() {
+  // Log-spaced 1..1e9 (covers ns..s when samples are in ns, or counts).
+  std::vector<double> b;
+  for (double x = 1.0; x <= 1e9; x *= 10.0) {
+    b.push_back(x);
+    b.push_back(x * 3.0);
+  }
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), buckets_(bounds_.size() + 1, 0) {
+  NW_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::record(double sample) {
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), sample);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++count_;
+  sum_ += sample;
+  max_ = std::max(max_, sample);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  NW_CHECK(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<std::int64_t>(q * static_cast<double>(count_ - 1));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+std::int64_t StatsRegistry::value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> StatsRegistry::all_counters() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, c] : counters_) out.emplace_back(k, c.get());
+  return out;
+}
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, c] : counters_) os << k << "=" << c.get() << "\n";
+  for (const auto& [k, h] : histograms_) {
+    os << k << ": n=" << h.count() << " mean=" << h.mean() << " max=" << h.max() << "\n";
+  }
+  return os.str();
+}
+
+void StatsRegistry::reset() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace nicwarp

@@ -1,0 +1,71 @@
+// Experiment statistics: named counters and small histograms.
+//
+// All layers (hardware, firmware, comm, Time-Warp kernel) record into one
+// StatsRegistry owned by the experiment, so a result row can report e.g.
+// "messages dropped by NIC" next to "total rollbacks" without plumbing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nicwarp {
+
+class Counter {
+ public:
+  void add(std::int64_t v = 1) { value_ += v; }
+  void sub(std::int64_t v = 1) { value_ -= v; }
+  std::int64_t get() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_{0};
+};
+
+// Fixed-bucket histogram over non-negative samples; tracks mean/max exactly.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds = default_bounds());
+
+  void record(double sample);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  // Approximate quantile from bucket boundaries (upper bound of the bucket
+  // containing the q-th sample).
+  double quantile(double q) const;
+
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> buckets_;  // bounds_.size() + 1 (overflow bucket)
+  std::int64_t count_{0};
+  double sum_{0.0};
+  double max_{0.0};
+};
+
+class StatsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Value of a counter, 0 if never touched.
+  std::int64_t value(std::string_view name) const;
+
+  std::vector<std::pair<std::string, std::int64_t>> all_counters() const;
+
+  std::string to_string() const;
+  void reset();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace nicwarp

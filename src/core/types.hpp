@@ -1,0 +1,71 @@
+// Fundamental identifier and time types shared by every layer.
+//
+// Two distinct notions of time coexist in this codebase and must never be
+// mixed:
+//
+//  * SimTime   — simulated *wall-clock* time of the hardware simulation
+//                (nanoseconds the modelled cluster spends executing). This is
+//                the x-axis of "Simulation Time (sec)" in the paper's figures.
+//  * VirtualTime — the Time-Warp *virtual* time of the application being
+//                simulated (timestamps on PDES events, LVT, GVT).
+//
+// Both are strong integral types so the compiler rejects accidental mixing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace nicwarp {
+
+// ---------------------------------------------------------------------------
+// Simulated wall-clock time (hardware level), in nanoseconds.
+// ---------------------------------------------------------------------------
+struct SimTime {
+  std::int64_t ns{0};
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns + o.ns}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns - o.ns}; }
+  constexpr SimTime& operator+=(SimTime o) { ns += o.ns; return *this; }
+
+  constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+  static constexpr SimTime from_us(double us) { return SimTime{static_cast<std::int64_t>(us * 1e3)}; }
+  static constexpr SimTime from_ns(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime from_seconds(double s) { return SimTime{static_cast<std::int64_t>(s * 1e9)}; }
+};
+
+// ---------------------------------------------------------------------------
+// Time-Warp virtual time. Plain signed 64-bit with +infinity sentinel; ticks
+// are model-defined (the paper's models use integer virtual time units).
+// ---------------------------------------------------------------------------
+struct VirtualTime {
+  std::int64_t t{0};
+
+  constexpr auto operator<=>(const VirtualTime&) const = default;
+  constexpr VirtualTime operator+(std::int64_t d) const { return VirtualTime{t + d}; }
+
+  constexpr bool is_inf() const { return t == std::numeric_limits<std::int64_t>::max(); }
+
+  static constexpr VirtualTime zero() { return VirtualTime{0}; }
+  static constexpr VirtualTime inf() { return VirtualTime{std::numeric_limits<std::int64_t>::max()}; }
+  static constexpr VirtualTime min(VirtualTime a, VirtualTime b) { return a < b ? a : b; }
+  static constexpr VirtualTime max(VirtualTime a, VirtualTime b) { return a < b ? b : a; }
+};
+
+// ---------------------------------------------------------------------------
+// Identifiers.
+// ---------------------------------------------------------------------------
+using NodeId = std::uint32_t;    // a workstation in the cluster; also the LP rank
+using ObjectId = std::uint32_t;  // globally unique simulation-object id
+using EventId = std::uint64_t;   // globally unique Time-Warp event id
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr ObjectId kInvalidObject = static_cast<ObjectId>(-1);
+inline constexpr EventId kInvalidEvent = static_cast<EventId>(-1);
+
+}  // namespace nicwarp

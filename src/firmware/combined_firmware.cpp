@@ -1,0 +1,3 @@
+// CombinedFirmware is header-only; this TU exists so the library has a home
+// for it and future out-of-line definitions.
+#include "firmware/combined_firmware.hpp"

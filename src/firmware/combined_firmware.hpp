@@ -1,0 +1,64 @@
+// Composition of the two paper optimizations on one NIC: NIC-level GVT plus
+// early message cancellation.
+//
+// Hook ordering matters:
+//  * on_host_tx: GVT strips the host's handshake reply FIRST — even from a
+//    packet the cancellation logic is about to drop (losing a handshake
+//    would deadlock the token);
+//  * on_net_rx: GVT counts the arriving event at the wire before the
+//    cancellation logic inspects it (counts must be wire-exact);
+//  * on_wire_tx: cancellation stamps its drop counters, then GVT colors the
+//    packet and may attach a piggybacked token.
+// Costs compose additively, minus the base per-packet handling that would
+// otherwise be double-charged.
+#pragma once
+
+#include "firmware/cancel_firmware.hpp"
+#include "firmware/gvt_firmware.hpp"
+
+namespace nicwarp::firmware {
+
+class CombinedFirmware : public hw::Firmware {
+ public:
+  CombinedFirmware(GvtFirmwareOptions gvt_opts, CancelFirmwareOptions cancel_opts)
+      : gvt_(gvt_opts), cancel_(cancel_opts) {}
+
+  void attach(hw::NicContext& ctx) override {
+    Firmware::attach(ctx);
+    gvt_.attach(ctx);
+    cancel_.attach(ctx);
+  }
+
+  HookResult on_host_tx(hw::Packet& pkt) override {
+    const HookResult g = gvt_.on_host_tx(pkt);
+    const HookResult c = cancel_.on_host_tx(pkt);
+    return {combine(g.action, c.action), g.cost + c.cost - base_cost()};
+  }
+
+  SimTime on_wire_tx(hw::Packet& pkt) override {
+    const SimTime c = cancel_.on_wire_tx(pkt);
+    const SimTime g = gvt_.on_wire_tx(pkt);
+    return c + g;
+  }
+
+  HookResult on_net_rx(hw::Packet& pkt) override {
+    const HookResult g = gvt_.on_net_rx(pkt);
+    if (g.action == Action::kConsume) return g;  // a token/broadcast died here
+    const HookResult c = cancel_.on_net_rx(pkt);
+    return {combine(g.action, c.action), g.cost + c.cost - base_cost()};
+  }
+
+ private:
+  SimTime base_cost() const { return ctx_->cost().us(ctx_->cost().nic_per_packet_us); }
+
+  static Action combine(Action a, Action b) {
+    if (a == Action::kDrop || b == Action::kDrop) return Action::kDrop;
+    if (a == Action::kConsume || b == Action::kConsume) return Action::kConsume;
+    return Action::kForward;
+  }
+
+  GvtFirmware gvt_;
+  CancelFirmware cancel_;
+};
+
+}  // namespace nicwarp::firmware

@@ -1,0 +1,188 @@
+#include "harness/experiment.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "core/assert.hpp"
+#include "firmware/combined_firmware.hpp"
+#include "warped/gvt_mattern.hpp"
+#include "warped/gvt_nic.hpp"
+#include "warped/gvt_pgvt.hpp"
+
+namespace nicwarp::harness {
+
+namespace {
+
+hw::FirmwareFactory make_firmware_factory(const ExperimentConfig& cfg) {
+  firmware::GvtFirmwareOptions gopts;
+  gopts.period = cfg.gvt_period;
+  gopts.piggyback_tokens = cfg.piggyback;
+  firmware::CancelFirmwareOptions copts;
+  copts.lp_scope = cfg.rollback_scope == warped::RollbackScope::kLp;
+
+  const bool nic_gvt = cfg.gvt_mode == warped::GvtMode::kNic;
+  const bool cancel = cfg.early_cancel;
+  return [=](NodeId) -> std::unique_ptr<hw::Firmware> {
+    if (nic_gvt && cancel) return std::make_unique<firmware::CombinedFirmware>(gopts, copts);
+    if (nic_gvt) return std::make_unique<firmware::GvtFirmware>(gopts);
+    if (cancel) return std::make_unique<firmware::CancelFirmware>(copts);
+    return std::make_unique<hw::BaselineFirmware>();
+  };
+}
+
+std::unique_ptr<warped::GvtManager> make_manager(const ExperimentConfig& cfg) {
+  switch (cfg.gvt_mode) {
+    case warped::GvtMode::kHostMattern: {
+      warped::MatternOptions o;
+      o.period = cfg.gvt_period;
+      return std::make_unique<warped::MatternGvtManager>(o);
+    }
+    case warped::GvtMode::kNic: {
+      warped::NicGvtHostOptions o;
+      o.piggyback = cfg.piggyback;
+      o.piggyback_window_us = cfg.cost.handshake_piggyback_window_us;
+      return std::make_unique<warped::NicGvtManager>(o);
+    }
+    case warped::GvtMode::kPGvt: {
+      warped::PGvtOptions o;
+      o.period = cfg.gvt_period;
+      return std::make_unique<warped::PGvtManager>(o);
+    }
+  }
+  NW_UNREACHABLE("unknown GVT mode");
+}
+
+models::BuiltModel build_model(const ExperimentConfig& cfg) {
+  switch (cfg.model) {
+    case ModelKind::kRaid: return models::build_raid(cfg.raid, cfg.nodes);
+    case ModelKind::kPolice: return models::build_police(cfg.police, cfg.nodes);
+    case ModelKind::kPhold: return models::build_phold(cfg.phold, cfg.nodes);
+  }
+  NW_UNREACHABLE("unknown model");
+}
+
+}  // namespace
+
+Testbed build_testbed(const ExperimentConfig& cfg) {
+  Testbed tb;
+  tb.cluster = std::make_unique<hw::Cluster>(cfg.cost, cfg.nodes,
+                                             make_firmware_factory(cfg), cfg.seed);
+  models::BuiltModel model = build_model(cfg);
+
+  comm::CommOptions comm_opts;
+  comm_opts.credit_repair = cfg.credit_repair;
+
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    tb.comms.push_back(std::make_unique<comm::HostComm>(tb.cluster->node(n), comm_opts));
+  }
+  NW_CHECK_MSG(!(cfg.early_cancel &&
+                 cfg.cancellation == warped::CancellationMode::kLazy),
+               "NIC early cancellation requires aggressive cancellation: the "
+               "drop machinery assumes every doomed message gets an anti");
+  warped::KernelOptions kopts;
+  kopts.rollback_scope = cfg.rollback_scope;
+  kopts.cancellation = cfg.cancellation;
+  kopts.state_save_period = cfg.state_save_period;
+  kopts.paranoia_checks = cfg.paranoia_checks;
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    auto kernel = std::make_unique<warped::Kernel>(
+        tb.cluster->node(n), *tb.comms[n], model.partition, make_manager(cfg), kopts,
+        cfg.seed);
+    for (auto& obj : model.per_node[n]) kernel->add_object(std::move(obj));
+    tb.kernels.push_back(std::move(kernel));
+  }
+  return tb;
+}
+
+bool Testbed::all_stopped() const {
+  for (const auto& k : kernels) {
+    if (!k->stopped()) return false;
+  }
+  return true;
+}
+
+bool Testbed::run_to_completion(double max_sim_seconds) {
+  for (auto& k : kernels) k->start();
+  sim::Engine& eng = cluster->engine();
+  const SimTime cap = SimTime::from_seconds(max_sim_seconds);
+  const SimTime chunk = SimTime::from_us(50000);  // 50 ms of simulated time
+  while (!all_stopped() && eng.pending() > 0 && eng.now() < cap) {
+    eng.run_until(SimTime{std::min(cap.ns, (eng.now() + chunk).ns)});
+  }
+  return all_stopped();
+}
+
+ExperimentResult extract_result(Testbed& tb, bool completed) {
+  ExperimentResult r;
+  r.completed = completed;
+  // Execution time = the instant the last kernel detected termination (the
+  // engine may have coasted past it on housekeeping timers).
+  SimTime done = SimTime::zero();
+  for (const auto& k : tb.kernels) done = std::max(done, k->stop_time());
+  r.sim_seconds = completed ? done.seconds() : tb.cluster->engine().now().seconds();
+  const StatsRegistry& st = tb.cluster->stats();
+
+  for (const auto& k : tb.kernels) {
+    const warped::LogicalProcess& lp = k->lp();
+    r.events_processed += static_cast<std::int64_t>(lp.events_processed());
+    r.events_rolled_back += static_cast<std::int64_t>(lp.events_rolled_back());
+    r.rollbacks += static_cast<std::int64_t>(lp.rollbacks());
+    r.signature += lp.signature_sum();
+    r.final_gvt = VirtualTime::max(r.final_gvt, k->gvt());
+  }
+  r.committed_events = r.events_processed - r.events_rolled_back;
+
+  r.event_msgs_generated = st.value("tw.events_sent");
+  r.antis_generated = st.value("tw.antis_sent") + st.value("tw.antis_suppressed");
+  r.wire_packets = st.value("net.packets");
+  r.wire_bytes = st.value("net.bytes");
+  r.dropped_by_nic = st.value("cancel.dropped_positive");
+  r.filtered_antis = st.value("cancel.filtered_anti");
+  r.antis_suppressed = st.value("tw.antis_suppressed");
+  r.events_replayed = st.value("tw.events_replayed");
+  r.lazy_matched = st.value("tw.lazy_matched");
+  r.gvt_rounds = st.value("gvt.rounds");
+  r.gvt_estimations = st.value("gvt.estimations");
+  r.host_gvt_ctrl_msgs = st.value("comm.credit_msgs");
+  return r;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Testbed tb = build_testbed(cfg);
+  const bool completed = tb.run_to_completion(cfg.max_sim_seconds);
+  return extract_result(tb, completed);
+}
+
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& cfgs,
+                                           unsigned max_threads) {
+  if (max_threads == 0) max_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ExperimentResult> results(cfgs.size());
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(max_threads, cfgs.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= cfgs.size()) return;
+        results[i] = run_experiment(cfgs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::string ExperimentResult::to_string() const {
+  std::ostringstream os;
+  os << "sim_seconds=" << sim_seconds << " committed=" << committed_events
+     << " processed=" << events_processed << " rollbacks=" << rollbacks
+     << " wire_packets=" << wire_packets << " dropped_by_nic=" << dropped_by_nic
+     << " gvt_rounds=" << gvt_rounds << " completed=" << (completed ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace nicwarp::harness

@@ -1,0 +1,99 @@
+// Experiment runner: builds a full testbed (cluster + firmware + comm +
+// kernels + workload) from one config struct, runs it to Time-Warp
+// termination, and extracts the metric set the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/host_comm.hpp"
+#include "hw/cluster.hpp"
+#include "models/phold.hpp"
+#include "models/police.hpp"
+#include "models/raid.hpp"
+#include "warped/kernel.hpp"
+
+namespace nicwarp::harness {
+
+enum class ModelKind { kRaid, kPolice, kPhold };
+
+struct ExperimentConfig {
+  ModelKind model = ModelKind::kRaid;
+  models::RaidParams raid;
+  models::PoliceParams police;
+  models::PholdParams phold;
+
+  std::uint32_t nodes = 8;
+  warped::GvtMode gvt_mode = warped::GvtMode::kHostMattern;
+  std::int64_t gvt_period = 100;   // "GVT Period (Events)" on the figures' x axes
+  bool early_cancel = false;       // install the cancellation firmware
+  bool piggyback = true;           // ablation A1 (NIC-GVT token/handshake rides)
+  warped::RollbackScope rollback_scope = warped::RollbackScope::kLp;
+  // WARPED-style tuning knobs (extensions; see DESIGN.md):
+  warped::CancellationMode cancellation = warped::CancellationMode::kAggressive;
+  std::int64_t state_save_period = 1;
+  bool credit_repair = true;       // ablation A2 (§3.2 sequence-number fix)
+
+  hw::CostModel cost{};
+  std::uint64_t seed = 42;
+  double max_sim_seconds = 900.0;  // wall-clock (simulated) safety cap
+  bool paranoia_checks = false;    // expensive LP-level pairing checks (tests)
+};
+
+struct ExperimentResult {
+  bool completed = false;     // reached GVT == +inf before the cap
+  double sim_seconds = 0.0;   // the paper's "Simulation Time (sec)"
+
+  std::int64_t committed_events = 0;
+  std::int64_t events_processed = 0;
+  std::int64_t events_rolled_back = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t events_replayed = 0;  // coast-forward (periodic state saving)
+  std::int64_t lazy_matched = 0;     // lazy cancellation: regenerated sends
+
+  // Event messages generated at hosts (includes ones later cancelled) —
+  // the paper's "overall messages generated" (Fig. 8).
+  std::int64_t event_msgs_generated = 0;
+  std::int64_t antis_generated = 0;
+  // Packets that actually crossed the wire — the paper's "messages sent"
+  // (Fig. 6b).
+  std::int64_t wire_packets = 0;
+  std::int64_t wire_bytes = 0;
+
+  std::int64_t dropped_by_nic = 0;    // early cancellation, positives
+  std::int64_t filtered_antis = 0;    // early cancellation, negatives
+  std::int64_t antis_suppressed = 0;  // host never emitted them
+
+  std::int64_t gvt_rounds = 0;
+  std::int64_t gvt_estimations = 0;
+  std::int64_t host_gvt_ctrl_msgs = 0;  // wire tokens + broadcasts from hosts
+
+  std::int64_t signature = 0;  // schedule-independent result fingerprint
+  VirtualTime final_gvt{VirtualTime::zero()};
+
+  std::string to_string() const;
+};
+
+// A fully-wired testbed; exposed so tests and examples can poke at parts.
+struct Testbed {
+  std::unique_ptr<hw::Cluster> cluster;
+  std::vector<std::unique_ptr<comm::HostComm>> comms;
+  std::vector<std::unique_ptr<warped::Kernel>> kernels;
+
+  bool all_stopped() const;
+  // Runs until every kernel terminated or the cap; returns completed flag.
+  bool run_to_completion(double max_sim_seconds);
+};
+
+Testbed build_testbed(const ExperimentConfig& cfg);
+ExperimentResult extract_result(Testbed& tb, bool completed);
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Runs independent experiments on a thread pool (each run is single-threaded
+// and deterministic; parallelism is across sweep points only).
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& cfgs,
+                                           unsigned max_threads = 0);
+
+}  // namespace nicwarp::harness

@@ -1,0 +1,32 @@
+// Aligned console tables for the bench binaries (one table per paper
+// figure) plus CSV output for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nicwarp::harness {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+  static std::string pct(double v, int precision = 1);
+
+  std::string to_string() const;  // aligned, boxed
+  std::string to_csv() const;
+  void print() const;             // to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nicwarp::harness

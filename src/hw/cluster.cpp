@@ -1,0 +1,27 @@
+#include "hw/cluster.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::hw {
+
+Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
+                 std::uint64_t seed)
+    : cost_(cost), seed_(seed), network_(engine_, stats_, cost_, num_nodes) {
+  NW_CHECK(num_nodes >= 1);
+  nodes_.reserve(num_nodes);
+  rngs_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(engine_, stats_, cost_, i, num_nodes,
+                                            network_, firmware(i)));
+    rngs_.push_back(std::make_unique<Rng>(seed, "node" + std::to_string(i)));
+  }
+  network_.set_sink(
+      [this](NodeId dst, Packet pkt) { nodes_.at(dst)->nic().receive_from_net(std::move(pkt)); });
+}
+
+SimTime Cluster::run(SimTime max_time) {
+  engine_.run_until(max_time);
+  return engine_.now();
+}
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,45 @@
+// The whole testbed: N nodes plus the switch fabric, one engine, one stats
+// registry, and per-node deterministic RNG streams for the workload models.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/network.hpp"
+#include "hw/node.hpp"
+#include "sim/engine.hpp"
+
+namespace nicwarp::hw {
+
+class Cluster {
+ public:
+  Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
+          std::uint64_t seed);
+
+  sim::Engine& engine() { return engine_; }
+  StatsRegistry& stats() { return stats_; }
+  const CostModel& cost() const { return cost_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  Network& network() { return network_; }
+  Rng& node_rng(NodeId id) { return *rngs_.at(id); }
+  std::uint64_t seed() const { return seed_; }
+
+  // Runs the hardware simulation until the event queue drains or `max_time`
+  // is reached; returns the final engine clock.
+  SimTime run(SimTime max_time = SimTime::max());
+
+ private:
+  CostModel cost_;
+  std::uint64_t seed_;
+  sim::Engine engine_;
+  StatsRegistry stats_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Rng>> rngs_;
+};
+
+}  // namespace nicwarp::hw

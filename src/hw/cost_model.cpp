@@ -1,0 +1,72 @@
+#include "hw/cost_model.hpp"
+
+namespace nicwarp::hw {
+
+namespace {
+constexpr const char* kPrefix = "cm.";
+std::string key(const char* field) { return std::string(kPrefix) + field; }
+}  // namespace
+
+CostModel CostModel::from_params(const ParamSet& p) {
+  CostModel m;
+  m.host_event_exec_us = p.get_f64(key("host_event_exec_us"), m.host_event_exec_us);
+  m.host_state_save_us = p.get_f64(key("host_state_save_us"), m.host_state_save_us);
+  m.host_msg_send_us = p.get_f64(key("host_msg_send_us"), m.host_msg_send_us);
+  m.host_msg_recv_us = p.get_f64(key("host_msg_recv_us"), m.host_msg_recv_us);
+  m.host_gvt_ctrl_us = p.get_f64(key("host_gvt_ctrl_us"), m.host_gvt_ctrl_us);
+  m.host_rollback_fixed_us = p.get_f64(key("host_rollback_fixed_us"), m.host_rollback_fixed_us);
+  m.host_rollback_per_event_us =
+      p.get_f64(key("host_rollback_per_event_us"), m.host_rollback_per_event_us);
+  m.host_fossil_per_event_us =
+      p.get_f64(key("host_fossil_per_event_us"), m.host_fossil_per_event_us);
+  m.host_mailbox_write_us = p.get_f64(key("host_mailbox_write_us"), m.host_mailbox_write_us);
+  m.host_local_msg_us = p.get_f64(key("host_local_msg_us"), m.host_local_msg_us);
+  m.bus_bandwidth_mb_s = p.get_f64(key("bus_bandwidth_mb_s"), m.bus_bandwidth_mb_s);
+  m.bus_setup_us = p.get_f64(key("bus_setup_us"), m.bus_setup_us);
+  m.link_bandwidth_mb_s = p.get_f64(key("link_bandwidth_mb_s"), m.link_bandwidth_mb_s);
+  m.link_latency_us = p.get_f64(key("link_latency_us"), m.link_latency_us);
+  m.nic_per_packet_us = p.get_f64(key("nic_per_packet_us"), m.nic_per_packet_us);
+  m.nic_gvt_check_us = p.get_f64(key("nic_gvt_check_us"), m.nic_gvt_check_us);
+  m.nic_token_handle_us = p.get_f64(key("nic_token_handle_us"), m.nic_token_handle_us);
+  m.nic_cancel_base_us = p.get_f64(key("nic_cancel_base_us"), m.nic_cancel_base_us);
+  m.nic_cancel_scan_per_entry_us =
+      p.get_f64(key("nic_cancel_scan_per_entry_us"), m.nic_cancel_scan_per_entry_us);
+  m.nic_send_ring_slots = p.get_i64(key("nic_send_ring_slots"), m.nic_send_ring_slots);
+  m.nic_recv_ring_slots = p.get_i64(key("nic_recv_ring_slots"), m.nic_recv_ring_slots);
+  m.nic_sram_bytes = p.get_i64(key("nic_sram_bytes"), m.nic_sram_bytes);
+  m.event_msg_bytes = p.get_i64(key("event_msg_bytes"), m.event_msg_bytes);
+  m.gvt_ctrl_bytes = p.get_i64(key("gvt_ctrl_bytes"), m.gvt_ctrl_bytes);
+  m.credit_msg_bytes = p.get_i64(key("credit_msg_bytes"), m.credit_msg_bytes);
+  m.ack_msg_bytes = p.get_i64(key("ack_msg_bytes"), m.ack_msg_bytes);
+  m.mpi_credit_window = p.get_i64(key("mpi_credit_window"), m.mpi_credit_window);
+  m.handshake_piggyback_window_us =
+      p.get_f64(key("handshake_piggyback_window_us"), m.handshake_piggyback_window_us);
+  m.nic_event_id_ring_slots =
+      p.get_i64(key("nic_event_id_ring_slots"), m.nic_event_id_ring_slots);
+  m.host_exec_jitter = p.get_f64(key("host_exec_jitter"), m.host_exec_jitter);
+  return m;
+}
+
+ParamSet CostModel::to_params() const {
+  ParamSet p;
+  p.set_f64(key("host_event_exec_us"), host_event_exec_us);
+  p.set_f64(key("host_msg_send_us"), host_msg_send_us);
+  p.set_f64(key("host_msg_recv_us"), host_msg_recv_us);
+  p.set_f64(key("nic_per_packet_us"), nic_per_packet_us);
+  p.set_f64(key("nic_gvt_check_us"), nic_gvt_check_us);
+  p.set_i64(key("mpi_credit_window"), mpi_credit_window);
+  return p;
+}
+
+SimTime CostModel::bus_transfer(std::int64_t bytes) const {
+  const double ns = bus_setup_us * 1e3 +
+                    static_cast<double>(bytes) / (bus_bandwidth_mb_s * 1e6) * 1e9;
+  return SimTime::from_ns(static_cast<std::int64_t>(ns));
+}
+
+SimTime CostModel::wire_time(std::int64_t bytes) const {
+  const double ns = static_cast<double>(bytes) / (link_bandwidth_mb_s * 1e6) * 1e9;
+  return SimTime::from_ns(static_cast<std::int64_t>(ns));
+}
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,107 @@
+// The NIC firmware programming model.
+//
+// This is the reproduction's equivalent of reprogramming the LANai Myrinet
+// Control Program: a Firmware object is installed per NIC and gets per-packet
+// hooks plus a timer facility. Each hook returns the NIC-CPU time its work
+// costs; the NIC serializes hook execution on its (slow) processor, so heavy
+// firmware visibly delays traffic — the effect behind the right-hand side of
+// the paper's Figure 4.
+//
+// Hook points:
+//   on_host_tx  — packet arrived from the host over the I/O bus, about to be
+//                 staged in the send ring. May drop or consume it.
+//   on_wire_tx  — packet is leaving on the wire (no veto; last chance to
+//                 stamp piggyback fields and count at the wire level).
+//   on_net_rx   — packet arrived from the wire, about to be DMA'd to the
+//                 host. May drop or consume it (e.g. absorb a NIC-level GVT
+//                 token without burdening the host).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/mailbox.hpp"
+#include "hw/packet.hpp"
+
+namespace nicwarp::hw {
+
+class Nic;  // defined in hw/nic.hpp
+
+// Services the NIC exposes to its firmware. Implemented by Nic.
+class NicContext {
+ public:
+  virtual ~NicContext() = default;
+
+  virtual NodeId node_id() const = 0;
+  virtual std::uint32_t world_size() const = 0;
+  virtual SimTime now() const = 0;
+  virtual const CostModel& cost() const = 0;
+  virtual Mailbox& mailbox() = 0;
+  virtual StatsRegistry& stats() = 0;
+
+  // --- send-ring inspection & in-place cancellation ---
+  virtual std::size_t send_ring_size() const = 0;
+  virtual const Packet& send_ring_at(std::size_t i) const = 0;
+  virtual Packet& send_ring_mutable_at(std::size_t i) = 0;
+  // Removes slot i from the ring (the "early cancellation" primitive).
+  virtual Packet drop_from_send_ring(std::size_t i) = 0;
+
+  // Emits a NIC-generated wire packet (e.g. a GVT token). Never touches the
+  // I/O bus or the host CPU. The emission itself costs `nic_token_handle_us`
+  // which the caller should include in its returned hook cost.
+  virtual void emit(Packet pkt) = 0;
+
+  // Injects a packet up to the host (DMA + host receive task) — used to
+  // report a new GVT value without a wire message.
+  virtual void deliver_to_host(Packet pkt) = 0;
+
+  // Schedules `fn` to run as a NIC-CPU job after `delay`; `fn` returns the
+  // NIC-CPU cost of whatever it did.
+  virtual void schedule(SimTime delay, std::function<SimTime()> fn) = 0;
+};
+
+class Firmware {
+ public:
+  enum class Action : std::uint8_t {
+    kForward,  // continue along the normal path
+    kDrop,     // discard silently (early cancellation / filtered anti)
+    kConsume,  // firmware absorbed it (e.g. token handled on the NIC)
+  };
+
+  struct HookResult {
+    Action action{Action::kForward};
+    SimTime cost{SimTime::zero()};
+  };
+
+  virtual ~Firmware() = default;
+
+  // Called once when installed, before any traffic.
+  virtual void attach(NicContext& ctx) { ctx_ = &ctx; }
+
+  virtual HookResult on_host_tx(Packet& pkt) = 0;
+  virtual SimTime on_wire_tx(Packet& pkt) = 0;
+  virtual HookResult on_net_rx(Packet& pkt) = 0;
+
+ protected:
+  NicContext* ctx_{nullptr};
+};
+
+// Pass-through firmware: charges only the base per-packet handling cost.
+// This is the unmodified-MCP baseline every optimized run is compared with.
+class BaselineFirmware : public Firmware {
+ public:
+  HookResult on_host_tx(Packet&) override {
+    return {Action::kForward, ctx_->cost().us(ctx_->cost().nic_per_packet_us)};
+  }
+  SimTime on_wire_tx(Packet&) override { return SimTime::zero(); }
+  HookResult on_net_rx(Packet&) override {
+    return {Action::kForward, ctx_->cost().us(ctx_->cost().nic_per_packet_us)};
+  }
+};
+
+using FirmwareFactory = std::function<std::unique_ptr<Firmware>(NodeId)>;
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,37 @@
+#include "hw/network.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::hw {
+
+Network::Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
+                 std::uint32_t num_nodes)
+    : engine_(engine), stats_(stats), cost_(cost) {
+  links_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    links_.push_back(
+        std::make_unique<sim::Server>(engine, "link" + std::to_string(i), &stats));
+  }
+}
+
+void Network::transmit(NodeId src, Packet pkt, std::function<void()> on_link_free) {
+  NW_CHECK(src < links_.size());
+  NW_CHECK_MSG(pkt.hdr.dst < links_.size(), "packet to unknown node");
+  NW_CHECK_MSG(pkt.hdr.dst != src, "network loopback not modelled; local sends bypass the NIC");
+  const SimTime serialize = cost_.wire_time(pkt.hdr.size_bytes);
+  links_[src]->submit(
+      serialize,
+      [this, pkt = std::move(pkt), done = std::move(on_link_free)]() mutable {
+        stats_.counter("net.packets").add(1);
+        stats_.counter("net.bytes").add(pkt.hdr.size_bytes);
+        if (done) done();
+        const NodeId dst = pkt.hdr.dst;
+        engine_.schedule(cost_.us(cost_.link_latency_us),
+                         [this, dst, p = std::move(pkt)]() mutable {
+                           ++delivered_;
+                           sink_(dst, std::move(p));
+                         });
+      });
+}
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,48 @@
+// Myrinet-like switch fabric: one injection link per node (serialized at
+// link bandwidth) feeding a non-blocking crossbar with fixed traversal
+// latency. Links are FIFO, so packets between a node pair arrive in
+// transmission order — the property BIP sequence numbers rely on to turn a
+// receive-side gap into proof of an intentional NIC drop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/server.hpp"
+
+namespace nicwarp::hw {
+
+class Network {
+ public:
+  using Sink = std::function<void(NodeId dst, Packet pkt)>;
+
+  Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
+          std::uint32_t num_nodes);
+
+  // Routes packets that complete wire traversal; set once by the Cluster.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Transmits `pkt` from `src`'s injection link. `on_link_free` fires when
+  // the link has finished serializing the packet (the NIC may then start the
+  // next send-ring entry); delivery at the destination happens `link_latency`
+  // later.
+  void transmit(NodeId src, Packet pkt, std::function<void()> on_link_free);
+
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  sim::Engine& engine_;
+  StatsRegistry& stats_;
+  const CostModel& cost_;
+  std::vector<std::unique_ptr<sim::Server>> links_;
+  Sink sink_;
+  std::uint64_t delivered_{0};
+};
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,159 @@
+#include "hw/nic.hpp"
+
+#include "core/assert.hpp"
+#include "core/log.hpp"
+
+namespace nicwarp::hw {
+
+Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
+         std::uint32_t world_size, Network& network, sim::Server& bus,
+         std::unique_ptr<Firmware> firmware)
+    : engine_(engine),
+      stats_(stats),
+      cost_(cost),
+      id_(id),
+      world_size_(world_size),
+      network_(network),
+      bus_(bus),
+      firmware_(std::move(firmware)),
+      nic_cpu_(engine, "nic" + std::to_string(id) + ".cpu", &stats) {
+  NW_CHECK(firmware_ != nullptr);
+  firmware_->attach(*this);
+}
+
+bool Nic::tx_slot_available() const {
+  return slots_in_use_ < static_cast<std::size_t>(cost_.nic_send_ring_slots);
+}
+
+void Nic::reserve_tx_slot() {
+  NW_CHECK_MSG(tx_slot_available(), "tx slot reservation without availability check");
+  ++slots_in_use_;
+}
+
+void Nic::accept_from_host(Packet pkt) {
+  auto state = std::make_shared<std::pair<Packet, Firmware::Action>>(
+      std::move(pkt), Firmware::Action::kForward);
+  nic_cpu_.submit_dynamic(
+      [this, state] {
+        const Firmware::HookResult r = firmware_->on_host_tx(state->first);
+        state->second = r.action;
+        return r.cost;
+      },
+      [this, state] {
+        switch (state->second) {
+          case Firmware::Action::kForward:
+            send_ring_.push_back(std::move(state->first));
+            pump_tx();
+            break;
+          case Firmware::Action::kDrop:
+          case Firmware::Action::kConsume:
+            // The packet never reaches the wire; its slot frees immediately.
+            NW_CHECK(slots_in_use_ > 0);
+            --slots_in_use_;
+            if (tx_slot_freed_) tx_slot_freed_();
+            break;
+        }
+      });
+}
+
+const Packet& Nic::send_ring_at(std::size_t i) const {
+  NW_CHECK(i < send_ring_.size());
+  return send_ring_[i];
+}
+
+Packet& Nic::send_ring_mutable_at(std::size_t i) {
+  NW_CHECK(i < send_ring_.size());
+  return send_ring_[i];
+}
+
+Packet Nic::drop_from_send_ring(std::size_t i) {
+  NW_CHECK(i < send_ring_.size());
+  Packet out = std::move(send_ring_[i]);
+  send_ring_.erase(send_ring_.begin() + static_cast<std::ptrdiff_t>(i));
+  NW_CHECK(slots_in_use_ > 0);
+  --slots_in_use_;
+  stats_.counter("nic.ring_drops").add(1);
+  if (tx_slot_freed_) tx_slot_freed_();
+  return out;
+}
+
+void Nic::emit(Packet pkt) {
+  // NIC-generated control traffic uses a dedicated SRAM buffer (it does not
+  // consume host send-ring slots) and has priority on the wire: the paper's
+  // NIC forwards GVT information "whenever it gets a chance".
+  pkt.hdr.src = id_;
+  pkt.hdr.bip_seq = 0;  // unsequenced: never part of the BIP host stream
+  ctrl_queue_.push_back(std::move(pkt));
+  stats_.counter("nic.emitted").add(1);
+  pump_tx();
+}
+
+void Nic::deliver_to_host(Packet pkt) {
+  bus_.submit(cost_.bus_transfer(pkt.hdr.size_bytes),
+              [this, p = std::move(pkt)]() mutable {
+                NW_CHECK(host_deliver_ != nullptr);
+                host_deliver_(std::move(p));
+              });
+}
+
+void Nic::schedule(SimTime delay, std::function<SimTime()> fn) {
+  engine_.schedule(delay, [this, fn = std::move(fn)]() mutable {
+    nic_cpu_.submit_dynamic(std::move(fn), nullptr);
+  });
+}
+
+void Nic::pump_tx() {
+  if (tx_busy_) return;
+  const bool from_ctrl = !ctrl_queue_.empty();
+  if (!from_ctrl && send_ring_.empty()) return;
+  tx_busy_ = true;
+
+  auto pkt = std::make_shared<Packet>();
+  if (from_ctrl) {
+    *pkt = std::move(ctrl_queue_.front());
+    ctrl_queue_.pop_front();
+  } else {
+    *pkt = std::move(send_ring_.front());
+    send_ring_.pop_front();
+  }
+
+  if (pkt->hdr.event_id == traced_event() && pkt->hdr.kind == PacketKind::kEvent) {
+    std::fprintf(stderr, "[trace %llu] WIRE-TX nic=%u neg=%d t=%lld\n",
+                 (unsigned long long)pkt->hdr.event_id, id_, pkt->hdr.negative ? 1 : 0,
+                 (long long)engine_.now().ns);
+  }
+  nic_cpu_.submit_dynamic(
+      [this, pkt] { return firmware_->on_wire_tx(*pkt); },
+      [this, pkt, from_ctrl] {
+        network_.transmit(id_, std::move(*pkt), [this, from_ctrl] {
+          tx_busy_ = false;
+          if (!from_ctrl) {
+            // The SRAM buffer is recycled once the link drained the packet.
+            NW_CHECK(slots_in_use_ > 0);
+            --slots_in_use_;
+            if (tx_slot_freed_) tx_slot_freed_();
+          }
+          pump_tx();
+        });
+      });
+}
+
+void Nic::receive_from_net(Packet pkt) {
+  auto state = std::make_shared<std::pair<Packet, Firmware::Action>>(
+      std::move(pkt), Firmware::Action::kForward);
+  nic_cpu_.submit_dynamic(
+      [this, state] {
+        const Firmware::HookResult r = firmware_->on_net_rx(state->first);
+        state->second = r.action;
+        return r.cost;
+      },
+      [this, state] {
+        if (state->second == Firmware::Action::kForward) {
+          deliver_to_host(std::move(state->first));
+        }
+        // kDrop / kConsume: the packet dies on the NIC, saving the bus
+        // crossing and the host receive path entirely.
+      });
+}
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,89 @@
+// Programmable NIC model (LANai4-class).
+//
+// The NIC owns a slow processor (every firmware hook serializes on it), a
+// bounded send ring in SRAM (the staging window early cancellation scans),
+// the host/NIC shared mailbox, and DMA access to the node's I/O bus. All
+// traffic in both directions flows through the installed Firmware.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/firmware.hpp"
+#include "hw/mailbox.hpp"
+#include "hw/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/server.hpp"
+
+namespace nicwarp::hw {
+
+class Nic final : public NicContext {
+ public:
+  // `bus` is the node's I/O bus (shared with host-side tx DMA).
+  Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
+      std::uint32_t world_size, Network& network, sim::Server& bus,
+      std::unique_ptr<Firmware> firmware);
+
+  // ----- host-facing interface (called from Node / comm layer) -----
+
+  // True if a send-ring slot can be reserved for one more host packet.
+  bool tx_slot_available() const;
+  // Reserves a slot; precondition tx_slot_available().
+  void reserve_tx_slot();
+  // Hands a packet to the NIC (DMA already accounted by the caller); runs
+  // the on_host_tx hook and stages or discards the packet.
+  void accept_from_host(Packet pkt);
+
+  // Called with every packet that completed rx DMA to the host. Set by Node.
+  void set_host_deliver(std::function<void(Packet)> fn) { host_deliver_ = std::move(fn); }
+  // Invoked whenever a reserved slot is released (drop or wire completion).
+  void set_tx_slot_freed(std::function<void()> fn) { tx_slot_freed_ = std::move(fn); }
+
+  // ----- network-facing interface (called by the Cluster's sink) -----
+  void receive_from_net(Packet pkt);
+
+  // ----- NicContext (firmware services) -----
+  NodeId node_id() const override { return id_; }
+  std::uint32_t world_size() const override { return world_size_; }
+  SimTime now() const override { return engine_.now(); }
+  const CostModel& cost() const override { return cost_; }
+  Mailbox& mailbox() override { return mailbox_; }
+  StatsRegistry& stats() override { return stats_; }
+  std::size_t send_ring_size() const override { return send_ring_.size(); }
+  const Packet& send_ring_at(std::size_t i) const override;
+  Packet& send_ring_mutable_at(std::size_t i) override;
+  Packet drop_from_send_ring(std::size_t i) override;
+  void emit(Packet pkt) override;
+  void deliver_to_host(Packet pkt) override;
+  void schedule(SimTime delay, std::function<SimTime()> fn) override;
+
+  Firmware& firmware() { return *firmware_; }
+  std::size_t slots_in_use() const { return slots_in_use_; }
+
+ private:
+  void pump_tx();
+
+  sim::Engine& engine_;
+  StatsRegistry& stats_;
+  const CostModel& cost_;
+  NodeId id_;
+  std::uint32_t world_size_;
+  Network& network_;
+  sim::Server& bus_;
+  std::unique_ptr<Firmware> firmware_;
+  sim::Server nic_cpu_;
+
+  Mailbox mailbox_;
+  std::deque<Packet> send_ring_;  // host event traffic, FIFO
+  std::deque<Packet> ctrl_queue_; // NIC-generated control traffic (priority)
+  std::size_t slots_in_use_{0};   // reserved + staged + on-wire host packets
+  bool tx_busy_{false};
+
+  std::function<void(Packet)> host_deliver_;
+  std::function<void()> tx_slot_freed_;
+};
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,58 @@
+#include "hw/node.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::hw {
+
+Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
+           std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware)
+    : engine_(engine),
+      stats_(stats),
+      cost_(cost),
+      id_(id),
+      host_cpu_(engine, "host" + std::to_string(id) + ".cpu", &stats),
+      bus_(engine, "bus" + std::to_string(id), &stats) {
+  nic_ = std::make_unique<Nic>(engine, stats, cost, id, world_size, network, bus_,
+                               std::move(firmware));
+  nic_->set_host_deliver([this](Packet pkt) {
+    // The packet landed in host memory; charge the host receive path
+    // (interrupt + protocol stack) before the comm layer sees it.
+    host_cpu_.submit(host_recv_cost(pkt), [this, p = std::move(pkt)]() mutable {
+      NW_CHECK_MSG(raw_rx_ != nullptr, "no raw rx handler installed");
+      raw_rx_(std::move(p));
+    });
+  });
+}
+
+void Node::dma_to_nic(Packet pkt) {
+  nic_->reserve_tx_slot();
+  stats_.counter("host.tx_packets").add(1);
+  bus_.submit(cost_.bus_transfer(pkt.hdr.size_bytes),
+              [this, p = std::move(pkt)]() mutable { nic_->accept_from_host(std::move(p)); });
+}
+
+void Node::set_tx_ready_cb(std::function<void()> fn) {
+  nic_->set_tx_slot_freed(std::move(fn));
+}
+
+SimTime Node::host_recv_cost(const Packet& pkt) const {
+  switch (pkt.hdr.kind) {
+    case PacketKind::kEvent:
+      return cost_.us(cost_.host_msg_recv_us);
+    case PacketKind::kHostGvtToken:
+    case PacketKind::kGvtBroadcast:
+    case PacketKind::kPGvtReport:
+    case PacketKind::kPGvtRequest:
+      return cost_.us(cost_.host_gvt_ctrl_us);
+    case PacketKind::kNicGvtToken:
+      // Should normally be consumed on the NIC; if one surfaces, it is a
+      // cheap notification.
+      return cost_.us(cost_.host_mailbox_write_us);
+    case PacketKind::kCreditUpdate:
+    case PacketKind::kAck:
+      return cost_.us(cost_.host_msg_recv_us * 0.5);
+  }
+  NW_UNREACHABLE("unknown packet kind");
+}
+
+}  // namespace nicwarp::hw

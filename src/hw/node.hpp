@@ -1,0 +1,70 @@
+// One cluster node: host CPU + I/O bus + programmable NIC.
+//
+// The host CPU is a FIFO server the Time-Warp kernel submits its work items
+// to; the I/O bus is shared by tx and rx DMA (both directions contend, which
+// is the bottleneck the paper's NIC-resident GVT traffic sidesteps).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/server.hpp"
+
+namespace nicwarp::hw {
+
+class Node {
+ public:
+  Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
+       std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware);
+
+  NodeId id() const { return id_; }
+  sim::Server& host_cpu() { return host_cpu_; }
+  sim::Server& bus() { return bus_; }
+  Nic& nic() { return *nic_; }
+  Mailbox& mailbox() { return nic_->mailbox(); }
+  const CostModel& cost() const { return cost_; }
+  sim::Engine& engine() { return engine_; }
+  StatsRegistry& stats() { return stats_; }
+
+  // --- raw packet interface for the comm layer (host-task context) ---
+
+  // True if the NIC can accept one more host packet.
+  bool nic_tx_ready() const { return nic_->tx_slot_available(); }
+
+  // DMAs a packet to the NIC. Precondition: nic_tx_ready(). The host-CPU
+  // cost of building the message is the *caller's* to charge; this only
+  // models the bus transfer and NIC-side handling.
+  void dma_to_nic(Packet pkt);
+
+  // Handler invoked (inside a host CPU task, after the modelled receive
+  // cost) for every packet that reaches the host.
+  void set_raw_rx(std::function<void(Packet)> fn) { raw_rx_ = std::move(fn); }
+
+  // Invoked whenever the NIC frees a tx slot (backpressure release).
+  void set_tx_ready_cb(std::function<void()> fn);
+
+  // Convenience: submit host work.
+  void run_host_task(SimTime cost, std::function<void()> fn) {
+    host_cpu_.submit(cost, std::move(fn));
+  }
+
+  // Host-side receive cost by packet kind.
+  SimTime host_recv_cost(const Packet& pkt) const;
+
+ private:
+  sim::Engine& engine_;
+  StatsRegistry& stats_;
+  const CostModel& cost_;
+  NodeId id_;
+  sim::Server host_cpu_;
+  sim::Server bus_;
+  std::unique_ptr<Nic> nic_;
+  std::function<void(Packet)> raw_rx_;
+};
+
+}  // namespace nicwarp::hw

@@ -1,0 +1,18 @@
+// Common shape of a built workload: a partition plus the per-node object
+// lists ready to hand to each node's Kernel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "warped/object.hpp"
+#include "warped/partition.hpp"
+
+namespace nicwarp::models {
+
+struct BuiltModel {
+  std::shared_ptr<warped::Partition> partition;
+  std::vector<std::vector<std::unique_ptr<warped::SimulationObject>>> per_node;
+};
+
+}  // namespace nicwarp::models

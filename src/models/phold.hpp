@@ -1,0 +1,23 @@
+// PHOLD: the classic synthetic PDES benchmark (extra workload, not in the
+// paper's evaluation; used by the examples and as a stress model in tests).
+// N objects each start with `population` events; processing an event sends a
+// new one to a uniformly random object with an exponential-ish increment,
+// until the virtual-time horizon is reached.
+#pragma once
+
+#include <cstdint>
+
+#include "models/model.hpp"
+
+namespace nicwarp::models {
+
+struct PholdParams {
+  std::int64_t objects = 64;
+  std::int64_t population = 2;   // initial events per object
+  std::int64_t mean_delay = 10;  // mean timestamp increment
+  std::int64_t horizon = 5000;   // no sends at/after this virtual time
+};
+
+BuiltModel build_phold(const PholdParams& p, std::uint32_t num_nodes);
+
+}  // namespace nicwarp::models

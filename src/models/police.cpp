@@ -1,0 +1,107 @@
+#include "models/police.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::models {
+
+namespace {
+
+using warped::CloneableState;
+using warped::EventMsg;
+using warped::ObjectContext;
+using warped::SimulationObject;
+
+enum PoliceMsg : std::int64_t { kCall = 1, kNotify = 2 };
+
+struct StationState : CloneableState<StationState> {
+  std::int64_t calls_handled{0};
+  std::int64_t notifications{0};
+};
+
+class Station final : public SimulationObject {
+ public:
+  Station(ObjectId id, const PoliceParams& p)
+      : SimulationObject(id, "police.station" + std::to_string(id),
+                         std::make_unique<StationState>()),
+        p_(p) {}
+
+  void initialize(ObjectContext& ctx) override {
+    if (!ctx.rng().chance(p_.seed_fraction)) return;
+    const VirtualTime start{1 + static_cast<std::int64_t>(
+                                    ctx.rng().uniform(0, p_.effective_seed_window() - 1))};
+    ctx.send(id(), start, {kCall, p_.hops_per_call});
+  }
+
+  void execute(ObjectContext& ctx, const EventMsg& ev) override {
+    auto& st = state_as<StationState>();
+    switch (ev.data.at(0)) {
+      case kCall: {
+        st.calls_handled += 1;
+        ctx.fold_signature(static_cast<std::int64_t>(ev.id) ^ (ctx.now().t * 7919));
+        const std::int64_t ttl = ev.data.at(1);
+        // Radio fan-out: tight-deadline leaf notifications. They are
+        // processed almost immediately at their destinations, so when this
+        // hop turns out to be erroneous the fan-out is exactly the traffic
+        // an anti-message storm has to chase — unless the NIC kills it in
+        // the send ring first.
+        const std::int64_t burst = ctx.rng().uniform(p_.burst_min, p_.burst_max);
+        for (std::int64_t b = 0; b < burst; ++b) {
+          ctx.send(route(ctx), ctx.now() + ctx.rng().uniform(p_.notify_delay_min,
+                                                             p_.notify_delay_max),
+                   {kNotify, ctx.now().t});
+        }
+        // Dispatch continuation, occasionally over a slow path (the source
+        // of timestamp disorder across LPs).
+        if (ttl > 0) {
+          const std::int64_t d =
+              ctx.rng().chance(p_.long_delay_prob)
+                  ? ctx.rng().uniform(p_.long_delay_min, p_.long_delay_max)
+                  : ctx.rng().uniform(p_.hop_delay_min, p_.hop_delay_max);
+          ctx.send(route(ctx), ctx.now() + d, {kCall, ttl - 1});
+        }
+        return;
+      }
+      case kNotify:
+        st.notifications += 1;
+        ctx.fold_signature(ev.data.at(1) * 1000003LL + static_cast<std::int64_t>(id()));
+        return;
+      default:
+        NW_UNREACHABLE("bad POLICE message");
+    }
+  }
+
+ private:
+  // Hub-biased routing: a handful of dispatch hubs absorb a large share of
+  // the traffic, so the LPs hosting them lag while the rest race ahead.
+  ObjectId route(ObjectContext& ctx) const {
+    if (ctx.rng().chance(p_.hub_bias)) {
+      auto hub = static_cast<ObjectId>(
+          ctx.rng().uniform(0, std::min(p_.effective_hubs(), p_.stations) - 1));
+      if (hub == id()) hub = static_cast<ObjectId>((hub + 1) % p_.stations);
+      return hub;
+    }
+    auto pick = static_cast<ObjectId>(ctx.rng().uniform(0, p_.stations - 2));
+    if (pick >= id()) pick += 1;
+    return pick;
+  }
+
+  PoliceParams p_;
+};
+
+}  // namespace
+
+BuiltModel build_police(const PoliceParams& p, std::uint32_t num_nodes) {
+  NW_CHECK(p.stations >= 2);
+  BuiltModel m;
+  m.partition = std::make_shared<warped::Partition>();
+  m.per_node.resize(num_nodes);
+  for (std::int64_t i = 0; i < p.stations; ++i) {
+    const auto id = static_cast<ObjectId>(i);
+    const auto node = static_cast<NodeId>(id % num_nodes);
+    m.partition->place(id, node);
+    m.per_node[node].push_back(std::make_unique<Station>(id, p));
+  }
+  return m;
+}
+
+}  // namespace nicwarp::models

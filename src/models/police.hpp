@@ -1,0 +1,48 @@
+// POLICE: traffic-police telecommunications network (the paper's second
+// workload, §4).
+//
+// A fraction of stations seed incident calls. A call hops from station to
+// station (dispatch routing) for a bounded number of hops; every hop also
+// emits a burst of short "notification" messages (radio fan-out). Routing is
+// biased toward a few dispatch hubs and hop delays are bimodal, so LPs
+// repeatedly race ahead of the hubs and get straggled — producing the
+// rollback cascades that make early cancellation shine in the paper: POLICE
+// shows up to ~27% gains (Fig. 7) versus RAID's <5% (Fig. 6), with 52–62%
+// of canceled messages dying in the NIC send ring.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "models/model.hpp"
+
+namespace nicwarp::models {
+
+struct PoliceParams {
+  std::int64_t stations = 900;
+  double seed_fraction = 0.5;           // stations that start an incident
+  std::int64_t hops_per_call = 30;      // call TTL
+  std::int64_t burst_min = 2, burst_max = 5;  // notifications per hop
+  std::int64_t hop_delay_min = 2, hop_delay_max = 6;
+  double long_delay_prob = 0.04;        // occasional slow dispatch path
+  std::int64_t long_delay_min = 10, long_delay_max = 25;
+  std::int64_t notify_delay_min = 1, notify_delay_max = 3;
+  double hub_bias = 0.10;               // fraction of routing aimed at hubs
+  // 0 = auto: hubs scale with the station count and the seeding window keeps
+  // the virtual call density constant, so sweeping `stations` (the paper's
+  // Fig. 7/8 x-axis) changes total work, not the congestion regime.
+  std::int64_t hubs = 0;                // dispatch-hub stations (ids 0..hubs-1)
+  std::int64_t seed_window = 0;         // incidents start in [1, window]
+
+  // Effective values after auto-scaling.
+  std::int64_t effective_hubs() const {
+    return hubs > 0 ? hubs : std::max<std::int64_t>(8, stations / 50);
+  }
+  std::int64_t effective_seed_window() const {
+    return seed_window > 0 ? seed_window : std::max<std::int64_t>(50, stations / 3);
+  }
+};
+
+BuiltModel build_police(const PoliceParams& p, std::uint32_t num_nodes);
+
+}  // namespace nicwarp::models

@@ -1,0 +1,29 @@
+// RAID-5 disk-array model (the paper's first workload, §4).
+//
+// Request sources issue disk I/O requests to fork processes, which route
+// each request to one of the disks by stripe; disks are virtual-time queueing
+// servers that reply to the originating source. The paper simulates "10
+// processes sending disk I/O requests to 8 forks which in turn forward the
+// requests to one of the 8 disks", on 8 LPs (16 sources for the early-
+// cancellation experiments).
+#pragma once
+
+#include <cstdint>
+
+#include "models/model.hpp"
+
+namespace nicwarp::models {
+
+struct RaidParams {
+  std::int64_t sources = 10;
+  std::int64_t forks = 8;
+  std::int64_t disks = 8;
+  std::int64_t total_requests = 10000;  // across all sources
+  std::int64_t think_min = 5, think_max = 15;       // virtual time between issues
+  std::int64_t fork_delay_min = 1, fork_delay_max = 3;
+  std::int64_t service_min = 10, service_max = 30;  // disk service time
+};
+
+BuiltModel build_raid(const RaidParams& p, std::uint32_t num_nodes);
+
+}  // namespace nicwarp::models

@@ -1,0 +1,49 @@
+#include "sim/engine.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::sim {
+
+TaskHandle Engine::schedule(SimTime delay, Callback fn) {
+  NW_CHECK_MSG(delay.ns >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TaskHandle Engine::schedule_at(SimTime when, Callback fn) {
+  NW_CHECK_MSG(when >= now_, "scheduling into the past");
+  NW_CHECK(fn != nullptr);
+  const std::uint64_t id = next_seq_++;
+  heap_.push(HeapEntry{when, id});
+  tasks_.emplace(id, std::move(fn));
+  return TaskHandle{id};
+}
+
+bool Engine::cancel(TaskHandle h) {
+  return tasks_.erase(h.id) > 0;  // heap entry becomes a lazy tombstone
+}
+
+std::uint64_t Engine::run() { return run_until(SimTime::max()); }
+
+std::uint64_t Engine::run_until(SimTime deadline) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!heap_.empty() && !stop_requested_) {
+    const HeapEntry top = heap_.top();
+    auto it = tasks_.find(top.seq);
+    if (it == tasks_.end()) {  // cancelled
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    heap_.pop();
+    Callback fn = std::move(it->second);
+    tasks_.erase(it);
+    now_ = top.when;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+}  // namespace nicwarp::sim

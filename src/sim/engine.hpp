@@ -1,0 +1,76 @@
+// Discrete-event engine for the *hardware* level of the testbed.
+//
+// This engine simulates the cluster itself — host CPUs, I/O buses, NIC
+// processors and the network — in simulated nanoseconds (SimTime). The
+// Time-Warp application under study runs "inside" it: TW kernel work items
+// are scheduled here with their modelled CPU costs, so the engine clock at
+// termination is the paper's "Simulation Time (sec)" metric.
+//
+// Single-threaded and deterministic: events at equal times fire in schedule
+// order (a monotonically increasing sequence number breaks ties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp::sim {
+
+// Opaque handle for cancelling a scheduled callback.
+struct TaskHandle {
+  std::uint64_t id{0};
+  bool valid() const { return id != 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay >= 0).
+  TaskHandle schedule(SimTime delay, Callback fn);
+
+  // Schedules at an absolute time (>= now()).
+  TaskHandle schedule_at(SimTime when, Callback fn);
+
+  // Cancels a pending task; returns false if it already ran or was cancelled.
+  bool cancel(TaskHandle h);
+
+  // Runs until no events remain. Returns the number of callbacks executed.
+  std::uint64_t run();
+
+  // Runs until the clock would pass `deadline` (events at exactly `deadline`
+  // still run) or the queue drains. Returns callbacks executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  // Requests that run()/run_until() return after the current callback.
+  void stop() { stop_requested_ = true; }
+  bool stopped() const { return stop_requested_; }
+
+  std::size_t pending() const { return tasks_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const HeapEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  bool stop_requested_{false};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> tasks_;  // absent == cancelled
+};
+
+}  // namespace nicwarp::sim

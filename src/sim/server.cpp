@@ -1,0 +1,47 @@
+#include "sim/server.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::sim {
+
+Server::Server(Engine& engine, std::string name, StatsRegistry* stats)
+    : engine_(engine), name_(std::move(name)), stats_(stats) {}
+
+void Server::submit(SimTime cost, std::function<void()> on_complete) {
+  NW_CHECK_MSG(cost.ns >= 0, "negative job cost");
+  submit_dynamic([cost] { return cost; }, std::move(on_complete));
+}
+
+void Server::submit_dynamic(std::function<SimTime()> work,
+                            std::function<void()> on_complete) {
+  NW_CHECK(work != nullptr);
+  queue_.push_back(Job{std::move(work), std::move(on_complete)});
+  if (!busy_) start_next();
+}
+
+void Server::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime cost = job.work();
+  NW_CHECK_MSG(cost.ns >= 0, "job returned negative cost");
+  engine_.schedule(cost, [this, cost, fn = std::move(job.on_complete)]() mutable {
+    busy_time_ += cost;
+    ++jobs_completed_;
+    if (stats_ != nullptr) {
+      stats_->counter(name_ + ".jobs").add(1);
+      stats_->counter(name_ + ".busy_ns").add(cost.ns);
+    }
+    // The completion callback may submit follow-on work; run it before
+    // starting the next queued job so submission order within a completion
+    // is preserved deterministically.
+    if (fn) fn();
+    start_next();
+  });
+}
+
+}  // namespace nicwarp::sim

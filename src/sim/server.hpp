@@ -1,0 +1,59 @@
+// FIFO work server: the shared model for every serially-occupied hardware
+// resource in the cluster — a host CPU, a NIC processor, an I/O bus, a
+// network link. Jobs occupy the resource for their cost and complete in
+// submission order; contention and queueing delay emerge from the engine
+// clock rather than being modelled analytically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+
+namespace nicwarp::sim {
+
+class Server {
+ public:
+  // `name` keys the utilization counters in `stats` (may be null for tests).
+  Server(Engine& engine, std::string name, StatsRegistry* stats = nullptr);
+
+  // Enqueues a job that holds the server for `cost`, then runs on_complete.
+  void submit(SimTime cost, std::function<void()> on_complete);
+
+  // Enqueues a job whose cost is only known once it starts executing (e.g. a
+  // firmware hook whose work depends on queue state at service time): `work`
+  // runs when the server picks the job up and returns the time to occupy it;
+  // `on_complete` runs when that time has elapsed.
+  void submit_dynamic(std::function<SimTime()> work, std::function<void()> on_complete);
+
+  bool idle() const { return !busy_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  // Total time the server has been occupied (updated at job completion).
+  SimTime busy_time() const { return busy_time_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void start_next();
+
+  Engine& engine_;
+  std::string name_;
+  StatsRegistry* stats_;
+
+  struct Job {
+    std::function<SimTime()> work;  // returns occupancy; runs at service start
+    std::function<void()> on_complete;
+  };
+  std::deque<Job> queue_;
+  bool busy_{false};
+  SimTime busy_time_{SimTime::zero()};
+  std::uint64_t jobs_completed_{0};
+};
+
+}  // namespace nicwarp::sim

@@ -1,0 +1,66 @@
+// Time-Warp event messages.
+//
+// Event identity is *deterministic*: an event's id is a stable mix of its
+// parent event's id, the sending object, and the send's index within that
+// execution. Re-executing an event after a rollback therefore regenerates
+// byte-identical children (same ids), which is what makes (a) anti-message
+// annihilation exact and (b) the committed trajectory of a model independent
+// of the rollback schedule — the core invariant the test suite checks when
+// comparing baseline and NIC-optimized runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace nicwarp::warped {
+
+struct EventMsg {
+  ObjectId src_obj{kInvalidObject};
+  ObjectId dst_obj{kInvalidObject};
+  VirtualTime send_ts{VirtualTime::zero()};
+  VirtualTime recv_ts{VirtualTime::zero()};
+  EventId id{kInvalidEvent};
+  bool negative{false};
+  std::vector<std::int64_t> data;
+
+  EventMsg as_anti() const {
+    EventMsg a = *this;
+    a.negative = true;
+    a.data.clear();
+    return a;
+  }
+};
+
+// Canonical total order on events: (recv_ts, dst_obj, id). Every LP
+// processes, rolls back, and annihilates against this order, which makes the
+// committed execution sequence unique regardless of message arrival timing.
+struct EventOrder {
+  bool operator()(const EventMsg& a, const EventMsg& b) const {
+    if (a.recv_ts != b.recv_ts) return a.recv_ts < b.recv_ts;
+    if (a.dst_obj != b.dst_obj) return a.dst_obj < b.dst_obj;
+    return a.id < b.id;
+  }
+};
+
+inline bool event_before(const EventMsg& a, const EventMsg& b) {
+  return EventOrder{}(a, b);
+}
+
+// Deterministic child-event id: parent execution id x sending object x
+// send index.
+inline EventId make_event_id(EventId parent, ObjectId src, std::uint32_t send_index) {
+  std::uint64_t s = parent;
+  s ^= 0x9e3779b97f4a7c15ULL + (static_cast<std::uint64_t>(src) << 17) + send_index;
+  return splitmix64(s);
+}
+
+// Root id for an object's initial (self-scheduled) events.
+inline EventId make_root_id(ObjectId obj) {
+  std::uint64_t s = 0xD1B54A32D192ED03ULL ^ obj;
+  return splitmix64(s);
+}
+
+}  // namespace nicwarp::warped

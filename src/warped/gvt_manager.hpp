@@ -1,0 +1,105 @@
+// GVT manager interface and the kernel services it runs against.
+//
+// Three implementations:
+//   MatternGvtManager — host-resident Mattern two-cut snapshot (WARPED's
+//                       default; the paper's baseline);
+//   NicGvtManager     — the *host half* of the paper's NIC-level GVT: color
+//                       decisions and LVT live here, token transport and
+//                       white counting live in firmware::GvtFirmware;
+//   PGvtManager       — acknowledgement-based pGVT (WARPED's other
+//                       algorithm; ablation A4).
+#pragma once
+
+#include <cstdint>
+
+#include <functional>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/mailbox.hpp"
+#include "hw/packet.hpp"
+
+namespace nicwarp::warped {
+
+// Services the Kernel exposes to its GVT manager.
+class KernelApi {
+ public:
+  virtual ~KernelApi() = default;
+
+  virtual NodeId rank() const = 0;
+  virtual std::uint32_t world_size() const = 0;
+  virtual const hw::CostModel& cost() const = 0;
+  virtual StatsRegistry& stats() = 0;
+  virtual hw::Mailbox& mailbox() = 0;
+
+  // LVT including everything still staged in the host comm layer — the
+  // value a correct estimate must fold in (a credit-stalled event's
+  // timestamp is otherwise invisible to wire-level accounting).
+  virtual VirtualTime safe_local_min() const = 0;
+
+  virtual std::int64_t events_processed() const = 0;
+  virtual bool lp_idle() const = 0;
+
+  // Sends a control packet as a host task (charges host_gvt_ctrl_us).
+  virtual void send_control(hw::Packet pkt) = 0;
+
+  // Runs `fn` as a host-CPU task of the given cost (e.g. a dedicated
+  // mailbox write when no outgoing message offered a piggyback ride).
+  virtual void run_host_task(SimTime cost, std::function<void()> fn) = 0;
+
+  // Schedules `fn` after `delay` (engine timer; use for token timeouts and
+  // idle re-initiation). The callback runs outside host-task context.
+  virtual void schedule(SimTime delay, std::function<void()> fn) = 0;
+
+  // Reports a new GVT estimate; the kernel fossil-collects and terminates
+  // when the estimate reaches +inf.
+  virtual void on_new_gvt(VirtualTime gvt) = 0;
+
+  virtual SimTime now() const = 0;
+};
+
+class GvtManager {
+ public:
+  virtual ~GvtManager() = default;
+
+  virtual void attach(KernelApi& api) { api_ = &api; }
+
+  // Simulation is initialized and traffic may flow.
+  virtual void start() {}
+
+  // One local event was executed (gates periodic initiation at the root).
+  virtual void on_event_processed() {}
+
+  // An event packet is about to leave this host: stamp color / GVT fields.
+  virtual void stamp_outgoing(hw::PacketHeader& hdr) { (void)hdr; }
+
+  // An event packet arrived at this host (already past the NIC).
+  virtual void on_event_received(const hw::PacketHeader& hdr) { (void)hdr; }
+
+  // A control packet addressed to this manager arrived.
+  virtual void on_control(const hw::Packet& pkt) { (void)pkt; }
+
+  // The local NIC dropped (or filtered) a packet in place; reconcile any
+  // host-side accounting that assumed it was sent.
+  virtual void on_nic_drop(const hw::DropNotice& n) { (void)n; }
+
+  // Periodic idle callback (kernel's poll loop) — keeps tokens moving when
+  // no events remain, so termination is detected.
+  virtual void idle_poll() {}
+
+  VirtualTime gvt() const { return gvt_; }
+
+ protected:
+  void publish_gvt(VirtualTime g) {
+    if (gvt_ < g) {
+      gvt_ = g;
+      api_->on_new_gvt(g);
+    }
+  }
+
+  KernelApi* api_{nullptr};
+  VirtualTime gvt_{VirtualTime::zero()};
+};
+
+}  // namespace nicwarp::warped

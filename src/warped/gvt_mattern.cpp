@@ -1,0 +1,161 @@
+#include "warped/gvt_mattern.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::warped {
+
+void MatternGvtManager::start() { last_completion_ = api_->now(); }
+
+void MatternGvtManager::on_event_processed() {
+  if (is_root()) maybe_initiate();
+}
+
+void MatternGvtManager::idle_poll() {
+  if (!is_root() || !outstanding_.empty()) return;
+  if (api_->lp_idle() &&
+      api_->now() - last_completion_ >= SimTime::from_us(opts_.idle_initiate_us)) {
+    // Idle initiation ignores the period so termination is always detected.
+    events_at_last_init_ = api_->events_processed() - opts_.period;
+    maybe_initiate();
+  }
+}
+
+void MatternGvtManager::maybe_initiate() {
+  if (outstanding_.size() >= opts_.max_outstanding) return;
+  if (api_->events_processed() - events_at_last_init_ < opts_.period) return;
+  events_at_last_init_ = api_->events_processed();
+
+  const std::uint32_t e = std::max(epoch_, last_epoch_started_) + 1;
+  last_epoch_started_ = e;
+  outstanding_.insert(e);
+  api_->stats().counter("gvt.estimations").add(1);
+
+  hw::GvtFields token;
+  token.epoch = e;
+  token.round = 1;
+  token.white_count = 0;
+  token.t = VirtualTime::inf();
+  token.tmin = VirtualTime::inf();
+  contribute(token);
+  forward(token, next_rank(), hw::PacketKind::kHostGvtToken);
+}
+
+void MatternGvtManager::stamp_outgoing(hw::PacketHeader& hdr) {
+  if (hdr.kind != hw::PacketKind::kEvent) return;
+  hdr.color_epoch = epoch_;
+  sent_[epoch_] += 1;
+  auto [it, fresh] = tmin_sent_.try_emplace(epoch_, VirtualTime::inf());
+  it->second = VirtualTime::min(it->second, hdr.recv_ts);
+}
+
+void MatternGvtManager::on_event_received(const hw::PacketHeader& hdr) {
+  received_[hdr.color_epoch] += 1;
+}
+
+void MatternGvtManager::on_nic_drop(const hw::DropNotice& n) {
+  // The packet never left this node; retract its "sent" contribution so the
+  // white count can drain. (Its timestamp stays folded into tmin_sent_,
+  // which is only conservative.)
+  sent_[n.color_epoch] -= 1;
+}
+
+VirtualTime MatternGvtManager::red_min(std::uint32_t estimation_epoch) const {
+  // "Red" for estimation E is every send colored >= E (later concurrent
+  // estimations only recolor upward).
+  VirtualTime m = VirtualTime::inf();
+  for (auto it = tmin_sent_.lower_bound(estimation_epoch); it != tmin_sent_.end(); ++it) {
+    m = VirtualTime::min(m, it->second);
+  }
+  return m;
+}
+
+void MatternGvtManager::contribute(hw::GvtFields& token) {
+  const auto e = static_cast<std::uint32_t>(token.epoch);
+  NW_CHECK(e >= 1);
+  if (epoch_ < e) epoch_ = e;  // the cut passes this LP now
+
+  // Incremental white-count contribution for THIS estimation.
+  Reported& rep = reported_[e];
+  const std::int64_t s = sent_[e - 1];
+  const std::int64_t r = received_[e - 1];
+  token.white_count += (s - rep.sent) - (r - rep.recv);
+  rep.sent = s;
+  rep.recv = r;
+
+  // Minima: each white's receipt is reported at a visit whose LVT sample
+  // already reflects it (receives are counted and inserted in the same host
+  // task), so the accumulated minima soundly bound GVT once the count drains.
+  token.t = VirtualTime::min(token.t, api_->safe_local_min());
+  token.tmin = VirtualTime::min(token.tmin, red_min(e));
+}
+
+void MatternGvtManager::forward(const hw::GvtFields& token, NodeId dst,
+                                hw::PacketKind kind) {
+  hw::Packet pkt;
+  pkt.hdr.kind = kind;
+  pkt.hdr.dst = dst;
+  pkt.hdr.size_bytes = static_cast<std::uint32_t>(api_->cost().gvt_ctrl_bytes);
+  pkt.hdr.gvt = token;
+  api_->send_control(std::move(pkt));
+}
+
+void MatternGvtManager::on_control(const hw::Packet& pkt) {
+  switch (pkt.hdr.kind) {
+    case hw::PacketKind::kGvtBroadcast: {
+      publish_gvt(pkt.hdr.gvt.gvt);
+      prune_below(pkt.hdr.gvt.epoch);
+      return;
+    }
+    case hw::PacketKind::kHostGvtToken:
+      break;
+    default:
+      return;  // not ours (acks etc. are pGVT's)
+  }
+
+  hw::GvtFields token = pkt.hdr.gvt;
+  if (!is_root()) {
+    contribute(token);
+    forward(token, next_rank(), hw::PacketKind::kHostGvtToken);
+    return;
+  }
+
+  // Token returned to the root: one full circulation done; the root's
+  // sighting is both a return and a visit.
+  api_->stats().counter("gvt.rounds").add(1);
+  contribute(token);
+  if (token.white_count == 0) {
+    complete(token.epoch, VirtualTime::min(token.t, token.tmin));
+  } else {
+    token.round += 1;
+    NW_CHECK_MSG(token.round < 1000000, "GVT counting never converges");
+    forward(token, next_rank(), hw::PacketKind::kHostGvtToken);
+  }
+}
+
+void MatternGvtManager::complete(std::uint32_t epoch, VirtualTime gvt_value) {
+  outstanding_.erase(epoch);
+  last_completion_ = api_->now();
+  hw::GvtFields fin;
+  fin.epoch = epoch;
+  fin.gvt = gvt_value;
+  for (NodeId n = 0; n < api_->world_size(); ++n) {
+    if (n == api_->rank()) continue;
+    forward(fin, n, hw::PacketKind::kGvtBroadcast);
+  }
+  prune_below(epoch);
+  publish_gvt(gvt_value);
+}
+
+void MatternGvtManager::prune_below(std::uint32_t epoch) {
+  // Estimations more than max_outstanding behind can no longer be in flight;
+  // their color counters are dead. (The root could prune exactly via its
+  // outstanding set, but non-roots need a bound too.)
+  if (epoch < opts_.max_outstanding + 2) return;
+  const std::uint32_t floor = epoch - static_cast<std::uint32_t>(opts_.max_outstanding) - 2;
+  sent_.erase(sent_.begin(), sent_.lower_bound(floor));
+  received_.erase(received_.begin(), received_.lower_bound(floor));
+  tmin_sent_.erase(tmin_sent_.begin(), tmin_sent_.lower_bound(floor));
+  reported_.erase(reported_.begin(), reported_.lower_bound(floor));
+}
+
+}  // namespace nicwarp::warped

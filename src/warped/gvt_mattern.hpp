@@ -1,0 +1,78 @@
+// Host-resident Mattern GVT (the paper's baseline, WARPED's default).
+//
+// Generalized to epoch-numbered colors: estimation E treats messages colored
+// E-1 as "white" and everything colored >= E as "red". The token makes
+// counting circulations until the accumulated white count drains to zero,
+// then the root broadcasts GVT = min(LVT samples, red-send minima).
+//
+// Crucially — and unlike the NIC firmware, whose GvtTokenPending flag
+// serializes estimations — the host baseline initiates a new estimation
+// every `period` events even while earlier tokens are still circulating
+// (bounded by `max_outstanding`). At GVT_COUNT = 1 this floods the cluster
+// with control messages, each costing host CPU on both ends plus two I/O-bus
+// crossings: the storm behind the left side of the paper's Figures 4/5a and
+// the ~450k-round curve of Figure 5b.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "warped/gvt_manager.hpp"
+
+namespace nicwarp::warped {
+
+struct MatternOptions {
+  std::int64_t period = 100;        // events between initiations (root)
+  std::size_t max_outstanding = 64; // concurrent estimations cap
+  double idle_initiate_us = 300.0;  // initiate when idle this long (root)
+};
+
+class MatternGvtManager final : public GvtManager {
+ public:
+  explicit MatternGvtManager(MatternOptions opts) : opts_(opts) {}
+
+  void start() override;
+  void on_event_processed() override;
+  void stamp_outgoing(hw::PacketHeader& hdr) override;
+  void on_event_received(const hw::PacketHeader& hdr) override;
+  void on_control(const hw::Packet& pkt) override;
+  void on_nic_drop(const hw::DropNotice& n) override;
+  void idle_poll() override;
+
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  bool is_root() const { return api_->rank() == 0; }
+  NodeId next_rank() const { return (api_->rank() + 1) % api_->world_size(); }
+  void maybe_initiate();
+  // Applies this LP's contribution for the token's estimation and forwards
+  // it to the next LP in the ring.
+  void contribute(hw::GvtFields& token);
+  void forward(const hw::GvtFields& token, NodeId dst, hw::PacketKind kind);
+  void complete(std::uint32_t epoch, VirtualTime gvt_value);
+  VirtualTime red_min(std::uint32_t estimation_epoch) const;
+  void prune_below(std::uint32_t epoch);
+
+  MatternOptions opts_;
+
+  // Coloring state (current color = epoch_).
+  std::uint32_t epoch_{0};
+  std::map<std::uint32_t, std::int64_t> sent_;      // by message color
+  std::map<std::uint32_t, std::int64_t> received_;  // by message color
+  std::map<std::uint32_t, VirtualTime> tmin_sent_;  // by message color
+
+  // Per-estimation incremental reporting: what this LP last told the token.
+  struct Reported {
+    std::int64_t sent{0};
+    std::int64_t recv{0};
+  };
+  std::map<std::uint32_t, Reported> reported_;
+
+  // Root-only state.
+  std::set<std::uint32_t> outstanding_;  // estimation epochs in flight
+  std::uint32_t last_epoch_started_{0};
+  std::int64_t events_at_last_init_{0};
+  SimTime last_completion_{SimTime::zero()};
+};
+
+}  // namespace nicwarp::warped

@@ -1,0 +1,125 @@
+#include "warped/gvt_pgvt.hpp"
+
+#include "core/assert.hpp"
+
+namespace nicwarp::warped {
+
+void PGvtManager::start() { last_completion_ = api_->now(); }
+
+void PGvtManager::on_event_processed() {
+  if (is_root()) maybe_initiate(/*force=*/false);
+}
+
+void PGvtManager::idle_poll() {
+  if (!is_root() || gathering_) return;
+  if (api_->lp_idle() &&
+      api_->now() - last_completion_ >= SimTime::from_us(opts_.idle_initiate_us)) {
+    maybe_initiate(/*force=*/true);
+  }
+}
+
+void PGvtManager::maybe_initiate(bool force) {
+  if (gathering_) return;
+  if (!force && api_->events_processed() - events_at_last_init_ < opts_.period) return;
+  gathering_ = true;
+  events_at_last_init_ = api_->events_processed();
+  ++gather_epoch_;
+  replies_ = 0;
+  gather_min_ = local_report();
+  api_->stats().counter("gvt.estimations").add(1);
+  api_->stats().counter("gvt.rounds").add(1);
+  for (NodeId n = 0; n < api_->world_size(); ++n) {
+    if (n == api_->rank()) continue;
+    hw::Packet req;
+    req.hdr.kind = hw::PacketKind::kPGvtRequest;
+    req.hdr.dst = n;
+    req.hdr.size_bytes = static_cast<std::uint32_t>(api_->cost().gvt_ctrl_bytes);
+    req.hdr.gvt.epoch = gather_epoch_;
+    api_->send_control(std::move(req));
+  }
+  if (api_->world_size() == 1) {
+    // Degenerate single-node world: complete immediately.
+    gathering_ = false;
+    last_completion_ = api_->now();
+    publish_gvt(gather_min_);
+  }
+}
+
+VirtualTime PGvtManager::local_report() {
+  VirtualTime m = VirtualTime::min(low_water_, api_->safe_local_min());
+  for (const auto& [k, ts] : outstanding_) m = VirtualTime::min(m, ts);
+  low_water_ = VirtualTime::inf();  // new reporting interval starts now
+  return m;
+}
+
+void PGvtManager::stamp_outgoing(hw::PacketHeader& hdr) {
+  if (hdr.kind != hw::PacketKind::kEvent) return;
+  outstanding_[key(hdr.event_id, hdr.negative)] = hdr.recv_ts;
+  low_water_ = VirtualTime::min(low_water_, hdr.recv_ts);
+}
+
+void PGvtManager::on_event_received(const hw::PacketHeader& hdr) {
+  low_water_ = VirtualTime::min(low_water_, hdr.recv_ts);
+  send_ack(hdr);
+}
+
+void PGvtManager::send_ack(const hw::PacketHeader& hdr) {
+  hw::Packet ack;
+  ack.hdr.kind = hw::PacketKind::kAck;
+  ack.hdr.dst = hdr.src;
+  ack.hdr.event_id = hdr.event_id;
+  ack.hdr.negative = hdr.negative;
+  ack.hdr.size_bytes = static_cast<std::uint32_t>(api_->cost().ack_msg_bytes);
+  api_->stats().counter("gvt.acks").add(1);
+  api_->send_control(std::move(ack));
+}
+
+void PGvtManager::on_nic_drop(const hw::DropNotice& n) {
+  // A dropped packet will never be acknowledged; forget it. Its timestamp
+  // stays in low_water_, which is merely conservative.
+  outstanding_.erase(key(n.id, n.negative));
+}
+
+void PGvtManager::on_control(const hw::Packet& pkt) {
+  switch (pkt.hdr.kind) {
+    case hw::PacketKind::kAck:
+      outstanding_.erase(key(pkt.hdr.event_id, pkt.hdr.negative));
+      return;
+    case hw::PacketKind::kPGvtRequest: {
+      hw::Packet rep;
+      rep.hdr.kind = hw::PacketKind::kPGvtReport;
+      rep.hdr.dst = pkt.hdr.src;
+      rep.hdr.size_bytes = static_cast<std::uint32_t>(api_->cost().gvt_ctrl_bytes);
+      rep.hdr.gvt.epoch = pkt.hdr.gvt.epoch;
+      rep.hdr.gvt.t = local_report();
+      api_->send_control(std::move(rep));
+      return;
+    }
+    case hw::PacketKind::kPGvtReport: {
+      if (!gathering_ || pkt.hdr.gvt.epoch != gather_epoch_) return;
+      gather_min_ = VirtualTime::min(gather_min_, pkt.hdr.gvt.t);
+      if (++replies_ == api_->world_size() - 1) {
+        gathering_ = false;
+        last_completion_ = api_->now();
+        for (NodeId n = 0; n < api_->world_size(); ++n) {
+          if (n == api_->rank()) continue;
+          hw::Packet fin;
+          fin.hdr.kind = hw::PacketKind::kGvtBroadcast;
+          fin.hdr.dst = n;
+          fin.hdr.size_bytes = static_cast<std::uint32_t>(api_->cost().gvt_ctrl_bytes);
+          fin.hdr.gvt.gvt = gather_min_;
+          api_->send_control(std::move(fin));
+        }
+        publish_gvt(gather_min_);
+      }
+      return;
+    }
+    case hw::PacketKind::kGvtBroadcast:
+      publish_gvt(pkt.hdr.gvt.gvt);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace nicwarp::warped

@@ -1,0 +1,64 @@
+// pGVT-style acknowledgement-based GVT (WARPED's second algorithm; the
+// paper uses Mattern because pGVT "has a higher overhead" — ablation A4
+// quantifies that).
+//
+// Every remote event message (positive or anti) is acknowledged by the
+// receiving CM with a small kAck control packet. Each LP keeps
+//  * the set of unacknowledged sends (their min recv_ts bounds in-flight
+//    messages), and
+//  * a low-water mark of every timestamp it saw since its last report
+//    (bounds rollback-induced LVT regression between reports).
+// A manager at LP0 periodically broadcasts a report request; GVT is the min
+// over all fresh reports and is broadcast back.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "warped/gvt_manager.hpp"
+
+namespace nicwarp::warped {
+
+struct PGvtOptions {
+  std::int64_t period = 100;
+  double idle_initiate_us = 300.0;
+};
+
+class PGvtManager final : public GvtManager {
+ public:
+  explicit PGvtManager(PGvtOptions opts) : opts_(opts) {}
+
+  void start() override;
+  void on_event_processed() override;
+  void stamp_outgoing(hw::PacketHeader& hdr) override;
+  void on_event_received(const hw::PacketHeader& hdr) override;
+  void on_control(const hw::Packet& pkt) override;
+  void on_nic_drop(const hw::DropNotice& n) override;
+  void idle_poll() override;
+
+  std::size_t unacked() const { return outstanding_.size(); }
+
+ private:
+  static std::uint64_t key(EventId id, bool negative) {
+    return (id << 1) | (negative ? 1u : 0u);
+  }
+  bool is_root() const { return api_->rank() == 0; }
+  void maybe_initiate(bool force);
+  VirtualTime local_report();
+  void send_ack(const hw::PacketHeader& hdr);
+
+  PGvtOptions opts_;
+
+  std::unordered_map<std::uint64_t, VirtualTime> outstanding_;  // unacked sends
+  VirtualTime low_water_{VirtualTime::inf()};  // since last report
+
+  // Root gather state.
+  bool gathering_{false};
+  std::uint64_t gather_epoch_{0};
+  std::uint32_t replies_{0};
+  VirtualTime gather_min_{VirtualTime::inf()};
+  std::int64_t events_at_last_init_{0};
+  SimTime last_completion_{SimTime::zero()};
+};
+
+}  // namespace nicwarp::warped

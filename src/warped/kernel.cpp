@@ -1,0 +1,245 @@
+#include "warped/kernel.hpp"
+
+#include "core/assert.hpp"
+#include "core/log.hpp"
+
+namespace nicwarp::warped {
+
+namespace {
+
+hw::Packet event_to_packet(const EventMsg& ev, NodeId dst_node, const hw::CostModel& cm) {
+  hw::Packet pkt;
+  pkt.hdr.kind = hw::PacketKind::kEvent;
+  pkt.hdr.dst = dst_node;
+  pkt.hdr.src_obj = ev.src_obj;
+  pkt.hdr.dst_obj = ev.dst_obj;
+  pkt.hdr.event_id = ev.id;
+  pkt.hdr.send_ts = ev.send_ts;
+  pkt.hdr.recv_ts = ev.recv_ts;
+  pkt.hdr.negative = ev.negative;
+  pkt.hdr.size_bytes = static_cast<std::uint32_t>(
+      cm.event_msg_bytes + 8 * static_cast<std::int64_t>(ev.data.size()));
+  pkt.app = ev.data;
+  return pkt;
+}
+
+EventMsg packet_to_event(const hw::Packet& pkt) {
+  EventMsg ev;
+  ev.src_obj = pkt.hdr.src_obj;
+  ev.dst_obj = pkt.hdr.dst_obj;
+  ev.id = pkt.hdr.event_id;
+  ev.send_ts = pkt.hdr.send_ts;
+  ev.recv_ts = pkt.hdr.recv_ts;
+  ev.negative = pkt.hdr.negative;
+  ev.data = pkt.app;
+  return ev;
+}
+
+}  // namespace
+
+Kernel::Kernel(hw::Node& node, comm::HostComm& comm, std::shared_ptr<const Partition> part,
+               std::unique_ptr<GvtManager> mgr, KernelOptions opts, std::uint64_t seed)
+    : node_(node),
+      comm_(comm),
+      part_(std::move(part)),
+      mgr_(std::move(mgr)),
+      opts_(opts),
+      world_size_(0),
+      lp_(node.id(), node.stats(), seed, opts.rollback_scope, opts.cancellation,
+          opts.state_save_period),
+      jitter_rng_(seed ^ node.id(), "kernel.jitter") {
+  NW_CHECK(part_ != nullptr);
+  NW_CHECK(mgr_ != nullptr);
+  lp_.set_paranoia(opts.paranoia_checks);
+  comm_.set_deliver([this](hw::Packet pkt) { on_deliver(std::move(pkt)); });
+  mgr_->attach(*this);
+}
+
+void Kernel::start() {
+  NW_CHECK(!started_);
+  started_ = true;
+  // World size = number of distinct nodes in the partition's codomain is the
+  // cluster size; the node knows it via its NIC.
+  world_size_ = node_.nic().world_size();
+
+  hw::Mailbox& mb = node_.mailbox();
+  mb.rank = node_.id();
+  mb.world_size = world_size_;
+  mb.timewarp_initialised = true;
+
+  // Object initialization is real host work.
+  node_.host_cpu().submit_dynamic(
+      [this] {
+        double cost_us = node_.cost().host_event_exec_us;  // setup overhead
+        std::vector<EventMsg> initial = lp_.initialize_objects();
+        for (auto& ev : initial) dispatch_event(std::move(ev), cost_us);
+        mgr_->start();
+        return node_.cost().us(cost_us);
+      },
+      [this] { pump(); });
+
+  idle_tick();
+}
+
+VirtualTime Kernel::safe_local_min() const {
+  return VirtualTime::min(lp_.lvt(), comm_.min_staged_event_ts());
+}
+
+void Kernel::send_control(hw::Packet pkt) {
+  if (pkt.hdr.dst == rank()) {
+    // Degenerate self-send (e.g. a 1-node ring): short-circuit locally but
+    // still pay the control-handling cost.
+    node_.run_host_task(cost().us(cost().host_gvt_ctrl_us),
+                        [this, p = std::move(pkt)] { mgr_->on_control(p); });
+    return;
+  }
+  node_.run_host_task(cost().us(cost().host_gvt_ctrl_us),
+                      [this, p = std::move(pkt)]() mutable { comm_.send(std::move(p)); });
+}
+
+void Kernel::on_new_gvt(VirtualTime g) {
+  const std::size_t reclaimed = lp_.fossil_collect(g);
+  if (reclaimed > 0) {
+    node_.run_host_task(
+        cost().us(cost().host_fossil_per_event_us * static_cast<double>(reclaimed)),
+        [] {});
+  }
+  if (g.is_inf() && !stopped_) {
+    stopped_ = true;
+    stop_time_ = node_.engine().now();
+    node_.stats().counter("tw.kernels_terminated").add(1);
+  }
+}
+
+SimTime Kernel::jittered_exec_cost() {
+  const double j = node_.cost().host_exec_jitter;
+  const double f = 1.0 + j * (2.0 * jitter_rng_.next_double() - 1.0);
+  return cost().us(cost().host_event_exec_us * f);
+}
+
+void Kernel::drain_drop_notices(double& cost_us) {
+  hw::Mailbox& mb = node_.mailbox();
+  while (!mb.drop_notices.empty()) {
+    const hw::DropNotice n = mb.drop_notices.front();
+    mb.drop_notices.pop_front();
+    mgr_->on_nic_drop(n);
+    comm_.refund_credits(n.dst, 1);
+    node_.stats().counter("tw.drop_notices").add(1);
+    cost_us += 0.2;  // one uncached mailbox read
+  }
+}
+
+void Kernel::pump() {
+  if (step_active_ || stopped_ || !started_) return;
+  if (!lp_.has_ready_event()) return;  // idle_tick keeps the manager alive
+  step_active_ = true;
+  node_.host_cpu().submit_dynamic([this] { return do_step(); },
+                                  [this] {
+                                    step_active_ = false;
+                                    pump();
+                                  });
+}
+
+SimTime Kernel::do_step() {
+  double cost_us = 0.0;
+  drain_drop_notices(cost_us);
+
+  if (!lp_.has_ready_event() || stopped_) return cost().us(cost_us + 0.5);
+
+  LogicalProcess::ExecResult r = lp_.execute_next();
+  NW_CHECK(r.executed);
+  // State saving is periodic; amortize its cost over the period.
+  const double save_us =
+      cost().host_state_save_us / static_cast<double>(opts_.state_save_period);
+  SimTime c = jittered_exec_cost() + cost().us(save_us);
+  for (auto& ev : r.antis) dispatch_event(std::move(ev), cost_us);
+  for (auto& ev : r.sends) dispatch_event(std::move(ev), cost_us);
+
+  // Keep the NIC's liveness hint fresh (a plain store into mapped SRAM).
+  node_.mailbox().events_processed = static_cast<std::int64_t>(lp_.events_processed());
+  mgr_->on_event_processed();
+  return c + cost().us(cost_us);
+}
+
+void Kernel::dispatch_event(EventMsg ev, double& cost_us) {
+  const NodeId dst_node = part_->of(ev.dst_obj);
+  if (ev.id == traced_event()) {
+    std::fprintf(stderr, "[trace %llu] dispatch node=%u neg=%d send_ts=%lld t=%lld\n",
+                 (unsigned long long)ev.id, rank(), ev.negative ? 1 : 0,
+                 (long long)ev.send_ts.t, (long long)now().ns);
+  }
+
+  // NOTE: the paper also lets the host suppress anti-messages by consulting
+  // the shared dropped-id buffer at generation time (§3.2). That check is
+  // inherently racy against anti-messages already in flight toward the NIC:
+  // a dispatch-time suppression can steal the pool entry an in-flight anti
+  // was owed, letting it escape to the wire as an orphan that later
+  // annihilates a VALID positive. We therefore do all filtering at the NIC
+  // (on_host_tx), where channel-FIFO order makes the pairing exact; the
+  // saved work is the same minus one I/O-bus crossing per filtered anti.
+
+  if (dst_node == rank()) {
+    cost_us += cost().host_local_msg_us;
+    apply_insert_result(lp_.insert(std::move(ev)), cost_us);
+    return;
+  }
+
+  hw::Packet pkt = event_to_packet(ev, dst_node, cost());
+  pkt.hdr.anti_counter_pb = lp_.anti_counter_piggyback(ev.src_obj);
+  mgr_->stamp_outgoing(pkt.hdr);
+  cost_us += cost().host_msg_send_us;
+  node_.stats().counter(ev.negative ? "tw.antis_sent" : "tw.events_sent").add(1);
+  comm_.send(std::move(pkt));
+}
+
+void Kernel::apply_insert_result(const LogicalProcess::InsertResult& res,
+                                 double& cost_us) {
+  if (res.rollback) {
+    cost_us += cost().host_rollback_fixed_us +
+               cost().host_rollback_per_event_us * static_cast<double>(res.events_undone);
+    // Coast-forward replays re-execute model code in full.
+    cost_us += cost().host_event_exec_us * static_cast<double>(res.events_replayed);
+  }
+  // Aggressive cancellation: dispatch the antis now (may cascade locally).
+  for (const EventMsg& anti : res.antis) dispatch_event(anti, cost_us);
+}
+
+void Kernel::on_deliver(hw::Packet pkt) {
+  // Runs inside the host receive task (its base cost is already charged).
+  switch (pkt.hdr.kind) {
+    case hw::PacketKind::kEvent: {
+      mgr_->on_event_received(pkt.hdr);
+      double cost_us = 0.0;
+      drain_drop_notices(cost_us);
+      apply_insert_result(lp_.insert(packet_to_event(pkt), /*from_network=*/true), cost_us);
+      if (cost_us > 0.0) node_.run_host_task(cost().us(cost_us), [] {});
+      pump();
+      return;
+    }
+    case hw::PacketKind::kHostGvtToken:
+    case hw::PacketKind::kGvtBroadcast:
+    case hw::PacketKind::kNicGvtToken:
+    case hw::PacketKind::kPGvtRequest:
+    case hw::PacketKind::kPGvtReport:
+    case hw::PacketKind::kAck:
+      mgr_->on_control(pkt);
+      pump();
+      return;
+    case hw::PacketKind::kCreditUpdate:
+      return;  // consumed by HostComm before it gets here
+  }
+}
+
+void Kernel::idle_tick() {
+  if (stopped_) return;
+  node_.engine().schedule(SimTime::from_us(opts_.idle_poll_us), [this] {
+    if (stopped_) return;
+    double cost_us = 0.0;
+    drain_drop_notices(cost_us);
+    mgr_->idle_poll();
+    pump();
+    idle_tick();
+  });
+}
+
+}  // namespace nicwarp::warped

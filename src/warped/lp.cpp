@@ -1,0 +1,495 @@
+#include "warped/lp.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+#include "core/log.hpp"
+
+namespace nicwarp::warped {
+
+namespace {
+
+// ObjectContext used during execute()/initialize(): collects sends and
+// provides per-execution deterministic randomness.
+class ExecCtx final : public ObjectContext {
+ public:
+  ExecCtx(SimulationObject& obj, VirtualTime now, EventId parent, std::uint64_t seed)
+      : obj_(obj), now_(now), parent_(parent), rng_(seed ^ parent, obj.name()) {}
+
+  VirtualTime now() const override { return now_; }
+
+  void send(ObjectId dst, VirtualTime recv_ts, std::vector<std::int64_t> data) override {
+    NW_CHECK_MSG(recv_ts > now_, "events must be scheduled strictly in the future");
+    EventMsg ev;
+    ev.src_obj = obj_.id();
+    ev.dst_obj = dst;
+    ev.send_ts = now_;
+    ev.recv_ts = recv_ts;
+    ev.id = make_event_id(parent_, obj_.id(), static_cast<std::uint32_t>(sends_.size()));
+    ev.data = std::move(data);
+    sends_.push_back(std::move(ev));
+  }
+
+  Rng& rng() override { return rng_; }
+
+  void fold_signature(std::int64_t v) override {
+    // Order-insensitive fold so the commit schedule cannot affect it.
+    obj_.state().signature += v * 0x9E3779B97F4A7C15LL + 0x165667B19E3779F9LL;
+  }
+
+  std::vector<EventMsg> take_sends() { return std::move(sends_); }
+
+ private:
+  SimulationObject& obj_;
+  VirtualTime now_;
+  EventId parent_;
+  Rng rng_;
+  std::vector<EventMsg> sends_;
+};
+
+}  // namespace
+
+LogicalProcess::LogicalProcess(NodeId rank, StatsRegistry& stats, std::uint64_t seed,
+                               RollbackScope scope, CancellationMode cancellation,
+                               std::int64_t state_save_period)
+    : rank_(rank),
+      stats_(stats),
+      seed_(seed),
+      scope_(scope),
+      cancellation_(cancellation),
+      state_save_period_(state_save_period) {
+  NW_CHECK(state_save_period_ >= 1);
+}
+
+void LogicalProcess::add_object(std::unique_ptr<SimulationObject> obj) {
+  NW_CHECK(obj != nullptr);
+  NW_CHECK_MSG(objs_.count(obj->id()) == 0, "duplicate object id on LP");
+  ObjRt rt;
+  rt.obj = obj.get();
+  objs_.emplace(obj->id(), std::move(rt));
+  storage_.push_back(std::move(obj));
+}
+
+std::vector<ObjectId> LogicalProcess::object_ids() const {
+  std::vector<ObjectId> out;
+  out.reserve(objs_.size());
+  for (const auto& [id, rt] : objs_) out.push_back(id);
+  return out;
+}
+
+LogicalProcess::ObjRt& LogicalProcess::runtime_for(ObjectId id) {
+  auto it = objs_.find(id);
+  NW_CHECK_MSG(it != objs_.end(), "event routed to LP that does not own the object");
+  return it->second;
+}
+
+std::vector<EventMsg> LogicalProcess::initialize_objects() {
+  std::vector<EventMsg> out;
+  for (auto& [id, rt] : objs_) {
+    ExecCtx ctx(*rt.obj, VirtualTime::zero(), make_root_id(id), seed_);
+    rt.obj->initialize(ctx);
+    for (auto& ev : ctx.take_sends()) out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_network) {
+  InsertResult res;
+  if (ev.id == traced_event()) {
+    std::fprintf(stderr, "[trace %llu] insert rank=%u neg=%d net=%d\n",
+                 (unsigned long long)ev.id, rank_, ev.negative ? 1 : 0, from_network ? 1 : 0);
+  }
+  if (ev.negative && ev.id == traced_event()) {
+    std::fprintf(stderr, "[trace %llu]   (anti outcome logged below)\n",
+                 (unsigned long long)ev.id);
+  }
+  ObjRt& rt = runtime_for(ev.dst_obj);
+  NW_CHECK_MSG(!(ev.recv_ts < max_gvt_seen_),
+               "message below GVT arrived — GVT estimation is unsound");
+
+  if (ev.negative) {
+    if (from_network) {
+      // Must stay in lock-step with the NIC's per-arrival count (the early
+      // cancellation "generated before the host processed it" test).
+      rt.antis_processed += 1;
+      rt.last_anti_ts = ev.recv_ts;
+      lp_antis_processed_ += 1;
+      lp_last_anti_ts_ = ev.recv_ts;
+    }
+    stats_.counter("tw.antis_received").add(1);
+
+    // 1. Annihilate against a pending positive.
+    for (auto it = rt.pending.begin(); it != rt.pending.end(); ++it) {
+      if (it->id == ev.id && !it->negative) {
+        rt.pending.erase(it);
+        // kLazy: the annihilated event will never re-execute; any outputs
+        // it had already put on the wire must be cancelled now.
+        flush_lazy_for_gen(rt, ev.id, res.antis);
+        res.annihilated = true;
+        stats_.counter("tw.annihilations").add(1);
+        return res;
+      }
+    }
+    // 2. Positive already processed: roll back to just before it, then the
+    // positive reappears in pending — annihilate it there.
+    for (std::size_t i = 0; i < rt.processed.size(); ++i) {
+      if (rt.processed[i].ev.id == ev.id) {
+        if (scope_ == RollbackScope::kLp) {
+          // Copy the pivot: rollback_all mutates the deque it lives in.
+          const EventMsg pivot = rt.processed[i].ev;
+          res.events_undone = rollback_all(pivot, res.antis, res.events_replayed);
+        } else {
+          res.events_undone = rollback_to(rt, i, res.antis, res.events_replayed);
+        }
+        res.rollback = true;
+        // The straggler positive is now the least pending event for this
+        // object; remove it.
+        bool erased = false;
+        for (auto it = rt.pending.begin(); it != rt.pending.end(); ++it) {
+          if (it->id == ev.id && !it->negative) {
+            rt.pending.erase(it);
+            erased = true;
+            break;
+          }
+        }
+        NW_CHECK_MSG(erased, "rolled-back positive missing from pending queue");
+        flush_lazy_for_gen(rt, ev.id, res.antis);
+        res.annihilated = true;
+        stats_.counter("tw.annihilations").add(1);
+        stats_.counter("tw.anti_rollbacks").add(1);
+        return res;
+      }
+    }
+    // 3. The anti outran its positive (possible on distinct channels); park
+    // it until the positive shows up.
+    rt.orphan_antis.insert(std::move(ev));
+    res.stored_orphan = true;
+    stats_.counter("tw.orphan_antis").add(1);
+    return res;
+  }
+
+  // Positive message. Annihilate against a parked anti first.
+  for (auto it = rt.orphan_antis.begin(); it != rt.orphan_antis.end(); ++it) {
+    if (it->id == ev.id) {
+      rt.orphan_antis.erase(it);
+      res.annihilated = true;
+      stats_.counter("tw.annihilations").add(1);
+      return res;
+    }
+  }
+
+  // Paranoia mode: a second live positive with the same id means the
+  // drop/filter pairing broke somewhere upstream (see firmware/cancel).
+  if (paranoia_) {
+    for (const auto& pend : rt.pending) {
+      NW_CHECK_MSG(!(pend.id == ev.id && !pend.negative),
+                   "duplicate positive (pending) — cancellation pairing broken");
+    }
+    for (const auto& rec : rt.processed) {
+      NW_CHECK_MSG(rec.ev.id != ev.id,
+                   "duplicate positive (processed) — cancellation pairing broken");
+    }
+  }
+
+  // Straggler detection against the canonical order.
+  if (is_straggler(rt, ev)) {
+    if (scope_ == RollbackScope::kLp) {
+      res.events_undone = rollback_all(ev, res.antis, res.events_replayed);
+    } else {
+      res.events_undone = rollback_to(rt, rollback_pos(rt, ev), res.antis,
+                                      res.events_replayed);
+    }
+    res.rollback = true;
+    stats_.counter("tw.straggler_rollbacks").add(1);
+  }
+
+  rt.pending.insert(std::move(ev));
+  return res;
+}
+
+bool LogicalProcess::is_straggler(const ObjRt& rt, const EventMsg& ev) const {
+  if (scope_ == RollbackScope::kObject) {
+    return !rt.processed.empty() && event_before(ev, rt.processed.back().ev);
+  }
+  for (const auto& [id, r] : objs_) {
+    if (!r.processed.empty() && event_before(ev, r.processed.back().ev)) return true;
+  }
+  return false;
+}
+
+std::size_t LogicalProcess::rollback_pos(const ObjRt& rt, const EventMsg& pivot) {
+  // Undo every record at or after the pivot in canonical order (>=, so an
+  // anti-rollback undoes the annihilated positive's own execution too).
+  std::size_t pos = rt.processed.size();
+  while (pos > 0 && !event_before(rt.processed[pos - 1].ev, pivot)) --pos;
+  return pos;
+}
+
+std::size_t LogicalProcess::rollback_all(const EventMsg& pivot, std::vector<EventMsg>& out,
+                                         std::size_t& replayed) {
+  // 2002-era shared-queue semantics: every object returns to the straggler's
+  // point in the canonical order. All optimistic output beyond it is
+  // cancelled — which is precisely what licenses the NIC's timestamp-only
+  // send-ring purge (Fig. 3b of the paper).
+  std::size_t undone = 0;
+  for (auto& [id, rt] : objs_) {
+    const std::size_t pos = rollback_pos(rt, pivot);
+    if (pos < rt.processed.size()) undone += rollback_to(rt, pos, out, replayed);
+  }
+  return undone;
+}
+
+std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
+                                        std::vector<EventMsg>& out,
+                                        std::size_t& replayed) {
+  NW_CHECK(pos < rt.processed.size());
+  const std::size_t undone = rt.processed.size() - pos;
+
+  // With periodic state saving the record at `pos` may have no snapshot:
+  // restore the nearest earlier snapshot and coast-forward (deterministic
+  // re-execution with sends suppressed) up to the rollback point.
+  std::size_t snap = pos;
+  while (rt.processed[snap].pre_state == nullptr) {
+    NW_CHECK_MSG(snap > 0, "no state snapshot reachable — fossil collection bug");
+    --snap;
+  }
+  rt.obj->replace_state(rt.processed[snap].pre_state->clone());
+  for (std::size_t i = snap; i < pos; ++i) {
+    coast_forward(rt, rt.processed[i].ev);
+    ++replayed;
+  }
+  if (snap < pos && rt.processed[pos].pre_state == nullptr) {
+    // The coast-forward rebuilt exactly the pre-state of `pos`; snapshot it
+    // so this record can anchor future rollbacks directly.
+    rt.processed[pos].pre_state = rt.obj->snapshot_state();
+  }
+  stats_.counter("tw.events_replayed").add(static_cast<std::int64_t>(pos - snap));
+
+  for (std::size_t i = pos; i < rt.processed.size(); ++i) {
+    ProcessedRecord& rec = rt.processed[i];
+    // Undone events go back to pending for re-execution.
+    rt.pending.insert(rec.ev);
+    if (cancellation_ == CancellationMode::kAggressive) {
+      // Aggressive cancellation: anti-message per output.
+      for (const EventMsg& outp : rec.outputs) out.push_back(outp.as_anti());
+    } else {
+      // Lazy: hold the outputs; re-execution decides their fate.
+      for (const EventMsg& outp : rec.outputs) {
+        rt.lazy.push_back(LazyRecord{outp, rec.ev});
+      }
+    }
+  }
+  rt.processed.erase(rt.processed.begin() + static_cast<std::ptrdiff_t>(pos),
+                     rt.processed.end());
+  rollbacks_ += 1;
+  events_rolled_back_ += undone;
+  stats_.counter("tw.rollbacks").add(1);
+  stats_.counter("tw.events_rolled_back").add(static_cast<std::int64_t>(undone));
+  return undone;
+}
+
+void LogicalProcess::coast_forward(ObjRt& rt, const EventMsg& ev) {
+  // Deterministic replay: same event, same per-execution RNG stream, same
+  // state trajectory — only the sends are discarded (they are already out).
+  ExecCtx ctx(*rt.obj, ev.recv_ts, ev.id, seed_);
+  rt.obj->execute(ctx, ev);
+  (void)ctx.take_sends();
+}
+
+void LogicalProcess::flush_lazy_before(ObjRt& rt, const EventMsg& next,
+                                       std::vector<EventMsg>& antis) {
+  // Safety net: a held output whose generator sorts before the event about
+  // to execute can never be regenerated (the generator would have executed
+  // first). Normally annihilation flushes these exactly; this catches any
+  // stragglers of the bookkeeping.
+  std::erase_if(rt.lazy, [&](const LazyRecord& rec) {
+    if (!event_before(rec.gen, next)) return false;
+    antis.push_back(rec.output.as_anti());
+    stats_.counter("tw.lazy_flush_before").add(1);
+    return true;
+  });
+}
+
+void LogicalProcess::flush_lazy_for_gen(ObjRt& rt, EventId gen_id,
+                                        std::vector<EventMsg>& antis) {
+  std::erase_if(rt.lazy, [&](const LazyRecord& rec) {
+    if (rec.gen.id != gen_id) return false;
+    antis.push_back(rec.output.as_anti());
+    stats_.counter("tw.lazy_cancelled").add(1);
+    return true;
+  });
+}
+
+bool LogicalProcess::has_ready_event() const {
+  for (const auto& [id, rt] : objs_) {
+    if (!rt.pending.empty()) return true;
+  }
+  return false;
+}
+
+VirtualTime LogicalProcess::next_event_ts() const { return lvt(); }
+
+VirtualTime LogicalProcess::lvt() const {
+  VirtualTime m = VirtualTime::inf();
+  for (const auto& [id, rt] : objs_) {
+    if (!rt.pending.empty()) m = VirtualTime::min(m, rt.pending.begin()->recv_ts);
+    // Parked antis hold LVT too: until the positive arrives and the pair
+    // annihilates, virtual time `recv_ts` is not safely in the past.
+    if (!rt.orphan_antis.empty()) {
+      m = VirtualTime::min(m, rt.orphan_antis.begin()->recv_ts);
+    }
+    // So do lazily-held outputs: their anti-message may still be sent.
+    for (const auto& rec : rt.lazy) m = VirtualTime::min(m, rec.output.recv_ts);
+  }
+  return m;
+}
+
+LogicalProcess::ExecResult LogicalProcess::execute_next() {
+  // Pick the globally least pending event under the canonical order.
+  ObjRt* best = nullptr;
+  for (auto& [id, rt] : objs_) {
+    if (rt.pending.empty()) continue;
+    if (best == nullptr || event_before(*rt.pending.begin(), *best->pending.begin())) {
+      best = &rt;
+    }
+  }
+  ExecResult res;
+  if (best == nullptr) return res;
+
+  EventMsg ev = *best->pending.begin();
+  best->pending.erase(best->pending.begin());
+
+  if (cancellation_ == CancellationMode::kLazy) {
+    flush_lazy_before(*best, ev, res.antis);
+  }
+
+  ProcessedRecord rec;
+  // An empty history needs an anchor snapshot regardless of the period: a
+  // rollback can only restore from a snapshot at or before its position.
+  if (best->processed.empty() ||
+      best->exec_count % static_cast<std::uint64_t>(state_save_period_) == 0) {
+    rec.pre_state = best->obj->snapshot_state();
+  }
+  best->exec_count += 1;
+
+  ExecCtx ctx(*best->obj, ev.recv_ts, ev.id, seed_);
+  best->obj->execute(ctx, ev);
+  rec.outputs = ctx.take_sends();
+
+  res.executed = true;
+  res.ts = ev.recv_ts;
+  res.obj = best->obj->id();
+
+  if (cancellation_ == CancellationMode::kLazy && !best->lazy.empty()) {
+    // Match regenerated sends against held outputs. The deterministic id is
+    // NOT enough: re-execution can regenerate the same logical send with
+    // different content (its pre-state may differ once the straggler's
+    // effects are in). Only a byte-identical message may stay on the wire;
+    // a content-divergent one is cancelled (leftover flush below) and the
+    // fresh version is sent — the kernel dispatches antis before sends, so
+    // the receiver sees anti-then-replacement in FIFO order.
+    for (const EventMsg& outp : rec.outputs) {
+      bool matched = false;
+      std::erase_if(best->lazy, [&](const LazyRecord& held) {
+        if (matched || held.output.id != outp.id) return false;
+        if (held.output.recv_ts != outp.recv_ts || held.output.dst_obj != outp.dst_obj ||
+            held.output.data != outp.data) {
+          return false;  // same identity, different content: must cancel it
+        }
+        matched = true;
+        stats_.counter("tw.lazy_matched").add(1);
+        return true;
+      });
+      if (!matched) res.sends.push_back(outp);
+    }
+    flush_lazy_for_gen(*best, ev.id, res.antis);
+  } else {
+    res.sends = rec.outputs;  // copy: the record keeps its own for cancellation
+  }
+
+  rec.ev = std::move(ev);
+  best->processed.push_back(std::move(rec));
+  events_processed_ += 1;
+  stats_.counter("tw.events_processed").add(1);
+  return res;
+}
+
+std::size_t LogicalProcess::fossil_collect(VirtualTime gvt) {
+  if (gvt < max_gvt_seen_) return 0;
+  max_gvt_seen_ = gvt;
+  std::size_t reclaimed = 0;
+  for (auto& [id, rt] : objs_) {
+    // Keep every record with recv_ts >= gvt: a rollback to exactly gvt must
+    // still find a pre-state.
+    auto& q = rt.processed;
+    std::size_t keep_from = 0;
+    while (keep_from < q.size() && q[keep_from].ev.recv_ts < gvt) ++keep_from;
+    // Periodic state saving: the first surviving record must be able to
+    // anchor a rollback, so back up to the latest snapshot at or before it.
+    while (keep_from < q.size() && keep_from > 0 && q[keep_from].pre_state == nullptr) {
+      --keep_from;
+    }
+    reclaimed += keep_from;
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(keep_from));
+
+    // Orphan antis strictly below GVT can never meet their positive (the
+    // positive was NIC-dropped or annihilated); they are garbage now.
+    for (auto it = rt.orphan_antis.begin(); it != rt.orphan_antis.end();) {
+      if (it->recv_ts < gvt) {
+        it = rt.orphan_antis.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  stats_.counter("tw.fossil_reclaimed").add(static_cast<std::int64_t>(reclaimed));
+  return reclaimed;
+}
+
+std::uint64_t LogicalProcess::anti_counter_piggyback(ObjectId obj) const {
+  return scope_ == RollbackScope::kLp ? lp_antis_processed_ : anti_counter(obj);
+}
+
+std::uint64_t LogicalProcess::anti_counter(ObjectId obj) const {
+  auto it = objs_.find(obj);
+  NW_CHECK(it != objs_.end());
+  return it->second.antis_processed;
+}
+
+VirtualTime LogicalProcess::last_anti_ts(ObjectId obj) const {
+  auto it = objs_.find(obj);
+  NW_CHECK(it != objs_.end());
+  return it->second.last_anti_ts;
+}
+
+std::int64_t LogicalProcess::signature_sum() const {
+  std::int64_t s = 0;
+  for (const auto& [id, rt] : objs_) s += rt.obj->state().signature;
+  return s;
+}
+
+std::size_t LogicalProcess::total_pending() const {
+  std::size_t n = 0;
+  for (const auto& [id, rt] : objs_) n += rt.pending.size();
+  return n;
+}
+
+std::size_t LogicalProcess::total_processed_records() const {
+  std::size_t n = 0;
+  for (const auto& [id, rt] : objs_) n += rt.processed.size();
+  return n;
+}
+
+std::uint64_t LogicalProcess::lazy_records() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, rt] : objs_) n += rt.lazy.size();
+  return n;
+}
+
+std::size_t LogicalProcess::orphan_antis() const {
+  std::size_t n = 0;
+  for (const auto& [id, rt] : objs_) n += rt.orphan_antis.size();
+  return n;
+}
+
+}  // namespace nicwarp::warped

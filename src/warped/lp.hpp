@@ -1,0 +1,202 @@
+// Logical Process: the per-node optimistic simulation engine.
+//
+// Owns the node's simulation objects, their pending/processed event queues,
+// copy-saved states and output records; implements straggler detection,
+// rollback with aggressive cancellation (§3.2's baseline behaviour),
+// anti-message annihilation (including antis that arrive before their
+// positives), and GVT-driven fossil collection.
+//
+// The LP is purely a virtual-time machine — it knows nothing about hardware
+// costs or wall-clock. The Kernel wraps every LP operation in host-CPU tasks
+// and charges the cost model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "warped/event.hpp"
+#include "warped/object.hpp"
+
+namespace nicwarp::warped {
+
+// Rollback granularity.
+//  kObject — only the straggler's destination object rolls back (modern,
+//            minimal-undo semantics).
+//  kLp     — a straggler rolls the WHOLE LP back to its timestamp (the
+//            shared-input-queue semantics of 2002-era WARPED deployments).
+//            This is the semantics under which the paper's Figure 3(b)
+//            cancellation rule — drop ALL queued messages with send_ts
+//            beyond the anti's timestamp — is sound.
+enum class RollbackScope { kObject, kLp };
+
+// Anti-message strategy on rollback.
+//  kAggressive — cancel every undone output immediately (the paper's §3.2
+//                baseline, WARPED's "aggressive cancellation" [27]).
+//  kLazy       — hold undone outputs; if re-execution regenerates an
+//                identical send (deterministic event ids make this an exact
+//                test) no anti is ever sent; an anti goes out only when the
+//                generator is annihilated or re-executes without
+//                regenerating the send. Not combinable with NIC early
+//                cancellation (the drop machinery assumes every doomed
+//                message gets an anti).
+enum class CancellationMode { kAggressive, kLazy };
+
+class LogicalProcess {
+ public:
+  LogicalProcess(NodeId rank, StatsRegistry& stats, std::uint64_t seed,
+                 RollbackScope scope = RollbackScope::kObject,
+                 CancellationMode cancellation = CancellationMode::kAggressive,
+                 std::int64_t state_save_period = 1);
+
+  void add_object(std::unique_ptr<SimulationObject> obj);
+  bool has_object(ObjectId id) const { return objs_.count(id) != 0; }
+  std::vector<ObjectId> object_ids() const;
+  NodeId rank() const { return rank_; }
+
+  // Runs every object's initialize() at virtual time 0 and returns the
+  // events they scheduled (the kernel routes them).
+  std::vector<EventMsg> initialize_objects();
+
+  // --- message insertion (local sends and network arrivals) ---
+  struct InsertResult {
+    bool annihilated{false};
+    bool rollback{false};
+    std::size_t events_undone{0};
+    // Coast-forward replays performed to rebuild state from the nearest
+    // snapshot (only > 0 when state_save_period > 1).
+    std::size_t events_replayed{0};
+    bool stored_orphan{false};
+    // Aggressive cancellation: anti-messages for every output of an undone
+    // event. The caller dispatches them (possibly suppressing NIC-dropped
+    // ones).
+    std::vector<EventMsg> antis;
+  };
+  // `from_network` marks messages delivered by the comm stack (as opposed
+  // to local sends): only network anti-messages advance the anti counters
+  // piggybacked for the NIC, which counts antis at wire arrival.
+  InsertResult insert(EventMsg ev, bool from_network = false);
+
+  // --- event processing ---
+  bool has_ready_event() const;
+  VirtualTime next_event_ts() const;  // inf when idle
+
+  struct ExecResult {
+    bool executed{false};
+    VirtualTime ts{VirtualTime::zero()};
+    ObjectId obj{kInvalidObject};
+    std::vector<EventMsg> sends;
+    // kLazy: antis for held outputs whose generators are now past (flushed
+    // because execution moved beyond them without regenerating).
+    std::vector<EventMsg> antis;
+  };
+  // Executes the globally-least pending event (canonical EventOrder).
+  ExecResult execute_next();
+
+  // --- GVT consumers ---
+  VirtualTime lvt() const;  // min pending recv_ts across objects (inf if idle)
+  // Reclaims history strictly below gvt; returns records reclaimed.
+  std::size_t fossil_collect(VirtualTime gvt);
+
+  // --- early-cancellation hooks ---
+  // Per-object counter of anti-messages this LP has processed for that
+  // object (as destination); piggybacked on the object's outgoing messages.
+  std::uint64_t anti_counter(ObjectId obj) const;
+  // Timestamp of the last anti processed for `obj` (the paper's CM
+  // piggyback field).
+  VirtualTime last_anti_ts(ObjectId obj) const;
+  // Counter to piggyback on outgoing messages from `obj`: per-object under
+  // kObject scope, LP-wide under kLp scope (must match the cancellation
+  // firmware's scope).
+  std::uint64_t anti_counter_piggyback(ObjectId obj) const;
+  RollbackScope scope() const { return scope_; }
+
+  // --- metrics / invariant hooks ---
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t lazy_records() const;
+  std::uint64_t events_rolled_back() const { return events_rolled_back_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
+  std::uint64_t committed_lower_bound() const {
+    return events_processed_ - events_rolled_back_;
+  }
+  std::int64_t signature_sum() const;
+  // Enables O(queue) duplicate-positive detection on every insert — used by
+  // the test suite to catch cancellation pairing violations at their source.
+  void set_paranoia(bool on) { paranoia_ = on; }
+  std::size_t total_pending() const;
+  std::size_t total_processed_records() const;
+  std::size_t orphan_antis() const;
+  VirtualTime max_gvt_seen() const { return max_gvt_seen_; }
+
+ private:
+  struct ProcessedRecord {
+    EventMsg ev;
+    // State before executing ev; null when periodic state saving skipped
+    // this record (rollback then coast-forwards from an earlier snapshot).
+    std::unique_ptr<State> pre_state;
+    std::vector<EventMsg> outputs;  // for anti generation / lazy matching
+  };
+  // kLazy: an output of an undone event, held until its generator either
+  // regenerates it (no anti) or disappears (anti now).
+  struct LazyRecord {
+    EventMsg output;
+    EventMsg gen;  // generating event (key fields only)
+  };
+  struct ObjRt {
+    SimulationObject* obj{nullptr};
+    std::multiset<EventMsg, EventOrder> pending;
+    std::deque<ProcessedRecord> processed;  // ascending EventOrder
+    std::multiset<EventMsg, EventOrder> orphan_antis;  // antis without positives
+    std::vector<LazyRecord> lazy;  // kLazy: held outputs, ascending gen order
+    std::uint64_t antis_processed{0};
+    std::uint64_t exec_count{0};   // drives the state-saving period
+    VirtualTime last_anti_ts{VirtualTime::zero()};
+  };
+
+  // Rolls `rt` back so every processed record at position >= pos is undone;
+  // appends the undone records' cancellation antis to `out` (kAggressive) or
+  // holds them as lazy records (kLazy). Returns events undone; adds
+  // coast-forward replays to `replayed`.
+  std::size_t rollback_to(ObjRt& rt, std::size_t pos, std::vector<EventMsg>& out,
+                          std::size_t& replayed);
+  // Re-executes `ev` against the object's current state without emitting
+  // sends (used to rebuild state between a snapshot and the rollback point).
+  void coast_forward(ObjRt& rt, const EventMsg& ev);
+  // kLazy: resolves held outputs for the event about to execute / just
+  // annihilated. See lp.cpp.
+  void flush_lazy_before(ObjRt& rt, const EventMsg& next, std::vector<EventMsg>& antis);
+  void flush_lazy_for_gen(ObjRt& rt, EventId gen_id, std::vector<EventMsg>& antis);
+  // kLp scope: rolls EVERY object back past `pivot` (canonical order).
+  std::size_t rollback_all(const EventMsg& pivot, std::vector<EventMsg>& out,
+                           std::size_t& replayed);
+  // First processed position in `rt` at or after `pivot`.
+  static std::size_t rollback_pos(const ObjRt& rt, const EventMsg& pivot);
+  bool is_straggler(const ObjRt& rt, const EventMsg& ev) const;
+
+  ObjRt& runtime_for(ObjectId id);
+
+  NodeId rank_;
+  StatsRegistry& stats_;
+  std::uint64_t seed_;
+  RollbackScope scope_;
+  CancellationMode cancellation_;
+  std::int64_t state_save_period_;
+  bool paranoia_{false};
+  std::uint64_t lp_antis_processed_{0};
+  VirtualTime lp_last_anti_ts_{VirtualTime::zero()};
+  std::map<ObjectId, ObjRt> objs_;
+  std::vector<std::unique_ptr<SimulationObject>> storage_;
+
+  std::uint64_t events_processed_{0};
+  std::uint64_t events_rolled_back_{0};
+  std::uint64_t rollbacks_{0};
+  VirtualTime max_gvt_seen_{VirtualTime::zero()};
+};
+
+}  // namespace nicwarp::warped

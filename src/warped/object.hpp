@@ -1,0 +1,105 @@
+// Simulation objects and their rollback-able state.
+//
+// Mirrors WARPED's object model: an application derives from
+// SimulationObject, keeps ALL mutable simulation data inside a State
+// subclass (the kernel snapshots it before every event — copy state saving),
+// and interacts with the world only through the ObjectContext passed to
+// execute(). Randomness comes from ctx.rng(), which is derived from the
+// event's deterministic id, so re-execution after a rollback replays the
+// same draws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "warped/event.hpp"
+
+namespace nicwarp::warped {
+
+// Base class for object state. `signature` is a model-maintained checksum
+// folded on every committed-effect update; because it lives in the state it
+// is rolled back with it, so the final sum over all objects is a
+// schedule-independent fingerprint of the simulation's result.
+struct State {
+  std::int64_t signature{0};
+  virtual ~State() = default;
+  virtual std::unique_ptr<State> clone() const = 0;
+};
+
+// CRTP convenience: gives a copyable state struct its clone().
+template <typename Derived>
+struct CloneableState : State {
+  std::unique_ptr<State> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+// Interface through which execute() affects the world.
+class ObjectContext {
+ public:
+  virtual ~ObjectContext() = default;
+
+  // Virtual time of the event being executed.
+  virtual VirtualTime now() const = 0;
+
+  // Emits an event to `dst` (which may be local or remote — the kernel
+  // routes it) with the given receive timestamp (must be > now()).
+  virtual void send(ObjectId dst, VirtualTime recv_ts,
+                    std::vector<std::int64_t> data = {}) = 0;
+
+  // Rollback-safe randomness: seeded from the executing event's id.
+  virtual Rng& rng() = 0;
+
+  // Folds a value into the object's result signature (stored in State, so
+  // it is undone by rollback).
+  virtual void fold_signature(std::int64_t v) = 0;
+};
+
+class SimulationObject {
+ public:
+  // `initial_state` must not be null; it becomes the rollback-able state.
+  SimulationObject(ObjectId id, std::string name, std::unique_ptr<State> initial_state)
+      : id_(id), name_(std::move(name)), state_(std::move(initial_state)) {}
+  virtual ~SimulationObject() = default;
+
+  SimulationObject(const SimulationObject&) = delete;
+  SimulationObject& operator=(const SimulationObject&) = delete;
+
+  ObjectId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Called once at virtual time zero; typically schedules initial events.
+  virtual void initialize(ObjectContext& ctx) = 0;
+
+  // Processes one event. Must only read/write data reachable from state().
+  virtual void execute(ObjectContext& ctx, const EventMsg& ev) = 0;
+
+  State& state() { return *state_; }
+  const State& state() const { return *state_; }
+
+  // Kernel hooks for copy state saving / rollback restoration.
+  std::unique_ptr<State> snapshot_state() const { return state_->clone(); }
+  void replace_state(std::unique_ptr<State> s) { state_ = std::move(s); }
+
+ protected:
+  // Typed access for derived classes.
+  template <typename T>
+  T& state_as() {
+    return static_cast<T&>(*state_);
+  }
+  template <typename T>
+  const T& state_as() const {
+    return static_cast<const T&>(*state_);
+  }
+
+ private:
+  ObjectId id_;
+  std::string name_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace nicwarp::warped

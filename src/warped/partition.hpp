@@ -1,0 +1,25 @@
+// Object -> LP (node) placement.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/assert.hpp"
+#include "core/types.hpp"
+
+namespace nicwarp::warped {
+
+struct Partition {
+  std::unordered_map<ObjectId, NodeId> owner;
+
+  NodeId of(ObjectId obj) const {
+    auto it = owner.find(obj);
+    NW_CHECK_MSG(it != owner.end(), "object not placed in partition");
+    return it->second;
+  }
+
+  void place(ObjectId obj, NodeId node) {
+    NW_CHECK_MSG(owner.emplace(obj, node).second, "object placed twice");
+  }
+};
+
+}  // namespace nicwarp::warped

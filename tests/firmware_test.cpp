@@ -1,0 +1,170 @@
+// Early-cancellation firmware tests: drops happen, every drop pairs with a
+// suppressed/filtered anti (audited via the shared rings at termination),
+// flow control survives, and the paranoia-checked LP never sees a duplicate
+// or a zombie.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ModelKind;
+
+ExperimentConfig cancel_config(bool on, std::uint64_t seed = 23) {
+  ExperimentConfig cfg;
+  cfg.model = ModelKind::kPolice;
+  cfg.police.stations = 200;
+  cfg.police.hops_per_call = 15;
+  cfg.nodes = 8;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 100;
+  cfg.seed = seed;
+  cfg.cost.host_event_exec_us = 8.0;
+  cfg.rollback_scope = warped::RollbackScope::kLp;
+  cfg.early_cancel = on;
+  cfg.paranoia_checks = true;
+  cfg.max_sim_seconds = 120;
+  return cfg;
+}
+
+TEST(CancelFirmwareTest, NoDropsWhenDisabled) {
+  const ExperimentResult r = harness::run_experiment(cancel_config(false));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.dropped_by_nic, 0);
+  EXPECT_EQ(r.filtered_antis, 0);
+}
+
+TEST(CancelFirmwareTest, DropsHappenAndResultsUnchanged) {
+  const ExperimentResult off = harness::run_experiment(cancel_config(false));
+  const ExperimentResult on = harness::run_experiment(cancel_config(true));
+  ASSERT_TRUE(off.completed);
+  ASSERT_TRUE(on.completed);
+  EXPECT_GT(on.dropped_by_nic, 0) << "the firmware never cancelled anything";
+  // THE property: in-place cancellation must not change the simulation.
+  EXPECT_EQ(off.signature, on.signature);
+  EXPECT_EQ(off.committed_events, on.committed_events);
+}
+
+TEST(CancelFirmwareTest, EveryDropPairsWithARemovedAnti) {
+  ExperimentConfig cfg = cancel_config(true);
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  // Dropped positives == filtered antis at termination (each pair vanishes
+  // together), modulo entries whose anti had not yet been generated when the
+  // run ended — which cannot exist once everything terminated:
+  EXPECT_EQ(st.value("cancel.dropped_positive"), st.value("cancel.filtered_anti"));
+  // ...and indeed no dangling entries survive in any shared ring.
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    const hw::Mailbox& mb = tb.cluster->node(n).mailbox();
+    for (const auto& [obj, ring] : mb.dropped_ids) {
+      EXPECT_TRUE(ring.empty()) << "dangling drop entry on node " << n;
+    }
+    EXPECT_TRUE(mb.drop_notices.empty()) << "undrained notices on node " << n;
+  }
+}
+
+TEST(CancelFirmwareTest, SequenceGapsMatchDrops) {
+  ExperimentConfig cfg = cancel_config(true);
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  // Every dropped sequenced packet shows up as exactly one receiver-side gap.
+  EXPECT_EQ(st.value("comm.seq_gaps"),
+            st.value("cancel.dropped_positive") + st.value("cancel.filtered_anti"));
+  // And every drop refunded its credit.
+  EXPECT_EQ(st.value("comm.credits_refunded"),
+            st.value("cancel.dropped_positive") + st.value("cancel.filtered_anti"));
+}
+
+TEST(CancelFirmwareTest, CreditRepairAblationStillCorrectButSlower) {
+  ExperimentConfig on = cancel_config(true);
+  ExperimentConfig noRepair = cancel_config(true);
+  noRepair.credit_repair = false;  // ablation A2
+  const ExperimentResult a = harness::run_experiment(on);
+  const ExperimentResult b = harness::run_experiment(noRepair);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed) << "resync fallback must keep the run live";
+  EXPECT_EQ(a.signature, b.signature);
+  // Broken flow control costs time whenever drops actually happened.
+  if (b.dropped_by_nic > 100) EXPECT_GE(b.sim_seconds, a.sim_seconds * 0.95);
+}
+
+TEST(CancelFirmwareTest, ObjectScopeIsAlsoSound) {
+  ExperimentConfig off = cancel_config(false);
+  off.rollback_scope = warped::RollbackScope::kObject;
+  ExperimentConfig on = cancel_config(true);
+  on.rollback_scope = warped::RollbackScope::kObject;
+  const ExperimentResult a = harness::run_experiment(off);
+  const ExperimentResult b = harness::run_experiment(on);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(CancelFirmwareTest, WorksUnderHostMatternToo) {
+  // The paper pairs cancellation with NIC GVT, but it must compose with any
+  // GVT algorithm (the drop notices reconcile the white counts).
+  ExperimentConfig off = cancel_config(false);
+  off.gvt_mode = warped::GvtMode::kHostMattern;
+  ExperimentConfig on = cancel_config(true);
+  on.gvt_mode = warped::GvtMode::kHostMattern;
+  const ExperimentResult a = harness::run_experiment(off);
+  const ExperimentResult b = harness::run_experiment(on);
+  ASSERT_TRUE(a.completed) << "Mattern must drain its white counts despite drops";
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(CancelFirmwareTest, WorksUnderPGvtToo) {
+  ExperimentConfig off = cancel_config(false);
+  off.gvt_mode = warped::GvtMode::kPGvt;
+  ExperimentConfig on = cancel_config(true);
+  on.gvt_mode = warped::GvtMode::kPGvt;
+  const ExperimentResult a = harness::run_experiment(off);
+  const ExperimentResult b = harness::run_experiment(on);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed) << "pGVT must forget acks for dropped packets";
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(CancelFirmwareTest, RaidDropsFarLessThanPolice) {
+  // The paper's contrast (Fig. 6 vs Fig. 7): RAID's request/reply chains
+  // leave little in the send ring; POLICE's bursts leave a lot.
+  ExperimentConfig raid = cancel_config(true);
+  raid.model = ModelKind::kRaid;
+  raid.raid.total_requests = 4000;
+  raid.cost.host_event_exec_us = 18.0;
+  const ExperimentResult r = harness::run_experiment(raid);
+  const ExperimentResult p = harness::run_experiment(cancel_config(true));
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(p.completed);
+  const double raid_share =
+      r.antis_generated ? double(r.dropped_by_nic) / double(r.antis_generated) : 0.0;
+  const double police_share =
+      p.antis_generated ? double(p.dropped_by_nic) / double(p.antis_generated) : 0.0;
+  EXPECT_LT(raid_share, police_share + 0.25);
+}
+
+// Property sweep over seeds: the cancellation machinery must be sound for
+// any rollback pattern the workload throws at it.
+class CancelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CancelSeedSweep, SignatureInvariantAcrossCancellation) {
+  const std::uint64_t seed = GetParam();
+  const ExperimentResult off = harness::run_experiment(cancel_config(false, seed));
+  const ExperimentResult on = harness::run_experiment(cancel_config(true, seed));
+  ASSERT_TRUE(off.completed);
+  ASSERT_TRUE(on.completed);
+  EXPECT_EQ(off.signature, on.signature) << "seed " << seed;
+  EXPECT_EQ(off.committed_events, on.committed_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CancelSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace nicwarp

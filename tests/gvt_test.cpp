@@ -1,0 +1,228 @@
+// GVT manager tests, at the full-testbed level: all three algorithms must
+// terminate, produce monotone sound estimates (the LP aborts the process on
+// any below-GVT message, so completion itself certifies soundness), agree on
+// results, and show the cost profile the paper describes.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ModelKind;
+using harness::run_experiment;
+
+ExperimentConfig small_phold(warped::GvtMode mode, std::uint64_t seed = 5) {
+  ExperimentConfig cfg;
+  cfg.model = ModelKind::kPhold;
+  cfg.phold.objects = 32;
+  cfg.phold.population = 2;
+  cfg.phold.horizon = 1200;
+  cfg.nodes = 4;
+  cfg.gvt_mode = mode;
+  cfg.gvt_period = 50;
+  cfg.seed = seed;
+  cfg.paranoia_checks = true;
+  cfg.max_sim_seconds = 120;
+  return cfg;
+}
+
+TEST(GvtTest, MatternTerminatesAndCommits) {
+  const ExperimentResult r = run_experiment(small_phold(warped::GvtMode::kHostMattern));
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.final_gvt.is_inf());
+  EXPECT_GT(r.committed_events, 0);
+  EXPECT_GT(r.gvt_rounds, 0);
+  EXPECT_GT(r.gvt_estimations, 0);
+}
+
+TEST(GvtTest, NicGvtTerminatesAndCommits) {
+  const ExperimentResult r = run_experiment(small_phold(warped::GvtMode::kNic));
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.final_gvt.is_inf());
+  EXPECT_GT(r.committed_events, 0);
+  EXPECT_GT(r.gvt_rounds, 0);
+}
+
+TEST(GvtTest, PGvtTerminatesAndCommits) {
+  const ExperimentResult r = run_experiment(small_phold(warped::GvtMode::kPGvt));
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.final_gvt.is_inf());
+  EXPECT_GT(r.committed_events, 0);
+}
+
+TEST(GvtTest, AllModesAgreeOnResults) {
+  const ExperimentResult m = run_experiment(small_phold(warped::GvtMode::kHostMattern));
+  const ExperimentResult n = run_experiment(small_phold(warped::GvtMode::kNic));
+  const ExperimentResult p = run_experiment(small_phold(warped::GvtMode::kPGvt));
+  // GVT is pure bookkeeping: the simulation's canonical result is identical.
+  EXPECT_EQ(m.signature, n.signature);
+  EXPECT_EQ(m.signature, p.signature);
+  EXPECT_EQ(m.committed_events, n.committed_events);
+  EXPECT_EQ(m.committed_events, p.committed_events);
+}
+
+TEST(GvtTest, MatternRoundsScaleInverselyWithPeriod) {
+  ExperimentConfig aggressive = small_phold(warped::GvtMode::kHostMattern);
+  aggressive.gvt_period = 1;
+  ExperimentConfig lazy = small_phold(warped::GvtMode::kHostMattern);
+  lazy.gvt_period = 5000;
+  const ExperimentResult a = run_experiment(aggressive);
+  const ExperimentResult l = run_experiment(lazy);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(l.completed);
+  EXPECT_GT(a.gvt_rounds, 10 * l.gvt_rounds);  // the Fig. 5b cliff
+  EXPECT_EQ(a.signature, l.signature);
+}
+
+TEST(GvtTest, NicGvtRoundsRoughlyConstantAcrossPeriods) {
+  ExperimentConfig aggressive = small_phold(warped::GvtMode::kNic);
+  aggressive.gvt_period = 1;
+  ExperimentConfig lazy = small_phold(warped::GvtMode::kNic);
+  lazy.gvt_period = 5000;
+  const ExperimentResult a = run_experiment(aggressive);
+  const ExperimentResult l = run_experiment(lazy);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(l.completed);
+  // "the number of GVT rounds being carried out at the NIC remained
+  // relatively constant" — within a small factor, not orders of magnitude.
+  EXPECT_LT(a.gvt_rounds, 4 * l.gvt_rounds + 16);
+  EXPECT_GT(a.gvt_rounds, l.gvt_rounds / 4 - 16);
+}
+
+TEST(GvtTest, HostMatternAtAggressivePeriodCostsWallClock) {
+  ExperimentConfig aggressive = small_phold(warped::GvtMode::kHostMattern);
+  aggressive.gvt_period = 1;
+  ExperimentConfig lazy = small_phold(warped::GvtMode::kHostMattern);
+  lazy.gvt_period = 5000;
+  const ExperimentResult a = run_experiment(aggressive);
+  const ExperimentResult l = run_experiment(lazy);
+  // The control-message storm must visibly slow the simulation (Fig. 4 left).
+  EXPECT_GT(a.sim_seconds, l.sim_seconds * 1.15);
+}
+
+TEST(GvtTest, NicGvtBeatsHostMatternAtAggressivePeriod) {
+  ExperimentConfig host = small_phold(warped::GvtMode::kHostMattern);
+  host.gvt_period = 1;
+  ExperimentConfig nic = small_phold(warped::GvtMode::kNic);
+  nic.gvt_period = 1;
+  const ExperimentResult h = run_experiment(host);
+  const ExperimentResult n = run_experiment(nic);
+  EXPECT_LT(n.sim_seconds, h.sim_seconds);  // the paper's headline (Fig. 4)
+  EXPECT_EQ(h.signature, n.signature);
+}
+
+TEST(GvtTest, NicGvtPiggybacksTokensAndHandshakes) {
+  ExperimentConfig cfg = small_phold(warped::GvtMode::kNic);
+  harness::Testbed tb = harness::build_testbed(cfg);
+  const bool done = tb.run_to_completion(cfg.max_sim_seconds);
+  ASSERT_TRUE(done);
+  const StatsRegistry& st = tb.cluster->stats();
+  EXPECT_GT(st.value("gvt.tokens_piggybacked") + st.value("gvt.wire_tokens"), 0);
+  EXPECT_GT(st.value("gvt.handshake_piggybacked") + st.value("gvt.handshake_mailbox"), 0);
+  // NIC-resident GVT must not generate host control packets per hop: there
+  // are no host-built Mattern tokens at all.
+  bool host_tokens = false;
+  for (const auto& [k, v] : st.all_counters()) host_tokens |= k == "gvt.host_tokens";
+  EXPECT_FALSE(host_tokens);
+}
+
+TEST(GvtTest, PiggybackAblationFallsBackToWireTokens) {
+  ExperimentConfig cfg = small_phold(warped::GvtMode::kNic);
+  cfg.piggyback = false;  // ablation A1
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  EXPECT_EQ(st.value("gvt.tokens_piggybacked"), 0);
+  EXPECT_GT(st.value("gvt.wire_tokens"), 0);
+  EXPECT_EQ(st.value("gvt.handshake_piggybacked"), 0);
+}
+
+TEST(GvtTest, PGvtGeneratesAcks) {
+  ExperimentConfig cfg = small_phold(warped::GvtMode::kPGvt);
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  // One ack per remote event message: pGVT's known overhead (why the paper
+  // uses Mattern).
+  EXPECT_GE(st.value("gvt.acks"), st.value("tw.events_sent"));
+}
+
+TEST(GvtTest, SingleNodeWorldTerminates) {
+  for (warped::GvtMode mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic,
+                               warped::GvtMode::kPGvt}) {
+    ExperimentConfig cfg = small_phold(mode);
+    cfg.nodes = 1;
+    cfg.phold.objects = 8;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_TRUE(r.completed) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(r.rollbacks, 0) << "single LP cannot rollback";
+  }
+}
+
+TEST(GvtTest, SingleNodeResultIsTheCanonicalReference) {
+  // A 1-node run processes everything in canonical order with no optimism;
+  // every distributed run must commit to exactly its result.
+  ExperimentConfig ref = small_phold(warped::GvtMode::kHostMattern);
+  ref.nodes = 1;
+  const ExperimentResult canon = run_experiment(ref);
+  for (std::uint32_t nodes : {2u, 4u}) {
+    ExperimentConfig cfg = small_phold(warped::GvtMode::kNic);
+    cfg.nodes = nodes;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_EQ(r.signature, canon.signature) << nodes << " nodes";
+    EXPECT_EQ(r.committed_events, canon.committed_events);
+  }
+}
+
+// Property sweep: every (mode, period, seed) combination terminates with the
+// canonical signature. Completion certifies GVT soundness because the LP
+// hard-aborts on any message below its adopted GVT.
+struct GvtSweepParam {
+  warped::GvtMode mode;
+  std::int64_t period;
+  std::uint64_t seed;
+};
+
+class GvtSweep : public ::testing::TestWithParam<GvtSweepParam> {};
+
+TEST_P(GvtSweep, TerminatesWithCanonicalResult) {
+  const GvtSweepParam p = GetParam();
+  ExperimentConfig ref = small_phold(warped::GvtMode::kHostMattern, p.seed);
+  ref.nodes = 1;
+  const ExperimentResult canon = run_experiment(ref);
+
+  ExperimentConfig cfg = small_phold(p.mode, p.seed);
+  cfg.gvt_period = p.period;
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.signature, canon.signature);
+}
+
+std::vector<GvtSweepParam> sweep_params() {
+  std::vector<GvtSweepParam> out;
+  for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic,
+                    warped::GvtMode::kPGvt}) {
+    for (std::int64_t period : {1, 37, 1000}) {
+      for (std::uint64_t seed : {1ull, 2ull}) out.push_back({mode, period, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, GvtSweep, ::testing::ValuesIn(sweep_params()),
+                         [](const ::testing::TestParamInfo<GvtSweepParam>& info) {
+                           const auto& p = info.param;
+                           std::string mode = p.mode == warped::GvtMode::kHostMattern
+                                                  ? "mattern"
+                                                  : (p.mode == warped::GvtMode::kNic
+                                                         ? "nic"
+                                                         : "pgvt");
+                           return mode + "_p" + std::to_string(p.period) + "_s" +
+                                  std::to_string(p.seed);
+                         });
+
+}  // namespace
+}  // namespace nicwarp

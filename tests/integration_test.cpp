@@ -1,0 +1,171 @@
+// Whole-system property tests: for a grid of (model, GVT mode, cancellation,
+// rollback scope, seed) the distributed optimistic run must commit exactly
+// the canonical result of a 1-node reference run — the strongest statement
+// that neither the Time-Warp machinery nor either NIC optimization changes
+// what is being simulated, only how fast.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ModelKind;
+
+struct GridParam {
+  ModelKind model;
+  warped::GvtMode gvt;
+  bool cancel;
+  warped::RollbackScope scope;
+  std::uint64_t seed;
+};
+
+ExperimentConfig grid_config(const GridParam& p) {
+  ExperimentConfig cfg;
+  cfg.model = p.model;
+  cfg.raid.total_requests = 1500;
+  cfg.police.stations = 150;
+  cfg.police.hops_per_call = 12;
+  cfg.phold.objects = 32;
+  cfg.phold.horizon = 900;
+  cfg.nodes = 8;
+  cfg.gvt_mode = p.gvt;
+  cfg.gvt_period = 75;
+  cfg.early_cancel = p.cancel;
+  cfg.rollback_scope = p.scope;
+  cfg.seed = p.seed;
+  cfg.paranoia_checks = true;
+  if (p.model == ModelKind::kPolice) cfg.cost.host_event_exec_us = 8.0;
+  cfg.max_sim_seconds = 200;
+  return cfg;
+}
+
+// Canonical results are cached per (model, seed): a 1-node run has no
+// optimism, no network, no firmware — it IS the simulation's ground truth.
+const ExperimentResult& canonical(ModelKind model, std::uint64_t seed) {
+  static std::map<std::pair<int, std::uint64_t>, ExperimentResult> cache;
+  auto key = std::make_pair(static_cast<int>(model), seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    GridParam ref{model, warped::GvtMode::kHostMattern, false,
+                  warped::RollbackScope::kObject, seed};
+    ExperimentConfig cfg = grid_config(ref);
+    cfg.nodes = 1;
+    it = cache.emplace(key, harness::run_experiment(cfg)).first;
+    EXPECT_TRUE(it->second.completed);
+    EXPECT_EQ(it->second.rollbacks, 0);
+  }
+  return it->second;
+}
+
+class FullGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(FullGrid, CommitsTheCanonicalResult) {
+  const GridParam p = GetParam();
+  const ExperimentResult& canon = canonical(p.model, p.seed);
+  const ExperimentResult r = harness::run_experiment(grid_config(p));
+  ASSERT_TRUE(r.completed) << "run hit the simulated-time cap";
+  EXPECT_EQ(r.signature, canon.signature);
+  EXPECT_EQ(r.committed_events, canon.committed_events);
+  EXPECT_TRUE(r.final_gvt.is_inf());
+  // Sanity on the efficiency accounting.
+  EXPECT_EQ(r.committed_events, r.events_processed - r.events_rolled_back);
+}
+
+std::vector<GridParam> grid() {
+  std::vector<GridParam> out;
+  const ModelKind models[] = {ModelKind::kRaid, ModelKind::kPolice, ModelKind::kPhold};
+  const warped::GvtMode modes[] = {warped::GvtMode::kHostMattern, warped::GvtMode::kNic,
+                                   warped::GvtMode::kPGvt};
+  const warped::RollbackScope scopes[] = {warped::RollbackScope::kObject,
+                                          warped::RollbackScope::kLp};
+  for (auto m : models) {
+    for (auto g : modes) {
+      for (auto s : scopes) {
+        for (bool cancel : {false, true}) {
+          // Two seeds for the flagship combination (NIC GVT + cancel),
+          // one for the rest, to bound test runtime.
+          const int nseeds = (g == warped::GvtMode::kNic && cancel) ? 2 : 1;
+          for (int seed = 1; seed <= nseeds; ++seed) {
+            out.push_back({m, g, cancel, s, static_cast<std::uint64_t>(seed)});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, FullGrid, ::testing::ValuesIn(grid()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      const GridParam& p = info.param;
+      std::string name;
+      name += p.model == ModelKind::kRaid ? "raid"
+              : p.model == ModelKind::kPolice ? "police"
+                                              : "phold";
+      name += p.gvt == warped::GvtMode::kHostMattern ? "_mattern"
+              : p.gvt == warped::GvtMode::kNic ? "_nic"
+                                               : "_pgvt";
+      name += p.cancel ? "_cancel" : "_plain";
+      name += p.scope == warped::RollbackScope::kLp ? "_lpscope" : "_objscope";
+      name += "_s" + std::to_string(p.seed);
+      return name;
+    });
+
+// Cross-mode equivalence at a heavier load (one shot, not in the grid):
+// the two paper optimizations together must match the plain baseline.
+TEST(IntegrationTest, CombinedOptimizationsMatchBaselineUnderLoad) {
+  GridParam base{ModelKind::kPolice, warped::GvtMode::kHostMattern, false,
+                 warped::RollbackScope::kLp, 4};
+  GridParam opt{ModelKind::kPolice, warped::GvtMode::kNic, true,
+                warped::RollbackScope::kLp, 4};
+  ExperimentConfig a = grid_config(base);
+  ExperimentConfig b = grid_config(opt);
+  a.police.stations = 300;
+  b.police.stations = 300;
+  const ExperimentResult ra = harness::run_experiment(a);
+  const ExperimentResult rb = harness::run_experiment(b);
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_EQ(ra.signature, rb.signature);
+  EXPECT_EQ(ra.committed_events, rb.committed_events);
+}
+
+// The harness's parallel sweep runner must produce exactly what serial runs
+// produce (each experiment is single-threaded and isolated).
+TEST(IntegrationTest, ParallelSweepMatchesSerial) {
+  std::vector<ExperimentConfig> cfgs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    GridParam p{ModelKind::kPhold, warped::GvtMode::kNic, false,
+                warped::RollbackScope::kLp, seed};
+    cfgs.push_back(grid_config(p));
+  }
+  const auto par = harness::run_parallel(cfgs, 4);
+  ASSERT_EQ(par.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const ExperimentResult serial = harness::run_experiment(cfgs[i]);
+    EXPECT_EQ(par[i].signature, serial.signature);
+    EXPECT_DOUBLE_EQ(par[i].sim_seconds, serial.sim_seconds);
+  }
+}
+
+// The experiment cap must be honoured and reported.
+TEST(IntegrationTest, SimTimeCapReportsIncomplete) {
+  GridParam p{ModelKind::kPhold, warped::GvtMode::kHostMattern, false,
+              warped::RollbackScope::kLp, 1};
+  ExperimentConfig cfg = grid_config(p);
+  cfg.phold.horizon = 100000;  // far more work than the cap allows
+  cfg.phold.objects = 64;
+  cfg.max_sim_seconds = 0.01;
+  const ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.events_processed, 0);
+}
+
+}  // namespace
+}  // namespace nicwarp

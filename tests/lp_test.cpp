@@ -1,0 +1,334 @@
+// Tests for the Time-Warp LogicalProcess: canonical ordering, rollback
+// (object- and LP-scoped), anti-message annihilation, state restoration,
+// fossil collection, and the determinism invariants the NIC optimizations
+// rely on.
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "warped/lp.hpp"
+
+namespace nicwarp::warped {
+namespace {
+
+// A simple counter object: every event adds data[0] to an accumulator and
+// (optionally) forwards to data[1] if >= 0 with delay data[2].
+struct AccState : CloneableState<AccState> {
+  std::int64_t acc{0};
+  std::int64_t executed{0};
+};
+
+class AccObject final : public SimulationObject {
+ public:
+  explicit AccObject(ObjectId id)
+      : SimulationObject(id, "acc" + std::to_string(id), std::make_unique<AccState>()) {}
+
+  void initialize(ObjectContext&) override {}
+
+  void execute(ObjectContext& ctx, const EventMsg& ev) override {
+    auto& st = state_as<AccState>();
+    st.acc += ev.data.at(0);
+    st.executed += 1;
+    ctx.fold_signature(ev.data.at(0) * 17 + ctx.now().t);
+    if (ev.data.size() >= 3 && ev.data.at(1) >= 0) {
+      ctx.send(static_cast<ObjectId>(ev.data.at(1)), ctx.now() + ev.data.at(2),
+               {ev.data.at(0) + 1, -1, 0});
+    }
+  }
+};
+
+EventMsg make_event(ObjectId dst, std::int64_t recv, std::int64_t value = 1,
+                    EventId id = kInvalidEvent) {
+  static std::uint64_t next_id = 1000;
+  EventMsg ev;
+  ev.src_obj = 999;  // external
+  ev.dst_obj = dst;
+  ev.send_ts = VirtualTime{recv - 1};
+  ev.recv_ts = VirtualTime{recv};
+  ev.id = id == kInvalidEvent ? next_id++ : id;
+  ev.data = {value, -1, 0};
+  return ev;
+}
+
+class LpFixture : public ::testing::Test {
+ protected:
+  explicit LpFixture(RollbackScope scope = RollbackScope::kObject)
+      : lp_(0, stats_, 42, scope) {
+    lp_.add_object(std::make_unique<AccObject>(0));
+    lp_.add_object(std::make_unique<AccObject>(1));
+    lp_.set_paranoia(true);
+    // The external pseudo-sender object must exist nowhere; events are
+    // injected directly via insert().
+  }
+
+  StatsRegistry stats_;
+  LogicalProcess lp_;
+};
+
+// Helper: run everything currently pending to completion.
+std::size_t drain(LogicalProcess& lp) {
+  std::size_t n = 0;
+  while (lp.has_ready_event()) {
+    auto r = lp.execute_next();
+    EXPECT_TRUE(r.executed);
+    // Local forwarding: reinsert sends addressed to local objects.
+    for (auto& ev : r.sends) {
+      if (lp.has_object(ev.dst_obj)) lp.insert(std::move(ev));
+    }
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(LpFixture, ExecutesInCanonicalOrderAcrossObjects) {
+  lp_.insert(make_event(1, 30));
+  lp_.insert(make_event(0, 10));
+  lp_.insert(make_event(1, 20));
+  std::vector<std::pair<std::int64_t, ObjectId>> order;
+  while (lp_.has_ready_event()) {
+    auto r = lp_.execute_next();
+    order.emplace_back(r.ts.t, r.obj);
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<std::int64_t, ObjectId>{10, 0}));
+  EXPECT_EQ(order[1], (std::pair<std::int64_t, ObjectId>{20, 1}));
+  EXPECT_EQ(order[2], (std::pair<std::int64_t, ObjectId>{30, 1}));
+}
+
+TEST_F(LpFixture, LvtTracksMinPending) {
+  EXPECT_TRUE(lp_.lvt().is_inf());
+  lp_.insert(make_event(0, 50));
+  lp_.insert(make_event(1, 40));
+  EXPECT_EQ(lp_.lvt(), (VirtualTime{40}));
+  lp_.execute_next();
+  EXPECT_EQ(lp_.lvt(), (VirtualTime{50}));
+  lp_.execute_next();
+  EXPECT_TRUE(lp_.lvt().is_inf());
+}
+
+TEST_F(LpFixture, StragglerTriggersObjectRollbackAndAntis) {
+  // Object 0 processes events at 10 and 20, each generating a send; then a
+  // straggler at 15 arrives.
+  EventMsg e10 = make_event(0, 10);
+  e10.data = {1, 1, 5};  // sends to object 1
+  EventMsg e20 = make_event(0, 20);
+  e20.data = {1, 1, 5};
+  lp_.insert(e10);
+  lp_.insert(e20);
+  lp_.execute_next();
+  auto r = lp_.execute_next();
+  ASSERT_EQ(r.sends.size(), 1u);
+
+  auto res = lp_.insert(make_event(0, 15));
+  EXPECT_TRUE(res.rollback);
+  EXPECT_EQ(res.events_undone, 1u);          // only the event at 20
+  ASSERT_EQ(res.antis.size(), 1u);           // its output is cancelled
+  EXPECT_TRUE(res.antis[0].negative);
+  EXPECT_EQ(res.antis[0].send_ts, (VirtualTime{20}));
+  EXPECT_EQ(lp_.rollbacks(), 1u);
+  EXPECT_EQ(lp_.events_rolled_back(), 1u);
+  // Both the straggler and the undone event are pending again.
+  EXPECT_EQ(lp_.total_pending(), 2u);
+}
+
+TEST_F(LpFixture, RollbackRestoresStateExactly) {
+  lp_.insert(make_event(0, 10, 100));
+  lp_.insert(make_event(0, 20, 1000));
+  drain(lp_);
+  const std::int64_t sig_before = lp_.signature_sum();
+
+  // Straggler at 15 undoes the event at 20.
+  lp_.insert(make_event(0, 15, 7));
+  // Re-execute everything.
+  drain(lp_);
+  // acc must now be 100 + 7 + 1000 and every event counted once in order.
+  EXPECT_NE(lp_.signature_sum(), sig_before);  // the new event changed it
+  EXPECT_EQ(lp_.events_processed(), 4u);  // 2 first + straggler + re-exec of e20
+  EXPECT_EQ(lp_.events_rolled_back(), 1u);
+}
+
+TEST_F(LpFixture, SignatureIsScheduleIndependent) {
+  // Run A: in order. Run B: with a rollback. Final signatures must match.
+  StatsRegistry stats2;
+  LogicalProcess a(0, stats_, 7), b(0, stats2, 7);
+  a.add_object(std::make_unique<AccObject>(0));
+  b.add_object(std::make_unique<AccObject>(0));
+
+  EventMsg e1 = make_event(0, 10, 3, 501);
+  EventMsg e2 = make_event(0, 20, 4, 502);
+  EventMsg e3 = make_event(0, 30, 5, 503);
+
+  a.insert(e1);
+  a.insert(e2);
+  a.insert(e3);
+  drain(a);
+
+  b.insert(e2);
+  b.insert(e3);
+  drain(b);          // b optimistically runs 20, 30 first
+  b.insert(e1);      // straggler at 10 → rollback of everything
+  drain(b);
+
+  EXPECT_EQ(a.signature_sum(), b.signature_sum());
+  EXPECT_EQ(b.rollbacks(), 1u);
+}
+
+TEST_F(LpFixture, AntiAnnihilatesPendingPositive) {
+  EventMsg pos = make_event(0, 10, 1, 777);
+  lp_.insert(pos);
+  auto res = lp_.insert(pos.as_anti());
+  EXPECT_TRUE(res.annihilated);
+  EXPECT_FALSE(res.rollback);
+  EXPECT_FALSE(lp_.has_ready_event());
+}
+
+TEST_F(LpFixture, AntiAfterProcessingRollsBackAndAnnihilates) {
+  EventMsg pos = make_event(0, 10, 5, 888);
+  lp_.insert(pos);
+  lp_.insert(make_event(0, 20, 6));
+  drain(lp_);
+  EXPECT_EQ(lp_.events_processed(), 2u);
+
+  auto res = lp_.insert(pos.as_anti());
+  EXPECT_TRUE(res.rollback);
+  EXPECT_TRUE(res.annihilated);
+  EXPECT_EQ(res.events_undone, 2u);  // 10 and 20 both undone (>= pivot)
+  // Only the event at 20 is pending again; re-execution must not replay 10.
+  EXPECT_EQ(lp_.total_pending(), 1u);
+  drain(lp_);
+  EXPECT_EQ(lp_.anti_counter(0), 0u);  // local (non-network) antis don't count
+}
+
+TEST_F(LpFixture, NetworkAntiAdvancesCounters) {
+  EventMsg pos = make_event(0, 10, 5, 999);
+  lp_.insert(pos, /*from_network=*/true);
+  auto res = lp_.insert(pos.as_anti(), /*from_network=*/true);
+  EXPECT_TRUE(res.annihilated);
+  EXPECT_EQ(lp_.anti_counter(0), 1u);
+  EXPECT_EQ(lp_.last_anti_ts(0), (VirtualTime{10}));
+  EXPECT_EQ(lp_.anti_counter_piggyback(0), 1u);  // kObject scope
+}
+
+TEST_F(LpFixture, OrphanAntiParksAndAnnihilatesLateArrival) {
+  EventMsg pos = make_event(0, 10, 5, 1111);
+  auto res1 = lp_.insert(pos.as_anti());
+  EXPECT_TRUE(res1.stored_orphan);
+  EXPECT_EQ(lp_.orphan_antis(), 1u);
+  // An orphan holds LVT: the pair is not yet resolved.
+  EXPECT_EQ(lp_.lvt(), (VirtualTime{10}));
+
+  auto res2 = lp_.insert(pos);
+  EXPECT_TRUE(res2.annihilated);
+  EXPECT_EQ(lp_.orphan_antis(), 0u);
+  EXPECT_TRUE(lp_.lvt().is_inf());
+}
+
+TEST_F(LpFixture, FossilCollectionKeepsBoundaryRecords) {
+  for (int t = 10; t <= 50; t += 10) lp_.insert(make_event(0, t));
+  drain(lp_);
+  EXPECT_EQ(lp_.total_processed_records(), 5u);
+  EXPECT_EQ(lp_.fossil_collect(VirtualTime{30}), 2u);  // 10 and 20 reclaimed
+  EXPECT_EQ(lp_.total_processed_records(), 3u);        // 30, 40, 50 kept
+  // A rollback to exactly GVT must still work.
+  auto res = lp_.insert(make_event(0, 30, 9));
+  EXPECT_TRUE(res.rollback);
+  drain(lp_);
+  // GVT never regresses.
+  EXPECT_EQ(lp_.fossil_collect(VirtualTime{20}), 0u);
+  EXPECT_EQ(lp_.max_gvt_seen(), (VirtualTime{30}));
+}
+
+TEST_F(LpFixture, GvtViolationIsFatal) {
+  lp_.insert(make_event(0, 50));
+  drain(lp_);
+  lp_.fossil_collect(VirtualTime{40});
+  EXPECT_DEATH(lp_.insert(make_event(0, 30)), "GVT estimation is unsound");
+}
+
+TEST_F(LpFixture, DuplicatePositiveIsFatalUnderParanoia) {
+  EventMsg pos = make_event(0, 10, 1, 2222);
+  lp_.insert(pos);
+  EXPECT_DEATH(lp_.insert(pos), "duplicate positive");
+}
+
+// ---------------------------------------------------------------------------
+// LP-wide rollback scope (the 2002-era semantics the paper's Fig. 3b needs).
+// ---------------------------------------------------------------------------
+
+class LpWideFixture : public LpFixture {
+ protected:
+  LpWideFixture() : LpFixture(RollbackScope::kLp) {}
+};
+
+TEST_F(LpWideFixture, StragglerRollsBackEveryObject) {
+  EventMsg a20 = make_event(0, 20);
+  a20.data = {1, 1, 5};  // object 0 sends to object 1
+  lp_.insert(a20);
+  lp_.insert(make_event(1, 25));
+  drain(lp_);
+  EXPECT_EQ(lp_.events_processed(), 3u);  // 20, 25, and the forwarded one
+
+  // Straggler at 15 for object 1: under kLp, object 0's event at 20 is
+  // undone too, and its output gets an anti.
+  auto res = lp_.insert(make_event(1, 15));
+  EXPECT_TRUE(res.rollback);
+  EXPECT_EQ(res.events_undone, 3u);
+  bool anti_for_forward = false;
+  for (const auto& anti : res.antis) anti_for_forward |= anti.send_ts == VirtualTime{20};
+  EXPECT_TRUE(anti_for_forward);
+}
+
+TEST_F(LpWideFixture, PiggybackCounterIsLpWide) {
+  EventMsg p0 = make_event(0, 10, 1, 3333);
+  EventMsg p1 = make_event(1, 12, 1, 3334);
+  lp_.insert(p0, true);
+  lp_.insert(p1, true);
+  lp_.insert(p0.as_anti(), true);
+  EXPECT_EQ(lp_.anti_counter_piggyback(0), 1u);
+  EXPECT_EQ(lp_.anti_counter_piggyback(1), 1u);  // same LP-wide counter
+  lp_.insert(p1.as_anti(), true);
+  EXPECT_EQ(lp_.anti_counter_piggyback(0), 2u);
+}
+
+TEST_F(LpWideFixture, SameTimestampOtherObjectBeforePivotSurvives) {
+  // Two events at t=20 on objects 0 and 1. An anti annihilating the one on
+  // object 1 must NOT undo the object-0 record (it sorts before the pivot).
+  EventMsg e0 = make_event(0, 20, 1, 4440);
+  EventMsg e1 = make_event(1, 20, 1, 4441);
+  lp_.insert(e0);
+  lp_.insert(e1);
+  drain(lp_);
+  auto res = lp_.insert(e1.as_anti());
+  EXPECT_TRUE(res.annihilated);
+  EXPECT_EQ(res.events_undone, 1u);  // only e1
+  EXPECT_EQ(lp_.total_processed_records(), 1u);
+}
+
+TEST_F(LpWideFixture, SignatureMatchesObjectScopeRun) {
+  // The same event set under both scopes commits to the same result.
+  StatsRegistry s2;
+  LogicalProcess obj_lp(0, s2, 99, RollbackScope::kObject);
+  obj_lp.add_object(std::make_unique<AccObject>(0));
+  obj_lp.add_object(std::make_unique<AccObject>(1));
+
+  std::vector<EventMsg> evs;
+  for (int i = 0; i < 10; ++i) {
+    evs.push_back(make_event(static_cast<ObjectId>(i % 2), 10 + i * 5, i,
+                             static_cast<EventId>(9000 + i)));
+  }
+  // LP-wide run with a straggler in the middle.
+  for (int i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    lp_.insert(evs[static_cast<std::size_t>(i)]);
+  }
+  drain(lp_);
+  lp_.insert(evs[4]);  // straggler
+  drain(lp_);
+
+  for (const auto& ev : evs) obj_lp.insert(ev);
+  drain(obj_lp);
+
+  EXPECT_EQ(lp_.signature_sum(), obj_lp.signature_sum());
+}
+
+}  // namespace
+}  // namespace nicwarp::warped

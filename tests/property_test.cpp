@@ -1,0 +1,282 @@
+// Property/stress tests: randomized inputs checked against simple reference
+// implementations or algebraic invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "core/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/server.hpp"
+#include "warped/event.hpp"
+#include "warped/lp.hpp"
+
+namespace nicwarp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine vs a reference priority queue.
+// ---------------------------------------------------------------------------
+
+class EngineRandomSchedule : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineRandomSchedule, MatchesReferenceOrderWithCancellations) {
+  Rng rng(GetParam(), "engine-prop");
+  sim::Engine eng;
+
+  struct Ref {
+    std::int64_t when;
+    std::uint64_t seq;
+    int tag;
+    bool operator>(const Ref& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Ref, std::vector<Ref>, std::greater<>> ref;
+  std::vector<int> engine_order;
+  std::vector<sim::TaskHandle> handles;
+  std::vector<Ref> entries;
+
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto when = rng.uniform(0, 1000);
+    handles.push_back(
+        eng.schedule(SimTime::from_ns(when), [i, &engine_order] { engine_order.push_back(i); }));
+    entries.push_back(Ref{when, seq++, i});
+  }
+  // Cancel a random ~20%.
+  std::vector<bool> cancelled(500, false);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.chance(0.2)) {
+      ASSERT_TRUE(eng.cancel(handles[static_cast<std::size_t>(i)]));
+      cancelled[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (const Ref& r : entries) {
+    if (!cancelled[static_cast<std::size_t>(r.tag)]) ref.push(r);
+  }
+  eng.run();
+
+  std::vector<int> ref_order;
+  while (!ref.empty()) {
+    ref_order.push_back(ref.top().tag);
+    ref.pop();
+  }
+  EXPECT_EQ(engine_order, ref_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomSchedule, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Server: busy time equals the sum of job costs; completions keep order.
+// ---------------------------------------------------------------------------
+
+class ServerRandomLoad : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServerRandomLoad, ConservationOfBusyTime) {
+  Rng rng(GetParam(), "server-prop");
+  sim::Engine eng;
+  sim::Server srv(eng, "cpu");
+  std::int64_t total_cost = 0;
+  std::vector<int> completions;
+  int submitted = 0;
+
+  // Jobs arrive in bursts at random times.
+  for (int burst = 0; burst < 20; ++burst) {
+    const auto at = rng.uniform(0, 5000);
+    const int n = static_cast<int>(rng.uniform(1, 5));
+    eng.schedule(SimTime::from_ns(at), [&, n] {
+      for (int j = 0; j < n; ++j) {
+        const auto cost = rng.uniform(1, 100);
+        total_cost += cost;
+        const int id = submitted++;
+        srv.submit(SimTime::from_ns(cost), [&, id] { completions.push_back(id); });
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(srv.busy_time().ns, total_cost);
+  EXPECT_EQ(static_cast<int>(completions.size()), submitted);
+  EXPECT_TRUE(std::is_sorted(completions.begin(), completions.end()))
+      << "FIFO service must complete jobs in submission order";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerRandomLoad, ::testing::Values(7, 8, 9));
+
+// ---------------------------------------------------------------------------
+// Event identity: deterministic, collision-free in realistic volumes.
+// ---------------------------------------------------------------------------
+
+TEST(EventIdProperty, DeterministicAndDistinct) {
+  std::map<EventId, std::tuple<EventId, ObjectId, std::uint32_t>> seen;
+  Rng rng(99, "ids");
+  for (int i = 0; i < 200000; ++i) {
+    const EventId parent = rng.next_u64();
+    const auto src = static_cast<ObjectId>(rng.uniform(0, 4000));
+    const auto idx = static_cast<std::uint32_t>(rng.uniform(0, 8));
+    const EventId id = warped::make_event_id(parent, src, idx);
+    EXPECT_EQ(id, warped::make_event_id(parent, src, idx)) << "must be a pure function";
+    auto [it, fresh] = seen.emplace(id, std::make_tuple(parent, src, idx));
+    if (!fresh) {
+      EXPECT_EQ(it->second, std::make_tuple(parent, src, idx))
+          << "hash collision between distinct send identities";
+    }
+  }
+}
+
+TEST(EventOrderProperty, IsAStrictTotalOrderOnDistinctEvents) {
+  Rng rng(123, "order");
+  std::vector<warped::EventMsg> evs;
+  for (int i = 0; i < 300; ++i) {
+    warped::EventMsg e;
+    e.recv_ts = VirtualTime{rng.uniform(0, 20)};  // many ties
+    e.dst_obj = static_cast<ObjectId>(rng.uniform(0, 3));
+    e.id = static_cast<EventId>(i);
+    evs.push_back(e);
+  }
+  warped::EventOrder lt;
+  std::sort(evs.begin(), evs.end(), lt);
+  for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+    EXPECT_TRUE(lt(evs[i], evs[i + 1]) || !lt(evs[i + 1], evs[i]));
+    EXPECT_FALSE(lt(evs[i], evs[i]));  // irreflexive
+  }
+  // Antisymmetry on a random sample.
+  for (int k = 0; k < 1000; ++k) {
+    const auto& a = evs[rng.next_below(evs.size())];
+    const auto& b = evs[rng.next_below(evs.size())];
+    if (lt(a, b)) EXPECT_FALSE(lt(b, a));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LogicalProcess vs a sequential reference under random insertion schedules.
+// ---------------------------------------------------------------------------
+
+struct PropState : warped::CloneableState<PropState> {
+  std::int64_t acc{0};
+};
+
+class PropObject final : public warped::SimulationObject {
+ public:
+  explicit PropObject(ObjectId id)
+      : SimulationObject(id, "prop" + std::to_string(id), std::make_unique<PropState>()) {}
+  void initialize(warped::ObjectContext&) override {}
+  void execute(warped::ObjectContext& ctx, const warped::EventMsg& ev) override {
+    auto& st = state_as<PropState>();
+    // Order-sensitive state update: catches any deviation from canonical order.
+    st.acc = st.acc * 31 + ev.data.at(0) + ctx.now().t;
+    ctx.fold_signature(st.acc);
+  }
+};
+
+class LpRandomSchedule : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpRandomSchedule, CommitsCanonicalResultUnderAnyArrivalOrder) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed, "lp-prop");
+
+  // A fixed random event set.
+  std::vector<warped::EventMsg> evs;
+  for (int i = 0; i < 120; ++i) {
+    warped::EventMsg e;
+    e.src_obj = 999;
+    e.dst_obj = static_cast<ObjectId>(rng.uniform(0, 3));
+    e.recv_ts = VirtualTime{rng.uniform(1, 40)};  // dense ties
+    e.send_ts = VirtualTime{e.recv_ts.t - 1};
+    e.id = 5000 + static_cast<EventId>(i);
+    e.data = {rng.uniform(-50, 50)};
+    evs.push_back(e);
+  }
+
+  auto make_lp = [&](StatsRegistry& st, warped::RollbackScope scope) {
+    auto lp = std::make_unique<warped::LogicalProcess>(0, st, seed, scope);
+    for (ObjectId o = 0; o < 4; ++o) lp->add_object(std::make_unique<PropObject>(o));
+    lp->set_paranoia(true);
+    return lp;
+  };
+  auto drain = [](warped::LogicalProcess& lp) {
+    while (lp.has_ready_event()) lp.execute_next();
+  };
+
+  // Reference: everything inserted up front, processed in canonical order.
+  StatsRegistry s0;
+  auto ref = make_lp(s0, warped::RollbackScope::kObject);
+  for (const auto& e : evs) ref->insert(e);
+  drain(*ref);
+
+  for (warped::RollbackScope scope :
+       {warped::RollbackScope::kObject, warped::RollbackScope::kLp}) {
+    // Adversarial schedule: interleave random insertions with eager
+    // processing, so events constantly arrive as stragglers.
+    StatsRegistry s1;
+    auto lp = make_lp(s1, scope);
+    std::vector<warped::EventMsg> shuffled = evs;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    for (const auto& e : shuffled) {
+      lp->insert(e);
+      const auto steps = rng.uniform(0, 3);
+      for (std::int64_t k = 0; k < steps && lp->has_ready_event(); ++k) {
+        lp->execute_next();
+      }
+    }
+    drain(*lp);
+    EXPECT_EQ(lp->signature_sum(), ref->signature_sum())
+        << "scope " << static_cast<int>(scope) << " diverged from canonical";
+    EXPECT_GT(lp->rollbacks(), 0u) << "the schedule was supposed to be adversarial";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomSchedule,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+// Anti-message fuzz: every positive is eventually cancelled; the LP must end
+// empty with zero signature delta.
+class LpAntiFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpAntiFuzz, FullCancellationLeavesNoTrace) {
+  Rng rng(GetParam(), "anti-fuzz");
+  StatsRegistry st;
+  warped::LogicalProcess lp(0, st, GetParam(), warped::RollbackScope::kLp);
+  for (ObjectId o = 0; o < 3; ++o) lp.add_object(std::make_unique<PropObject>(o));
+  lp.set_paranoia(true);
+  const std::int64_t base_sig = lp.signature_sum();
+
+  std::vector<warped::EventMsg> evs;
+  for (int i = 0; i < 60; ++i) {
+    warped::EventMsg e;
+    e.src_obj = 999;
+    e.dst_obj = static_cast<ObjectId>(rng.uniform(0, 2));
+    e.recv_ts = VirtualTime{rng.uniform(1, 30)};
+    e.send_ts = VirtualTime{e.recv_ts.t - 1};
+    e.id = 9000 + static_cast<EventId>(i);
+    e.data = {i};
+    evs.push_back(e);
+  }
+  // Insert positives (processing some), then cancel ALL of them in a random
+  // order, processing in between.
+  for (const auto& e : evs) {
+    lp.insert(e);
+    if (rng.chance(0.5) && lp.has_ready_event()) lp.execute_next();
+  }
+  std::vector<warped::EventMsg> antis = evs;
+  for (std::size_t i = antis.size(); i > 1; --i) {
+    std::swap(antis[i - 1], antis[rng.next_below(i)]);
+  }
+  for (const auto& e : antis) {
+    lp.insert(e.as_anti());
+    if (rng.chance(0.3) && lp.has_ready_event()) lp.execute_next();
+  }
+  while (lp.has_ready_event()) lp.execute_next();
+
+  EXPECT_EQ(lp.signature_sum(), base_sig) << "a cancelled event left state behind";
+  EXPECT_EQ(lp.total_pending(), 0u);
+  EXPECT_EQ(lp.orphan_antis(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpAntiFuzz, ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace nicwarp

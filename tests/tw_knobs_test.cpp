@@ -1,0 +1,187 @@
+// Tests for the WARPED-style tuning knobs: lazy cancellation and periodic
+// state saving. Both must be invisible to the simulation's committed results
+// while visibly changing the cost profile.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::ModelKind;
+
+ExperimentConfig knob_config(std::uint64_t seed = 31) {
+  ExperimentConfig cfg;
+  cfg.model = ModelKind::kPhold;
+  cfg.phold.objects = 32;
+  cfg.phold.horizon = 1200;
+  cfg.nodes = 8;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 75;
+  cfg.seed = seed;
+  cfg.paranoia_checks = true;
+  cfg.max_sim_seconds = 200;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Lazy cancellation
+// ---------------------------------------------------------------------------
+
+TEST(LazyCancellationTest, SameResultsAsAggressive) {
+  ExperimentConfig agg = knob_config();
+  ExperimentConfig lazy = knob_config();
+  lazy.cancellation = warped::CancellationMode::kLazy;
+  const ExperimentResult a = harness::run_experiment(agg);
+  const ExperimentResult l = harness::run_experiment(lazy);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(l.completed);
+  EXPECT_EQ(a.signature, l.signature);
+  EXPECT_EQ(a.committed_events, l.committed_events);
+}
+
+TEST(LazyCancellationTest, SendsFewerAntiMessages) {
+  ExperimentConfig agg = knob_config();
+  ExperimentConfig lazy = knob_config();
+  lazy.cancellation = warped::CancellationMode::kLazy;
+  const ExperimentResult a = harness::run_experiment(agg);
+  const ExperimentResult l = harness::run_experiment(lazy);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(l.completed);
+  ASSERT_GT(a.rollbacks, 0) << "need rollbacks for the comparison to mean anything";
+  // Deterministic re-execution regenerates most sends identically, so lazy
+  // matching should eliminate the bulk of the anti traffic.
+  EXPECT_LT(l.antis_generated, a.antis_generated);
+}
+
+TEST(LazyCancellationTest, MatchesAreCounted) {
+  ExperimentConfig lazy = knob_config();
+  lazy.cancellation = warped::CancellationMode::kLazy;
+  harness::Testbed tb = harness::build_testbed(lazy);
+  ASSERT_TRUE(tb.run_to_completion(lazy.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  if (st.value("tw.rollbacks") > 0) {
+    EXPECT_GT(st.value("tw.lazy_matched") + st.value("tw.lazy_cancelled"), 0);
+  }
+  // No lazy records may outlive the run (they all resolve by match, flush,
+  // or annihilation).
+  for (const auto& k : tb.kernels) EXPECT_EQ(k->lp().lazy_records(), 0u);
+}
+
+TEST(LazyCancellationTest, SeedSweepStaysCanonical) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    ExperimentConfig ref = knob_config(seed);
+    ref.nodes = 1;
+    const ExperimentResult canon = harness::run_experiment(ref);
+    ExperimentConfig lazy = knob_config(seed);
+    lazy.cancellation = warped::CancellationMode::kLazy;
+    lazy.rollback_scope = warped::RollbackScope::kLp;
+    const ExperimentResult l = harness::run_experiment(lazy);
+    ASSERT_TRUE(l.completed) << "seed " << seed;
+    EXPECT_EQ(l.signature, canon.signature) << "seed " << seed;
+  }
+}
+
+TEST(LazyCancellationTest, RefusesToCombineWithNicEarlyCancel) {
+  ExperimentConfig cfg = knob_config();
+  cfg.cancellation = warped::CancellationMode::kLazy;
+  cfg.early_cancel = true;
+  EXPECT_DEATH(harness::build_testbed(cfg), "requires aggressive cancellation");
+}
+
+TEST(LazyCancellationTest, ContentDivergentRegenerationIsCancelled) {
+  // Regression: RAID disks' replies change content when a straggler lands
+  // ahead of them (the service queue shifts), so re-execution regenerates
+  // the same event *id* with different data. Id-only matching silently kept
+  // the stale message; content matching must cancel-and-replace it.
+  for (std::uint64_t seed : {5ull, 7ull, 23ull}) {
+    ExperimentConfig agg;
+    agg.model = ModelKind::kRaid;
+    agg.raid.total_requests = 1500;
+    agg.nodes = 8;
+    agg.gvt_mode = warped::GvtMode::kNic;
+    agg.gvt_period = 100;
+    agg.seed = seed;
+    agg.paranoia_checks = true;
+    agg.max_sim_seconds = 200;
+    ExperimentConfig lazy = agg;
+    lazy.cancellation = warped::CancellationMode::kLazy;
+    const ExperimentResult a = harness::run_experiment(agg);
+    const ExperimentResult l = harness::run_experiment(lazy);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(l.completed);
+    EXPECT_EQ(a.signature, l.signature) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Periodic state saving
+// ---------------------------------------------------------------------------
+
+class StateSavingSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(StateSavingSweep, ResultsIndependentOfPeriod) {
+  ExperimentConfig ref = knob_config(9);
+  const ExperimentResult canon = harness::run_experiment(ref);
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = GetParam();
+  const ExperimentResult r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.completed) << "period " << GetParam();
+  EXPECT_EQ(r.signature, canon.signature);
+  EXPECT_EQ(r.committed_events, canon.committed_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, StateSavingSweep, ::testing::Values(1, 2, 4, 8, 32));
+
+TEST(StateSavingTest, CoastForwardReplaysAreCharged) {
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = 8;
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  if (st.value("tw.rollbacks") > 0) {
+    EXPECT_GT(st.value("tw.events_replayed"), 0)
+        << "period-8 snapshots must force coast-forward on some rollbacks";
+  }
+}
+
+TEST(StateSavingTest, NoReplaysAtPeriodOne) {
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = 1;
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  EXPECT_EQ(tb.cluster->stats().value("tw.events_replayed"), 0);
+}
+
+TEST(StateSavingTest, ComposesWithEarlyCancellation) {
+  ExperimentConfig off = knob_config(12);
+  off.model = ModelKind::kPolice;
+  off.police.stations = 150;
+  off.police.hops_per_call = 12;
+  off.cost.host_event_exec_us = 8.0;
+  off.state_save_period = 4;
+  ExperimentConfig on = off;
+  on.early_cancel = true;
+  const ExperimentResult a = harness::run_experiment(off);
+  const ExperimentResult b = harness::run_experiment(on);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(StateSavingTest, ComposesWithLazyCancellation) {
+  ExperimentConfig cfg = knob_config(13);
+  cfg.cancellation = warped::CancellationMode::kLazy;
+  cfg.state_save_period = 4;
+  ExperimentConfig ref = knob_config(13);
+  const ExperimentResult a = harness::run_experiment(ref);
+  const ExperimentResult b = harness::run_experiment(cfg);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+}  // namespace
+}  // namespace nicwarp
