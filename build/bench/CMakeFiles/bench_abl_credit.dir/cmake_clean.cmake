@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_credit.dir/bench_abl_credit.cpp.o"
+  "CMakeFiles/bench_abl_credit.dir/bench_abl_credit.cpp.o.d"
+  "bench_abl_credit"
+  "bench_abl_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

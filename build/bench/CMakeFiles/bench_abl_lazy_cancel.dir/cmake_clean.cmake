@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_lazy_cancel.dir/bench_abl_lazy_cancel.cpp.o"
+  "CMakeFiles/bench_abl_lazy_cancel.dir/bench_abl_lazy_cancel.cpp.o.d"
+  "bench_abl_lazy_cancel"
+  "bench_abl_lazy_cancel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lazy_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_nic_speed.dir/bench_abl_nic_speed.cpp.o"
+  "CMakeFiles/bench_abl_nic_speed.dir/bench_abl_nic_speed.cpp.o.d"
+  "bench_abl_nic_speed"
+  "bench_abl_nic_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_nic_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pgvt.dir/bench_abl_pgvt.cpp.o"
+  "CMakeFiles/bench_abl_pgvt.dir/bench_abl_pgvt.cpp.o.d"
+  "bench_abl_pgvt"
+  "bench_abl_pgvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pgvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

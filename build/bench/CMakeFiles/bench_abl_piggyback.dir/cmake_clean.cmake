@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_piggyback.dir/bench_abl_piggyback.cpp.o"
+  "CMakeFiles/bench_abl_piggyback.dir/bench_abl_piggyback.cpp.o.d"
+  "bench_abl_piggyback"
+  "bench_abl_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

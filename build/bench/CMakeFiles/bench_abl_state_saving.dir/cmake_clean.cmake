@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_state_saving.dir/bench_abl_state_saving.cpp.o"
+  "CMakeFiles/bench_abl_state_saving.dir/bench_abl_state_saving.cpp.o.d"
+  "bench_abl_state_saving"
+  "bench_abl_state_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_state_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

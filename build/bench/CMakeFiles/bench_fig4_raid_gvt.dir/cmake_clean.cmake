@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_raid_gvt.dir/bench_fig4_raid_gvt.cpp.o"
+  "CMakeFiles/bench_fig4_raid_gvt.dir/bench_fig4_raid_gvt.cpp.o.d"
+  "bench_fig4_raid_gvt"
+  "bench_fig4_raid_gvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_raid_gvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

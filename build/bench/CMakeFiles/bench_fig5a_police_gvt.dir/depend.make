@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5a_police_gvt.
+# This may be replaced when dependencies are built.

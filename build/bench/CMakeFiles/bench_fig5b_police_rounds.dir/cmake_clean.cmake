@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_police_rounds.dir/bench_fig5b_police_rounds.cpp.o"
+  "CMakeFiles/bench_fig5b_police_rounds.dir/bench_fig5b_police_rounds.cpp.o.d"
+  "bench_fig5b_police_rounds"
+  "bench_fig5b_police_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_police_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_raid_cancel.dir/bench_fig6a_raid_cancel.cpp.o"
+  "CMakeFiles/bench_fig6a_raid_cancel.dir/bench_fig6a_raid_cancel.cpp.o.d"
+  "bench_fig6a_raid_cancel"
+  "bench_fig6a_raid_cancel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_raid_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_raid_msgs.dir/bench_fig6b_raid_msgs.cpp.o"
+  "CMakeFiles/bench_fig6b_raid_msgs.dir/bench_fig6b_raid_msgs.cpp.o.d"
+  "bench_fig6b_raid_msgs"
+  "bench_fig6b_raid_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_raid_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

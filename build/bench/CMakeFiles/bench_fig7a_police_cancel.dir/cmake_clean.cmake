@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_police_cancel.dir/bench_fig7a_police_cancel.cpp.o"
+  "CMakeFiles/bench_fig7a_police_cancel.dir/bench_fig7a_police_cancel.cpp.o.d"
+  "bench_fig7a_police_cancel"
+  "bench_fig7a_police_cancel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_police_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

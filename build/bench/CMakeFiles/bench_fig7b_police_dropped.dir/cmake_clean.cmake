@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_police_dropped.dir/bench_fig7b_police_dropped.cpp.o"
+  "CMakeFiles/bench_fig7b_police_dropped.dir/bench_fig7b_police_dropped.cpp.o.d"
+  "bench_fig7b_police_dropped"
+  "bench_fig7b_police_dropped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_police_dropped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

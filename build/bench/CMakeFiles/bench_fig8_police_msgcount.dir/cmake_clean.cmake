@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_police_msgcount.dir/bench_fig8_police_msgcount.cpp.o"
+  "CMakeFiles/bench_fig8_police_msgcount.dir/bench_fig8_police_msgcount.cpp.o.d"
+  "bench_fig8_police_msgcount"
+  "bench_fig8_police_msgcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_police_msgcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

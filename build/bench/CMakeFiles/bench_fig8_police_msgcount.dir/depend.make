@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_police_msgcount.
+# This may be replaced when dependencies are built.

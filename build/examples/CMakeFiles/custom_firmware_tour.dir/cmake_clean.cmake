@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_firmware_tour.dir/custom_firmware_tour.cpp.o"
+  "CMakeFiles/custom_firmware_tour.dir/custom_firmware_tour.cpp.o.d"
+  "custom_firmware_tour"
+  "custom_firmware_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_firmware_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

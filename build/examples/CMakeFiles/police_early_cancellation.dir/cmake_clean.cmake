@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/police_early_cancellation.dir/police_early_cancellation.cpp.o"
+  "CMakeFiles/police_early_cancellation.dir/police_early_cancellation.cpp.o.d"
+  "police_early_cancellation"
+  "police_early_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/police_early_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

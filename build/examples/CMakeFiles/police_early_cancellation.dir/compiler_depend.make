@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for police_early_cancellation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for police_early_cancellation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_gvt_comparison.dir/raid_gvt_comparison.cpp.o"
+  "CMakeFiles/raid_gvt_comparison.dir/raid_gvt_comparison.cpp.o.d"
+  "raid_gvt_comparison"
+  "raid_gvt_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_gvt_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_comm.dir/host_comm.cpp.o"
+  "CMakeFiles/nicwarp_comm.dir/host_comm.cpp.o.d"
+  "libnicwarp_comm.a"
+  "libnicwarp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_core.dir/config.cpp.o"
+  "CMakeFiles/nicwarp_core.dir/config.cpp.o.d"
+  "CMakeFiles/nicwarp_core.dir/log.cpp.o"
+  "CMakeFiles/nicwarp_core.dir/log.cpp.o.d"
+  "CMakeFiles/nicwarp_core.dir/rng.cpp.o"
+  "CMakeFiles/nicwarp_core.dir/rng.cpp.o.d"
+  "CMakeFiles/nicwarp_core.dir/stats.cpp.o"
+  "CMakeFiles/nicwarp_core.dir/stats.cpp.o.d"
+  "libnicwarp_core.a"
+  "libnicwarp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/cancel_firmware.cpp" "src/firmware/CMakeFiles/nicwarp_firmware.dir/cancel_firmware.cpp.o" "gcc" "src/firmware/CMakeFiles/nicwarp_firmware.dir/cancel_firmware.cpp.o.d"
+  "/root/repo/src/firmware/combined_firmware.cpp" "src/firmware/CMakeFiles/nicwarp_firmware.dir/combined_firmware.cpp.o" "gcc" "src/firmware/CMakeFiles/nicwarp_firmware.dir/combined_firmware.cpp.o.d"
+  "/root/repo/src/firmware/gvt_firmware.cpp" "src/firmware/CMakeFiles/nicwarp_firmware.dir/gvt_firmware.cpp.o" "gcc" "src/firmware/CMakeFiles/nicwarp_firmware.dir/gvt_firmware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/nicwarp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nicwarp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nicwarp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

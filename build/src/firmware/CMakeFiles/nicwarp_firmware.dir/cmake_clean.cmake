@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_firmware.dir/cancel_firmware.cpp.o"
+  "CMakeFiles/nicwarp_firmware.dir/cancel_firmware.cpp.o.d"
+  "CMakeFiles/nicwarp_firmware.dir/combined_firmware.cpp.o"
+  "CMakeFiles/nicwarp_firmware.dir/combined_firmware.cpp.o.d"
+  "CMakeFiles/nicwarp_firmware.dir/gvt_firmware.cpp.o"
+  "CMakeFiles/nicwarp_firmware.dir/gvt_firmware.cpp.o.d"
+  "libnicwarp_firmware.a"
+  "libnicwarp_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

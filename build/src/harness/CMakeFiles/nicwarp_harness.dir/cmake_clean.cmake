@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/nicwarp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/nicwarp_harness.dir/table.cpp.o"
+  "CMakeFiles/nicwarp_harness.dir/table.cpp.o.d"
+  "libnicwarp_harness.a"
+  "libnicwarp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/hw/CMakeFiles/nicwarp_hw.dir/cluster.cpp.o" "gcc" "src/hw/CMakeFiles/nicwarp_hw.dir/cluster.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/nicwarp_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/nicwarp_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/hw/CMakeFiles/nicwarp_hw.dir/network.cpp.o" "gcc" "src/hw/CMakeFiles/nicwarp_hw.dir/network.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/hw/CMakeFiles/nicwarp_hw.dir/nic.cpp.o" "gcc" "src/hw/CMakeFiles/nicwarp_hw.dir/nic.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/hw/CMakeFiles/nicwarp_hw.dir/node.cpp.o" "gcc" "src/hw/CMakeFiles/nicwarp_hw.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nicwarp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nicwarp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

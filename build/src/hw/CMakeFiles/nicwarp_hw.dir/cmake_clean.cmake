@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_hw.dir/cluster.cpp.o"
+  "CMakeFiles/nicwarp_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/nicwarp_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/nicwarp_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nicwarp_hw.dir/network.cpp.o"
+  "CMakeFiles/nicwarp_hw.dir/network.cpp.o.d"
+  "CMakeFiles/nicwarp_hw.dir/nic.cpp.o"
+  "CMakeFiles/nicwarp_hw.dir/nic.cpp.o.d"
+  "CMakeFiles/nicwarp_hw.dir/node.cpp.o"
+  "CMakeFiles/nicwarp_hw.dir/node.cpp.o.d"
+  "libnicwarp_hw.a"
+  "libnicwarp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

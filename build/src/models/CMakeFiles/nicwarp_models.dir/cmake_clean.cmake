@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_models.dir/phold.cpp.o"
+  "CMakeFiles/nicwarp_models.dir/phold.cpp.o.d"
+  "CMakeFiles/nicwarp_models.dir/police.cpp.o"
+  "CMakeFiles/nicwarp_models.dir/police.cpp.o.d"
+  "CMakeFiles/nicwarp_models.dir/raid.cpp.o"
+  "CMakeFiles/nicwarp_models.dir/raid.cpp.o.d"
+  "libnicwarp_models.a"
+  "libnicwarp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_sim.dir/engine.cpp.o"
+  "CMakeFiles/nicwarp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nicwarp_sim.dir/server.cpp.o"
+  "CMakeFiles/nicwarp_sim.dir/server.cpp.o.d"
+  "libnicwarp_sim.a"
+  "libnicwarp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

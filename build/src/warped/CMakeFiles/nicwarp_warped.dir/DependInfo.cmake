@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warped/gvt_mattern.cpp" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_mattern.cpp.o" "gcc" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_mattern.cpp.o.d"
+  "/root/repo/src/warped/gvt_nic.cpp" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_nic.cpp.o" "gcc" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_nic.cpp.o.d"
+  "/root/repo/src/warped/gvt_pgvt.cpp" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_pgvt.cpp.o" "gcc" "src/warped/CMakeFiles/nicwarp_warped.dir/gvt_pgvt.cpp.o.d"
+  "/root/repo/src/warped/kernel.cpp" "src/warped/CMakeFiles/nicwarp_warped.dir/kernel.cpp.o" "gcc" "src/warped/CMakeFiles/nicwarp_warped.dir/kernel.cpp.o.d"
+  "/root/repo/src/warped/lp.cpp" "src/warped/CMakeFiles/nicwarp_warped.dir/lp.cpp.o" "gcc" "src/warped/CMakeFiles/nicwarp_warped.dir/lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/nicwarp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nicwarp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nicwarp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nicwarp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

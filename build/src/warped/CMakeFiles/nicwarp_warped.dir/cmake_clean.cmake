@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicwarp_warped.dir/gvt_mattern.cpp.o"
+  "CMakeFiles/nicwarp_warped.dir/gvt_mattern.cpp.o.d"
+  "CMakeFiles/nicwarp_warped.dir/gvt_nic.cpp.o"
+  "CMakeFiles/nicwarp_warped.dir/gvt_nic.cpp.o.d"
+  "CMakeFiles/nicwarp_warped.dir/gvt_pgvt.cpp.o"
+  "CMakeFiles/nicwarp_warped.dir/gvt_pgvt.cpp.o.d"
+  "CMakeFiles/nicwarp_warped.dir/kernel.cpp.o"
+  "CMakeFiles/nicwarp_warped.dir/kernel.cpp.o.d"
+  "CMakeFiles/nicwarp_warped.dir/lp.cpp.o"
+  "CMakeFiles/nicwarp_warped.dir/lp.cpp.o.d"
+  "libnicwarp_warped.a"
+  "libnicwarp_warped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicwarp_warped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nicwarp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/nicwarp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/warped/CMakeFiles/nicwarp_warped.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/nicwarp_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/nicwarp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nicwarp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nicwarp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nicwarp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_test.dir/firmware_test.cpp.o"
+  "CMakeFiles/firmware_test.dir/firmware_test.cpp.o.d"
+  "firmware_test"
+  "firmware_test.pdb"
+  "firmware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_unit_test.dir/firmware_unit_test.cpp.o"
+  "CMakeFiles/firmware_unit_test.dir/firmware_unit_test.cpp.o.d"
+  "firmware_unit_test"
+  "firmware_unit_test.pdb"
+  "firmware_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

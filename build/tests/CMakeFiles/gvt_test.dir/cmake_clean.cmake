@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvt_test.dir/gvt_test.cpp.o"
+  "CMakeFiles/gvt_test.dir/gvt_test.cpp.o.d"
+  "gvt_test"
+  "gvt_test.pdb"
+  "gvt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

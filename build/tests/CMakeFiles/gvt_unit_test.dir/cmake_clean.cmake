@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvt_unit_test.dir/gvt_unit_test.cpp.o"
+  "CMakeFiles/gvt_unit_test.dir/gvt_unit_test.cpp.o.d"
+  "gvt_unit_test"
+  "gvt_unit_test.pdb"
+  "gvt_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvt_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_knobs_test.dir/tw_knobs_test.cpp.o"
+  "CMakeFiles/tw_knobs_test.dir/tw_knobs_test.cpp.o.d"
+  "tw_knobs_test"
+  "tw_knobs_test.pdb"
+  "tw_knobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_knobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
