@@ -8,9 +8,22 @@
 //   $ ./sweep_cli model=raid requests=20000 gvt=mattern period=1 seed=7
 //   $ ./sweep_cli model=phold objects=64 horizon=5000 cm.nic_per_packet_us=4
 //
+// GNU-style flags are accepted too (`--key value` and `--key=value` both
+// become key=value, with '-' mapped to '_'), mainly for the observability
+// outputs:
+//
+//   $ ./sweep_cli model=raid --trace-out trace.json --metrics-out m.jsonl
+//
+// `--trace-out FILE` writes a Chrome trace_event file (enables trace=all
+// unless an explicit trace= list is given); `--trace-jsonl FILE` writes the
+// raw records as JSONL; `--metrics-out FILE` samples all counters every GVT
+// adoption and writes one JSON object per sample. `trace=msg,gvt` and
+// `metrics_every=N` tune both without recompiling.
+//
 // Prints the full metric set plus the canonical one-line summary.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "harness/experiment.hpp"
@@ -18,9 +31,25 @@
 int main(int argc, char** argv) {
   using namespace nicwarp;
 
-  std::string joined;
+  // Normalize argv: "--trace-out x" / "--trace-out=x" -> "trace_out=x".
+  std::vector<std::string> words;
   for (int i = 1; i < argc; ++i) {
-    joined += argv[i];
+    std::string w = argv[i];
+    if (w.rfind("--", 0) == 0) {
+      w = w.substr(2);
+      for (char& c : w) {
+        if (c == '-') c = '_';
+      }
+      if (w.find('=') == std::string::npos && i + 1 < argc) {
+        w += '=';
+        w += argv[++i];
+      }
+    }
+    words.push_back(std::move(w));
+  }
+  std::string joined;
+  for (const std::string& w : words) {
+    joined += w;
     joined += ' ';
   }
   const ParamSet p = ParamSet::parse(joined);
@@ -76,6 +105,21 @@ int main(int argc, char** argv) {
     cfg.cost.host_event_exec_us = 8.0;  // POLICE is fine-grained
   }
 
+  // Observability: any output path switches the corresponding layer on.
+  cfg.trace.chrome_out = p.get_str("trace_out", "");
+  cfg.trace.jsonl_out = p.get_str("trace_jsonl", "");
+  cfg.trace.categories = p.get_str("trace", "");
+  if (cfg.trace.categories.empty() &&
+      (!cfg.trace.chrome_out.empty() || !cfg.trace.jsonl_out.empty())) {
+    cfg.trace.categories = "all";
+  }
+  cfg.trace.capacity =
+      static_cast<std::size_t>(p.get_i64("trace_capacity", 1 << 16));
+  cfg.metrics.out_path = p.get_str("metrics_out", "");
+  cfg.metrics.sample_every_gvt_rounds =
+      p.get_i64("metrics_every", cfg.metrics.out_path.empty() ? 0 : 1);
+  cfg.metrics.sample_virtual_dt = p.get_i64("metrics_vdt", 0);
+
   std::printf("config: %s\n", joined.c_str());
   const harness::ExperimentResult r = harness::run_experiment(cfg);
   std::printf("%s\n", r.to_string().c_str());
@@ -93,5 +137,21 @@ int main(int argc, char** argv) {
   std::printf("  GVT            : %lld estimations, %lld ring rounds\n",
               (long long)r.gvt_estimations, (long long)r.gvt_rounds);
   std::printf("  signature      : %lld\n", (long long)r.signature);
+  if (!cfg.trace.categories.empty()) {
+    std::printf("  trace          : %llu records (%llu overwritten)",
+                (unsigned long long)r.trace_records,
+                (unsigned long long)r.trace_overwritten);
+    if (!cfg.trace.chrome_out.empty())
+      std::printf(" -> %s", cfg.trace.chrome_out.c_str());
+    if (!cfg.trace.jsonl_out.empty())
+      std::printf(" -> %s", cfg.trace.jsonl_out.c_str());
+    std::printf("\n");
+  }
+  if (cfg.metrics.enabled()) {
+    std::printf("  metrics        : %zu samples", r.series.size());
+    if (!cfg.metrics.out_path.empty())
+      std::printf(" -> %s", cfg.metrics.out_path.c_str());
+    std::printf("\n");
+  }
   return r.completed ? 0 : 1;
 }

@@ -9,6 +9,7 @@ HostComm::HostComm(hw::Node& node, CommOptions opts)
     : node_(node),
       opts_(opts),
       stats_(node.stats()),
+      trace_(node.trace()),
       window_(node.cost().mpi_credit_window) {
   node_.set_raw_rx([this](hw::Packet pkt) { on_raw_rx(std::move(pkt)); });
   node_.set_tx_ready_cb([this] { pump_nic_queue(); });
@@ -43,6 +44,12 @@ void HostComm::send(hw::Packet pkt) {
   const bool needs_credit = pkt.hdr.kind == hw::PacketKind::kEvent;
   if (needs_credit) {
     if (ch.credits == 0) {
+      if (trace_.enabled(TraceCat::kCredit)) {
+        trace_.record({node_.engine().now(), pkt.hdr.recv_ts, TraceCat::kCredit,
+                       TracePoint::kCreditStall, pkt.hdr.negative, node_.id(),
+                       pkt.hdr.dst, pkt.hdr.event_id,
+                       static_cast<std::uint64_t>(ch.credit_waiting.size() + 1), 0});
+      }
       ch.credit_waiting.push_back(std::move(pkt));
       if (ch.stall_since == SimTime::max()) ch.stall_since = node_.engine().now();
       stats_.counter("comm.credit_stalls").add(1);
@@ -105,6 +112,12 @@ void HostComm::grant_credits(NodeId src, std::int64_t n) {
     stats_.counter("comm.credit_clamped").add(ch.credits - window_);
     ch.credits = window_;  // clamp against repair races
   }
+  if (trace_.enabled(TraceCat::kCredit)) {
+    trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
+                   TracePoint::kCreditGrant, false, node_.id(), src, kInvalidEvent,
+                   static_cast<std::uint64_t>(n),
+                   static_cast<std::uint64_t>(ch.credits)});
+  }
   pump_credit_queue(src);
 }
 
@@ -119,6 +132,11 @@ void HostComm::send_credit_update(NodeId src) {
   rxch.returned_total += rxch.credits_owed;
   rxch.credits_owed = 0;
   stats_.counter("comm.credit_msgs").add(1);
+  if (trace_.enabled(TraceCat::kCredit)) {
+    trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
+                   TracePoint::kCreditUpdateSent, false, node_.id(), src,
+                   kInvalidEvent, cr.hdr.credits_pb, 0});
+  }
   send(std::move(cr));
 }
 
@@ -165,6 +183,11 @@ void HostComm::on_raw_rx(hw::Packet pkt) {
       // Detection only: the credits themselves are refunded at the sender
       // (refund_credits), keeping the accounting exact.
       stats_.counter("comm.seq_gaps").add(static_cast<std::int64_t>(gap));
+      if (trace_.enabled(TraceCat::kCredit)) {
+        trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
+                       TracePoint::kSeqGap, false, node_.id(), src, kInvalidEvent,
+                       gap, pkt.hdr.bip_seq});
+      }
     }
     rxch.expected_seq = pkt.hdr.bip_seq + 1;
   }
@@ -195,6 +218,12 @@ void HostComm::check_stalls() {
           node_.engine().now() - ch.stall_since >=
               SimTime::from_us(opts_.credit_timeout_us)) {
         stats_.counter("comm.credit_resyncs").add(1);
+        if (trace_.enabled(TraceCat::kCredit)) {
+          trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
+                         TracePoint::kCreditResync, false, node_.id(), dst,
+                         kInvalidEvent,
+                         static_cast<std::uint64_t>(ch.credit_waiting.size()), 0});
+        }
         // Resynchronize: recover the full window after a costly host-side
         // timeout handler.
         node_.run_host_task(node_.cost().us(node_.cost().host_msg_recv_us * 4), [] {});
@@ -217,6 +246,12 @@ void HostComm::refund_credits(NodeId dst, std::int64_t n) {
     ch.credits = window_;
   }
   stats_.counter("comm.credits_refunded").add(n);
+  if (trace_.enabled(TraceCat::kCredit)) {
+    trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
+                   TracePoint::kCreditRefund, false, node_.id(), dst, kInvalidEvent,
+                   static_cast<std::uint64_t>(n),
+                   static_cast<std::uint64_t>(ch.credits)});
+  }
   pump_credit_queue(dst);
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 #include "hw/node.hpp"
 #include "hw/packet.hpp"
 
@@ -108,6 +109,7 @@ class HostComm {
   hw::Node& node_;
   CommOptions opts_;
   StatsRegistry& stats_;
+  TraceRecorder& trace_;
   std::int64_t window_;
   std::unordered_map<NodeId, ChannelTx> tx_;
   std::unordered_map<NodeId, ChannelRx> rx_;

@@ -13,8 +13,16 @@ namespace nicwarp {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
 
+// The initial level comes from the NICWARP_LOG_LEVEL environment variable
+// (a name — error/warn/info/debug/trace — or the matching integer 0..4);
+// unset or unparsable falls back to kWarn. set_log_level overrides at
+// runtime.
 LogLevel log_level();
 void set_log_level(LogLevel lvl);
+
+// Exposed for tests: parses a NICWARP_LOG_LEVEL value (case-insensitive
+// name or integer); nullptr/garbage returns `fallback`.
+LogLevel parse_log_level(const char* text, LogLevel fallback);
 
 // Event-id trace hook for debugging message lifecycle: set the
 // NICWARP_TRACE_EVENT environment variable to a decimal event id and every

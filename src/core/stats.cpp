@@ -44,6 +44,13 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
 Counter& StatsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter{}).first;
@@ -68,6 +75,13 @@ std::vector<std::pair<std::string, std::int64_t>> StatsRegistry::all_counters() 
   return out;
 }
 
+std::vector<std::pair<std::string, const Histogram*>> StatsRegistry::all_histograms() const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [k, h] : histograms_) out.emplace_back(k, &h);
+  return out;
+}
+
 std::string StatsRegistry::to_string() const {
   std::ostringstream os;
   for (const auto& [k, c] : counters_) os << k << "=" << c.get() << "\n";
@@ -78,8 +92,11 @@ std::string StatsRegistry::to_string() const {
 }
 
 void StatsRegistry::reset() {
-  counters_.clear();
-  histograms_.clear();
+  // In place, not clear(): references handed out by counter()/histogram()
+  // must survive a reset (samplers reset between rounds while hot paths
+  // keep recording).
+  for (auto& [k, c] : counters_) c.reset();
+  for (auto& [k, h] : histograms_) h.reset();
 }
 
 }  // namespace nicwarp

@@ -40,6 +40,9 @@ class Histogram {
   // containing the q-th sample).
   double quantile(double q) const;
 
+  // Zeroes all samples; bucket bounds are kept.
+  void reset();
+
   static std::vector<double> default_bounds();
 
  private:
@@ -58,9 +61,17 @@ class StatsRegistry {
   // Value of a counter, 0 if never touched.
   std::int64_t value(std::string_view name) const;
 
+  // Deterministic iteration/export order: both accessors return entries
+  // sorted by name (the registry is map-backed), so exports and samples are
+  // byte-stable across runs.
   std::vector<std::pair<std::string, std::int64_t>> all_counters() const;
+  std::vector<std::pair<std::string, const Histogram*>> all_histograms() const;
 
   std::string to_string() const;
+
+  // Zeroes every counter and histogram *in place* — registered names (and
+  // any Counter&/Histogram& a call site holds) stay valid, which is what
+  // per-round sampling and re-used testbeds need.
   void reset();
 
  private:

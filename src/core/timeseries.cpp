@@ -1,0 +1,62 @@
+#include "core/timeseries.hpp"
+
+#include <ostream>
+
+namespace nicwarp {
+
+bool TimeSeriesSampler::captures(const std::string& name) const {
+  if (opts_.counter_prefixes.empty()) return true;
+  for (const std::string& p : opts_.counter_prefixes) {
+    if (name.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+void TimeSeriesSampler::on_gvt(SimTime at, VirtualTime gvt) {
+  ++rounds_;
+  bool due = false;
+  if (opts_.every_gvt_rounds > 0) {
+    due = last_sample_round_ < 0 ||
+          rounds_ - last_sample_round_ >= opts_.every_gvt_rounds;
+  }
+  if (!due && opts_.min_virtual_dt > 0) {
+    due = last_sample_gvt_.t < 0 || gvt.is_inf() ||
+          gvt.t - last_sample_gvt_.t >= opts_.min_virtual_dt;
+  }
+  if (due) force_sample(at, gvt);
+}
+
+void TimeSeriesSampler::force_sample(SimTime at, VirtualTime gvt) {
+  TimeSample s;
+  s.at = at;
+  s.gvt = gvt;
+  s.round = rounds_;
+  for (auto& [name, value] : stats_->all_counters()) {
+    if (captures(name)) s.counters.emplace_back(name, value);
+  }
+  last_sample_round_ = rounds_;
+  last_sample_gvt_ = gvt;
+  samples_.push_back(std::move(s));
+}
+
+void TimeSeriesSampler::export_jsonl(std::ostream& os) const {
+  for (const TimeSample& s : samples_) {
+    os << "{\"type\":\"sample\",\"sim_us\":" << static_cast<double>(s.at.ns) / 1000.0
+       << ",\"round\":" << s.round << ",\"gvt\":";
+    if (s.gvt.is_inf()) {
+      os << "null";
+    } else {
+      os << s.gvt.t;
+    }
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : s.counters) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << value;
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace nicwarp

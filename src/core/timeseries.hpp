@@ -1,0 +1,75 @@
+// Time-series sampling of StatsRegistry counters.
+//
+// End-of-run counters collapse a whole experiment into one point; the
+// sampler turns them into curves by snapshotting the registry at a
+// configurable cadence — every N GVT rounds, or whenever GVT advances by a
+// minimum virtual-time delta. Figures like "committed events vs GVT period"
+// then fall out of one run instead of a sweep.
+//
+// The sampler is driven from the Time-Warp layer (rank 0's kernel calls
+// on_gvt for every adoption) so samples align with the algorithm's own
+// progress markers rather than arbitrary wall-clock ticks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+
+namespace nicwarp {
+
+// One snapshot. Counter values are cumulative (consumers difference
+// consecutive samples for per-round rates); order is deterministic
+// (sorted by name, see StatsRegistry).
+struct TimeSample {
+  SimTime at{SimTime::zero()};
+  VirtualTime gvt{VirtualTime::zero()};
+  std::int64_t round{0};  // GVT adoptions observed when the sample was taken
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+};
+
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    // Sample every N-th GVT adoption; 0 disables round-cadence sampling.
+    std::int64_t every_gvt_rounds = 1;
+    // Additionally sample whenever GVT advanced by at least this many
+    // virtual-time units since the last sample; 0 disables.
+    std::int64_t min_virtual_dt = 0;
+    // Only counters whose name starts with one of these prefixes are
+    // captured; empty = all counters.
+    std::vector<std::string> counter_prefixes;
+  };
+
+  TimeSeriesSampler(const StatsRegistry& stats, Options opts)
+      : stats_(&stats), opts_(std::move(opts)) {}
+
+  // Called once per GVT adoption (rank 0); samples if the cadence says so.
+  void on_gvt(SimTime at, VirtualTime gvt);
+
+  // Unconditional snapshot (e.g. the harness's end-of-run sample).
+  void force_sample(SimTime at, VirtualTime gvt);
+
+  std::int64_t rounds_seen() const { return rounds_; }
+  const std::vector<TimeSample>& samples() const { return samples_; }
+
+  // One {"type":"sample", ...} JSON object per line. GVT of +inf (the
+  // termination round) is emitted as null.
+  void export_jsonl(std::ostream& os) const;
+
+ private:
+  bool captures(const std::string& name) const;
+
+  const StatsRegistry* stats_;
+  Options opts_;
+  std::vector<TimeSample> samples_;
+  std::int64_t rounds_{0};
+  std::int64_t last_sample_round_{-1};
+  VirtualTime last_sample_gvt_{VirtualTime{-1}};
+};
+
+}  // namespace nicwarp

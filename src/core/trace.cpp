@@ -1,0 +1,245 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+const char* trace_cat_name(TraceCat c) {
+  switch (c) {
+    case TraceCat::kMsg: return "msg";
+    case TraceCat::kGvt: return "gvt";
+    case TraceCat::kCancel: return "cancel";
+    case TraceCat::kRollback: return "rollback";
+    case TraceCat::kCredit: return "credit";
+  }
+  return "?";
+}
+
+std::uint32_t parse_trace_categories(std::string_view list) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view tok = list.substr(pos, comma - pos);
+    if (tok == "all") mask |= kTraceAll;
+    for (TraceCat c : {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
+                       TraceCat::kRollback, TraceCat::kCredit}) {
+      if (tok == trace_cat_name(c)) mask |= trace_bit(c);
+    }
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+const char* trace_point_name(TracePoint p) {
+  switch (p) {
+    case TracePoint::kHostEnqueue: return "host-enqueue";
+    case TracePoint::kNicStage: return "nic-stage";
+    case TracePoint::kWireTx: return "wire-tx";
+    case TracePoint::kWireDepart: return "wire-depart";
+    case TracePoint::kNicRx: return "nic-rx";
+    case TracePoint::kHostDeliver: return "host-deliver";
+    case TracePoint::kNicDropTx: return "nic-drop-tx";
+    case TracePoint::kNicDropRing: return "nic-drop-ring";
+    case TracePoint::kGvtInitiate: return "gvt-initiate";
+    case TracePoint::kGvtTokenHandle: return "gvt-token-handle";
+    case TracePoint::kGvtHandshake: return "gvt-handshake";
+    case TracePoint::kGvtTokenEmit: return "gvt-token-emit";
+    case TracePoint::kGvtTokenPiggyback: return "gvt-token-piggyback";
+    case TracePoint::kGvtComplete: return "gvt-complete";
+    case TracePoint::kGvtAdopt: return "gvt-adopt";
+    case TracePoint::kGvtHostAdopt: return "gvt-host-adopt";
+    case TracePoint::kCancelDropPositive: return "cancel-drop-positive";
+    case TracePoint::kCancelFilterAnti: return "cancel-filter-anti";
+    case TracePoint::kCancelOverflow: return "cancel-overflow";
+    case TracePoint::kRollback: return "rollback";
+    case TracePoint::kCreditStall: return "credit-stall";
+    case TracePoint::kCreditGrant: return "credit-grant";
+    case TracePoint::kCreditUpdateSent: return "credit-update-sent";
+    case TracePoint::kCreditRefund: return "credit-refund";
+    case TracePoint::kCreditResync: return "credit-resync";
+    case TracePoint::kSeqGap: return "seq-gap";
+  }
+  return "?";
+}
+
+void TraceRecorder::configure(std::uint32_t category_mask, std::size_t capacity) {
+  mask_ = capacity == 0 ? 0 : category_mask;
+  buf_.assign(capacity, TraceRecord{});
+  head_ = size_ = 0;
+  total_ = overwritten_ = 0;
+}
+
+void TraceRecorder::clear() {
+  head_ = size_ = 0;
+  total_ = overwritten_ = 0;
+}
+
+void TraceRecorder::record(const TraceRecord& r) {
+  if (buf_.empty()) return;  // enabled() was false; defensive no-op
+  if (size_ < buf_.size()) {
+    buf_[(head_ + size_) % buf_.size()] = r;
+    ++size_;
+  } else {
+    buf_[head_] = r;
+    head_ = (head_ + 1) % buf_.size();
+    ++overwritten_;
+  }
+  ++total_;
+}
+
+const TraceRecord& TraceRecorder::at(std::size_t i) const {
+  NW_CHECK(i < size_);
+  return buf_[(head_ + i) % buf_.size()];
+}
+
+TraceRecorder& TraceRecorder::null_recorder() {
+  static TraceRecorder r;
+  return r;
+}
+
+namespace {
+
+double to_us(SimTime t) { return static_cast<double>(t.ns) / 1000.0; }
+
+// Writes the shared args payload for a record.
+void write_args(std::ostream& os, const TraceRecord& r) {
+  os << "{\"point\":\"" << trace_point_name(r.point) << "\",\"node\":" << r.node;
+  if (r.peer != kInvalidNode) os << ",\"peer\":" << r.peer;
+  if (r.event_id != kInvalidEvent) os << ",\"event_id\":" << r.event_id;
+  if (r.vt.is_inf()) {
+    os << ",\"vt\":null";
+  } else {
+    os << ",\"vt\":" << r.vt.t;
+  }
+  os << ",\"a\":" << r.a << ",\"b\":" << r.b
+     << ",\"negative\":" << (r.negative ? "true" : "false") << "}";
+}
+
+bool is_msg_terminal(TracePoint p) {
+  return p == TracePoint::kHostDeliver || p == TracePoint::kNicDropTx ||
+         p == TracePoint::kNicDropRing;
+}
+
+}  // namespace
+
+void TraceRecorder::export_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    os << "\n";
+    first = false;
+  };
+
+  // Process metadata: one Chrome "process" per cluster node.
+  std::set<NodeId> nodes;
+  for (std::size_t i = 0; i < size_; ++i) nodes.insert(at(i).node);
+  for (NodeId n : nodes) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << n
+       << ",\"tid\":0,\"args\":{\"name\":\"node" << n << "\"}}";
+  }
+
+  // Pass 1: the last record index of every GVT epoch, so each estimation
+  // becomes one async span closed at its final sighting.
+  std::map<std::uint64_t, std::size_t> gvt_last;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceRecord& r = at(i);
+    if (r.cat == TraceCat::kGvt) gvt_last[r.a] = i;
+  }
+
+  // Pass 2: emit. Message lifecycles are async spans keyed by
+  // (event_id, sign); ids recur across cancel/re-send incarnations, so each
+  // kHostEnqueue opens a fresh span and mid/terminal points attach to the
+  // oldest open one (channel FIFO order).
+  std::uint64_t next_async = 1;
+  std::map<std::pair<EventId, bool>, std::vector<std::uint64_t>> open_msgs;
+  std::set<std::uint64_t> open_gvt;
+
+  auto emit_async = [&](const char* cat, const char* name, const char* ph,
+                        std::uint64_t id, const TraceRecord& r) {
+    sep();
+    os << "{\"ph\":\"" << ph << "\",\"cat\":\"" << cat << "\",\"name\":\"" << name
+       << "\",\"id\":\"0x" << std::hex << id << std::dec << "\",\"pid\":" << r.node
+       << ",\"tid\":0,\"ts\":" << to_us(r.at) << ",\"args\":";
+    write_args(os, r);
+    os << "}";
+  };
+  auto emit_instant = [&](const char* cat, const char* name, const TraceRecord& r) {
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"p\",\"cat\":\"" << cat << "\",\"name\":\"" << name
+       << "\",\"pid\":" << r.node << ",\"tid\":0,\"ts\":" << to_us(r.at)
+       << ",\"args\":";
+    write_args(os, r);
+    os << "}";
+  };
+
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceRecord& r = at(i);
+    switch (r.cat) {
+      case TraceCat::kMsg: {
+        const auto key = std::make_pair(r.event_id, r.negative);
+        const char* name = r.negative ? "anti" : "msg";
+        auto& open = open_msgs[key];
+        if (r.point == TracePoint::kHostEnqueue || open.empty()) {
+          // Fresh incarnation (or the enqueue was overwritten in the ring).
+          open.push_back(next_async++);
+          emit_async("msg", name, "b", open.back(), r);
+          if (r.point == TracePoint::kHostEnqueue) break;
+        }
+        if (is_msg_terminal(r.point)) {
+          emit_async("msg", name, "e", open.front(), r);
+          open.erase(open.begin());
+        } else if (r.point != TracePoint::kHostEnqueue) {
+          emit_async("msg", name, "n", open.front(), r);
+        }
+        break;
+      }
+      case TraceCat::kGvt: {
+        const std::uint64_t epoch = r.a;
+        if (open_gvt.insert(epoch).second) {
+          emit_async("gvt", "gvt-estimation", "b", epoch, r);
+          if (gvt_last[epoch] != i) break;
+        }
+        if (gvt_last[epoch] == i) {
+          emit_async("gvt", "gvt-estimation", "e", epoch, r);
+        } else {
+          emit_async("gvt", "gvt-estimation", "n", epoch, r);
+        }
+        break;
+      }
+      case TraceCat::kCancel:
+        emit_instant("cancel", trace_point_name(r.point), r);
+        break;
+      case TraceCat::kRollback:
+        emit_instant("rollback", "rollback", r);
+        break;
+      case TraceCat::kCredit:
+        emit_instant("credit", trace_point_name(r.point), r);
+        break;
+    }
+  }
+
+  os << "\n],\"otherData\":{\"clock\":\"simulated-ns\",\"recorded\":" << total_
+     << ",\"overwritten\":" << overwritten_ << "}}\n";
+}
+
+void TraceRecorder::export_jsonl(std::ostream& os) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceRecord& r = at(i);
+    os << "{\"type\":\"trace_record\",\"cat\":\"" << trace_cat_name(r.cat)
+       << "\",\"sim_us\":" << to_us(r.at) << ",\"args\":";
+    write_args(os, r);
+    os << "}\n";
+  }
+}
+
+}  // namespace nicwarp

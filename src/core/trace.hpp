@@ -1,0 +1,147 @@
+// Structured virtual-time trace recorder.
+//
+// Every layer (kernel, comm, NIC, firmware, network) can record fixed-size
+// lifecycle points into one ring-buffered recorder owned by the cluster.
+// The discipline matches NW_LOG_AT: a site costs exactly one branch (a mask
+// test against an inline member) when its category is disabled, so leaving
+// the instrumentation compiled in does not perturb benchmark timings.
+//
+// Records are point samples on the simulated wall clock (SimTime); the
+// exporters assemble them into spans. Two output formats:
+//
+//  * Chrome trace_event JSON (chrome://tracing, Perfetto) — message
+//    lifecycles and GVT estimations become async spans, cancellations
+//    become instants; every event carries the Time-Warp virtual time in
+//    its args.
+//  * JSONL — one record per line, for tools/trace_summary.py and ad-hoc
+//    scripting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp {
+
+// Trace categories, enabled independently (bitmask).
+enum class TraceCat : std::uint8_t {
+  kMsg = 0,       // event-message lifecycle: host enqueue ... deliver/drop
+  kGvt = 1,       // GVT token hops, handshakes, completions, adoptions
+  kCancel = 2,    // early-cancellation decisions on the NIC
+  kRollback = 3,  // host rollbacks (count + depth)
+  kCredit = 4,    // flow control: stalls, grants, refunds, sequence gaps
+};
+inline constexpr std::uint32_t trace_bit(TraceCat c) {
+  return 1u << static_cast<unsigned>(c);
+}
+inline constexpr std::uint32_t kTraceAll = trace_bit(TraceCat::kMsg) |
+                                           trace_bit(TraceCat::kGvt) |
+                                           trace_bit(TraceCat::kCancel) |
+                                           trace_bit(TraceCat::kRollback) |
+                                           trace_bit(TraceCat::kCredit);
+
+const char* trace_cat_name(TraceCat c);
+// Parses "msg,gvt,cancel" / "all" / "" into a mask; unknown names are
+// ignored. Returns 0 for an empty list.
+std::uint32_t parse_trace_categories(std::string_view list);
+
+// Where in the system a record was taken. Lifecycle ordering for kMsg:
+// kHostEnqueue -> kNicStage -> kWireTx -> kWireDepart -> kNicRx ->
+// kHostDeliver, with kNicDropTx / kNicDropRing as early terminals.
+enum class TracePoint : std::uint8_t {
+  // --- msg lifecycle ---
+  kHostEnqueue = 0,  // kernel handed the event to the comm stack
+  kNicStage,         // NIC staged it in the SRAM send ring
+  kWireTx,           // link began serializing it
+  kWireDepart,       // link finished serializing (packet fully on the wire)
+  kNicRx,            // destination NIC received it from the wire
+  kHostDeliver,      // destination kernel integrated it
+  kNicDropTx,        // firmware dropped it at the host-tx hook (terminal)
+  kNicDropRing,      // firmware dropped it out of the send ring (terminal)
+  // --- gvt ---
+  kGvtInitiate,        // root NIC started an estimation (a=epoch)
+  kGvtTokenHandle,     // NIC took custody of a token (a=epoch, b=round)
+  kGvtHandshake,       // host handshake resolved (a=epoch, vt=host T)
+  kGvtTokenEmit,       // dedicated wire token emitted (a=epoch, peer=dst)
+  kGvtTokenPiggyback,  // token attached to an outgoing event (a=epoch)
+  kGvtComplete,        // estimation converged at the root (vt=GVT, a=epoch)
+  kGvtAdopt,           // a NIC adopted a broadcast value (vt=GVT, a=epoch)
+  kGvtHostAdopt,       // host kernel observed a new GVT (vt=GVT)
+  // --- cancel ---
+  kCancelDropPositive,  // doomed positive dropped in place
+  kCancelFilterAnti,    // anti filtered against an earlier drop
+  kCancelOverflow,      // drop refused: id ring or notice queue full
+  // --- rollback ---
+  kRollback,  // a=events undone, b=events replayed (coast-forward)
+  // --- credit ---
+  kCreditStall,       // sender blocked on an empty window (peer=dst)
+  kCreditGrant,       // credits returned to us (a=count, peer=src)
+  kCreditUpdateSent,  // explicit kCreditUpdate emitted (a=count, peer=dst)
+  kCreditRefund,      // NIC-drop refund applied (a=count, peer=dst)
+  kCreditResync,      // no-repair timeout path fired (peer=dst)
+  kSeqGap,            // BIP gap observed at the receiver (a=gap, peer=src)
+};
+
+const char* trace_point_name(TracePoint p);
+
+// One fixed-size record; field meaning depends on `point` (see enum docs).
+struct TraceRecord {
+  SimTime at{SimTime::zero()};        // simulated wall clock
+  VirtualTime vt{VirtualTime::zero()};  // relevant virtual time (recv_ts, GVT…)
+  TraceCat cat{TraceCat::kMsg};
+  TracePoint point{TracePoint::kHostEnqueue};
+  bool negative{false};          // anti-message (kMsg/kCancel)
+  NodeId node{kInvalidNode};     // node that recorded
+  NodeId peer{kInvalidNode};     // counterparty node when relevant
+  EventId event_id{kInvalidEvent};
+  std::uint64_t a{0};            // point-specific (epoch, counts, …)
+  std::uint64_t b{0};
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;  // disabled: mask 0, capacity 0
+
+  // (Re)configures categories and ring capacity; clears prior records.
+  void configure(std::uint32_t category_mask, std::size_t capacity);
+  void clear();
+
+  std::uint32_t mask() const { return mask_; }
+  // The one-branch guard every instrumentation site uses.
+  bool enabled(TraceCat c) const { return (mask_ & trace_bit(c)) != 0; }
+
+  // Appends a record. When the ring is full the *oldest* record is
+  // overwritten (the most recent window is the useful one for post-mortems)
+  // and `overwritten()` grows. Callers must check enabled() first.
+  void record(const TraceRecord& r);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t overwritten() const { return overwritten_; }
+  // i == 0 is the oldest retained record; records are in SimTime order.
+  const TraceRecord& at(std::size_t i) const;
+
+  // Chrome trace_event JSON (the whole file is one JSON object).
+  void export_chrome_json(std::ostream& os) const;
+  // One JSON object per line: {"type":"trace_record", ...}.
+  void export_jsonl(std::ostream& os) const;
+
+  // Shared fallback for hardware built without a recorder (tests). Never
+  // enabled; sites guarded by enabled() never record into it.
+  static TraceRecorder& null_recorder();
+
+ private:
+  std::uint32_t mask_{0};
+  std::vector<TraceRecord> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+  std::uint64_t total_{0};
+  std::uint64_t overwritten_{0};
+};
+
+}  // namespace nicwarp

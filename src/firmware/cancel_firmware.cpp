@@ -23,14 +23,28 @@ bool CancelFirmware::doomed(const hw::PacketHeader& hdr) const {
 
 bool CancelFirmware::record_drop(const hw::PacketHeader& hdr) {
   hw::Mailbox& mb = ctx_->mailbox();
-  if (mb.drop_notices.size() >= hw::Mailbox::kDropNoticeSoftLimit) return false;
+  const bool notice_full = mb.drop_notices.size() >= hw::Mailbox::kDropNoticeSoftLimit;
   auto& ring = mb.dropped_ring(hdr.src_obj, ctx_->cost().nic_event_id_ring_slots);
-  if (!ring.try_push(hdr.event_id)) return false;  // paper's size-10 buffer full
+  if (notice_full || !ring.try_push(hdr.event_id)) {
+    // The paper's size-10 buffer (or the notice queue) is full: the doomed
+    // positive must travel and be cancelled by its anti the slow way.
+    if (ctx_->trace().enabled(TraceCat::kCancel)) {
+      ctx_->trace().record({ctx_->now(), hdr.recv_ts, TraceCat::kCancel,
+                            TracePoint::kCancelOverflow, false, ctx_->node_id(),
+                            hdr.dst, hdr.event_id, 0, 0});
+    }
+    return false;
+  }
   mb.drop_notices.push_back(hw::DropNotice{hdr.event_id, hdr.src_obj, hdr.dst,
                                            hdr.color_epoch, hdr.recv_ts,
                                            /*negative=*/false});
   pending_dropped_pb_[hdr.dst] += 1;
   ctx_->stats().counter("cancel.dropped_positive").add(1);
+  if (ctx_->trace().enabled(TraceCat::kCancel)) {
+    ctx_->trace().record({ctx_->now(), hdr.recv_ts, TraceCat::kCancel,
+                          TracePoint::kCancelDropPositive, false, ctx_->node_id(),
+                          hdr.dst, hdr.event_id, 0, 0});
+  }
   if (hdr.event_id == traced_event()) {
     std::fprintf(stderr, "[trace %llu] DROPPED at nic=%u send_ts=%lld counter=%llu t=%lld\n",
                  (unsigned long long)hdr.event_id, ctx_->node_id(), (long long)hdr.send_ts.t,
@@ -64,6 +78,11 @@ hw::Firmware::HookResult CancelFirmware::on_host_tx(hw::Packet& pkt) {
       }
       pending_dropped_pb_[pkt.hdr.dst] += 1;
       ctx_->stats().counter("cancel.filtered_anti").add(1);
+      if (ctx_->trace().enabled(TraceCat::kCancel)) {
+        ctx_->trace().record({ctx_->now(), pkt.hdr.recv_ts, TraceCat::kCancel,
+                              TracePoint::kCancelFilterAnti, true, ctx_->node_id(),
+                              pkt.hdr.dst, pkt.hdr.event_id, /*a=in_ring*/ 0, 0});
+      }
       if (pkt.hdr.event_id == traced_event()) {
         std::fprintf(stderr, "[trace %llu] ANTI FILTERED (host_tx) nic=%u t=%lld\n",
                      (unsigned long long)pkt.hdr.event_id, ctx_->node_id(),
@@ -135,6 +154,11 @@ SimTime CancelFirmware::scan_send_ring() {
       }
       pending_dropped_pb_[p.hdr.dst] += 1;
       ctx_->stats().counter("cancel.filtered_anti").add(1);
+      if (ctx_->trace().enabled(TraceCat::kCancel)) {
+        ctx_->trace().record({ctx_->now(), p.hdr.recv_ts, TraceCat::kCancel,
+                              TracePoint::kCancelFilterAnti, true, ctx_->node_id(),
+                              p.hdr.dst, p.hdr.event_id, /*a=in_ring*/ 1, 0});
+      }
       if (p.hdr.event_id == traced_event()) {
         std::fprintf(stderr, "[trace %llu] ANTI FILTERED (ring) nic=%u t=%lld\n",
                      (unsigned long long)p.hdr.event_id, ctx_->node_id(),

@@ -52,6 +52,11 @@ SimTime GvtFirmware::maybe_initiate() {
   estimating_ = true;
   events_base_ = mb.events_processed;
   ctx_->stats().counter("gvt.estimations").add(1);
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), VirtualTime::zero(), TraceCat::kGvt,
+                          TracePoint::kGvtInitiate, false, ctx_->node_id(),
+                          kInvalidNode, kInvalidEvent, epoch_ + 1, 0});
+  }
 
   hw::GvtFields token;
   token.epoch = epoch_ + 1;
@@ -75,6 +80,12 @@ SimTime GvtFirmware::handle_token(const hw::GvtFields& token) {
     reported_recv_ = 0;
   }
   held_token_ = token;
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), token.t, TraceCat::kGvt,
+                          TracePoint::kGvtTokenHandle, false, ctx_->node_id(),
+                          kInvalidNode, kInvalidEvent, token.epoch,
+                          static_cast<std::uint64_t>(token.round)});
+  }
 
   // Ask the host for T. The notification goes up the same FIFO path as
   // event traffic, which is the consistency barrier (see warped/gvt_nic.hpp).
@@ -95,6 +106,11 @@ SimTime GvtFirmware::resolve_handshake(std::uint64_t epoch, VirtualTime host_t) 
   if (!held_token_ || held_token_->epoch != epoch) return SimTime::zero();
   hw::GvtFields token = *held_token_;
   held_token_.reset();
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), host_t, TraceCat::kGvt,
+                          TracePoint::kGvtHandshake, false, ctx_->node_id(),
+                          kInvalidNode, kInvalidEvent, epoch, 0});
+  }
 
   const std::uint32_t e = token.epoch;
   if (token.phase == 0) {
@@ -164,6 +180,12 @@ SimTime GvtFirmware::emit_wire_token() {
   pkt.hdr.dst = out_dst_;
   pkt.hdr.size_bytes = static_cast<std::uint32_t>(ctx_->cost().gvt_ctrl_bytes);
   pkt.hdr.gvt = *out_token_;
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), out_token_->t, TraceCat::kGvt,
+                          TracePoint::kGvtTokenEmit, false, ctx_->node_id(),
+                          out_dst_, kInvalidEvent, out_token_->epoch,
+                          static_cast<std::uint64_t>(out_token_->round)});
+  }
   out_token_.reset();
   ctx_->stats().counter("gvt.wire_tokens").add(1);
   ctx_->emit(std::move(pkt));
@@ -174,6 +196,11 @@ SimTime GvtFirmware::complete(VirtualTime gvt_value, std::uint32_t epoch) {
   estimating_ = false;
   last_completion_ = ctx_->now();
   events_base_ = ctx_->mailbox().events_processed;
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), gvt_value, TraceCat::kGvt,
+                          TracePoint::kGvtComplete, false, ctx_->node_id(),
+                          kInvalidNode, kInvalidEvent, epoch, 0});
+  }
 
   // Tell every other NIC (wire broadcast, no host involvement there either).
   for (NodeId n = 0; n < ctx_->world_size(); ++n) {
@@ -195,6 +222,11 @@ SimTime GvtFirmware::adopt_gvt(VirtualTime gvt_value, std::uint32_t epoch) {
   if (mb.gvt < gvt_value) {
     mb.gvt = gvt_value;
     mb.gvt_epoch = epoch;
+    if (ctx_->trace().enabled(TraceCat::kGvt)) {
+      ctx_->trace().record({ctx_->now(), gvt_value, TraceCat::kGvt,
+                            TracePoint::kGvtAdopt, false, ctx_->node_id(),
+                            kInvalidNode, kInvalidEvent, epoch, 0});
+    }
   }
   if (epoch >= 1) {
     sent_.erase(epoch - 1);
@@ -238,6 +270,12 @@ SimTime GvtFirmware::on_wire_tx(hw::Packet& pkt) {
   if (out_token_ && pkt.hdr.dst == out_dst_) {
     pkt.hdr.gvt_token_pb = true;
     pkt.hdr.gvt = *out_token_;
+    if (ctx_->trace().enabled(TraceCat::kGvt)) {
+      ctx_->trace().record({ctx_->now(), out_token_->t, TraceCat::kGvt,
+                            TracePoint::kGvtTokenPiggyback, false, ctx_->node_id(),
+                            out_dst_, pkt.hdr.event_id, out_token_->epoch,
+                            static_cast<std::uint64_t>(out_token_->round)});
+    }
     out_token_.reset();
     ctx_->stats().counter("gvt.tokens_piggybacked").add(1);
   }

@@ -1,6 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -68,6 +70,18 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   Testbed tb;
   tb.cluster = std::make_unique<hw::Cluster>(cfg.cost, cfg.nodes,
                                              make_firmware_factory(cfg), cfg.seed);
+  if (!cfg.trace.categories.empty()) {
+    tb.cluster->trace().configure(parse_trace_categories(cfg.trace.categories),
+                                  cfg.trace.capacity);
+  }
+  if (cfg.metrics.enabled()) {
+    TimeSeriesSampler::Options sopts;
+    sopts.every_gvt_rounds = cfg.metrics.sample_every_gvt_rounds > 0
+                                 ? cfg.metrics.sample_every_gvt_rounds
+                                 : (cfg.metrics.sample_virtual_dt > 0 ? 0 : 1);
+    sopts.min_virtual_dt = cfg.metrics.sample_virtual_dt;
+    tb.sampler = std::make_unique<TimeSeriesSampler>(tb.cluster->stats(), sopts);
+  }
   models::BuiltModel model = build_model(cfg);
 
   comm::CommOptions comm_opts;
@@ -86,6 +100,9 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   kopts.state_save_period = cfg.state_save_period;
   kopts.paranoia_checks = cfg.paranoia_checks;
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    // Only rank 0 feeds the sampler: a cluster-wide GVT adoption must yield
+    // one sample, not world_size duplicates.
+    kopts.sampler = (n == 0) ? tb.sampler.get() : nullptr;
     auto kernel = std::make_unique<warped::Kernel>(
         tb.cluster->node(n), *tb.comms[n], model.partition, make_manager(cfg), kopts,
         cfg.seed);
@@ -145,13 +162,48 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   r.gvt_rounds = st.value("gvt.rounds");
   r.gvt_estimations = st.value("gvt.estimations");
   r.host_gvt_ctrl_msgs = st.value("comm.credit_msgs");
+
+  if (tb.sampler != nullptr) {
+    // Close the series with the end-of-run state (final GVT is +inf on a
+    // completed run; the sampler serializes that as null).
+    tb.sampler->force_sample(tb.cluster->engine().now(), r.final_gvt);
+    r.series = tb.sampler->samples();
+  }
+  r.trace_records = tb.cluster->trace().total_recorded();
+  r.trace_overwritten = tb.cluster->trace().overwritten();
   return r;
 }
+
+namespace {
+
+void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb) {
+  auto open = [](const std::string& path) {
+    std::ofstream os(path);
+    NW_CHECK_MSG(os.good(), "cannot open output file");
+    return os;
+  };
+  if (!cfg.trace.chrome_out.empty()) {
+    auto os = open(cfg.trace.chrome_out);
+    tb.cluster->trace().export_chrome_json(os);
+  }
+  if (!cfg.trace.jsonl_out.empty()) {
+    auto os = open(cfg.trace.jsonl_out);
+    tb.cluster->trace().export_jsonl(os);
+  }
+  if (tb.sampler != nullptr && !cfg.metrics.out_path.empty()) {
+    auto os = open(cfg.metrics.out_path);
+    tb.sampler->export_jsonl(os);
+  }
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   Testbed tb = build_testbed(cfg);
   const bool completed = tb.run_to_completion(cfg.max_sim_seconds);
-  return extract_result(tb, completed);
+  ExperimentResult r = extract_result(tb, completed);
+  write_experiment_outputs(cfg, tb);
+  return r;
 }
 
 std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& cfgs,

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "comm/host_comm.hpp"
+#include "core/timeseries.hpp"
+#include "core/trace.hpp"
 #include "hw/cluster.hpp"
 #include "models/phold.hpp"
 #include "models/police.hpp"
@@ -18,6 +20,28 @@
 namespace nicwarp::harness {
 
 enum class ModelKind { kRaid, kPolice, kPhold };
+
+// Structured tracing knobs. Tracing is off (and costs one predicted-false
+// branch per site) unless `categories` is non-empty.
+struct TraceConfig {
+  // Comma-separated category list ("msg,gvt,cancel,rollback,credit" or
+  // "all"); empty disables tracing entirely.
+  std::string categories;
+  std::size_t capacity = 1u << 16;  // ring slots; oldest records overwritten
+  std::string chrome_out;  // write Chrome trace_event JSON here after the run
+  std::string jsonl_out;   // write one-record-per-line JSONL here
+};
+
+// Counter time-series knobs. Sampling is on when any field is set.
+struct MetricsConfig {
+  std::int64_t sample_every_gvt_rounds = 0;  // 0 = off (1 = every adoption)
+  std::int64_t sample_virtual_dt = 0;  // extra samples per GVT advance of dt
+  std::string out_path;                // write sample JSONL here after the run
+
+  bool enabled() const {
+    return sample_every_gvt_rounds > 0 || sample_virtual_dt > 0 || !out_path.empty();
+  }
+};
 
 struct ExperimentConfig {
   ModelKind model = ModelKind::kRaid;
@@ -40,6 +64,9 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   double max_sim_seconds = 900.0;  // wall-clock (simulated) safety cap
   bool paranoia_checks = false;    // expensive LP-level pairing checks (tests)
+
+  TraceConfig trace;      // observability: structured event traces
+  MetricsConfig metrics;  // observability: GVT-cadence counter samples
 };
 
 struct ExperimentResult {
@@ -73,6 +100,12 @@ struct ExperimentResult {
   std::int64_t signature = 0;  // schedule-independent result fingerprint
   VirtualTime final_gvt{VirtualTime::zero()};
 
+  // Counter snapshots taken at GVT cadence (empty unless cfg.metrics set).
+  std::vector<TimeSample> series;
+  // Trace-recorder accounting (zero unless cfg.trace.categories set).
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_overwritten = 0;
+
   std::string to_string() const;
 };
 
@@ -81,6 +114,8 @@ struct Testbed {
   std::unique_ptr<hw::Cluster> cluster;
   std::vector<std::unique_ptr<comm::HostComm>> comms;
   std::vector<std::unique_ptr<warped::Kernel>> kernels;
+  // Non-null when cfg.metrics is enabled; fed by rank 0's kernel.
+  std::unique_ptr<TimeSeriesSampler> sampler;
 
   bool all_stopped() const;
   // Runs until every kernel terminated or the cap; returns completed flag.

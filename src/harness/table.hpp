@@ -21,6 +21,10 @@ class Table {
 
   std::string to_string() const;  // aligned, boxed
   std::string to_csv() const;
+  // Machine-readable export: {"title":..., "rows":[{header:cell,...},...]}.
+  // Cells that parse fully as numbers are emitted as JSON numbers, the rest
+  // as strings; short rows simply omit the missing columns.
+  std::string to_json() const;
   void print() const;             // to stdout
 
  private:

@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/network.hpp"
 #include "hw/node.hpp"
@@ -21,6 +22,8 @@ class Cluster {
 
   sim::Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }
+  // Cluster-wide trace recorder; disabled (mask 0) until configure()d.
+  TraceRecorder& trace() { return trace_; }
   const CostModel& cost() const { return cost_; }
   std::uint32_t size() const { return static_cast<std::uint32_t>(nodes_.size()); }
   Node& node(NodeId id) { return *nodes_.at(id); }
@@ -37,6 +40,7 @@ class Cluster {
   std::uint64_t seed_;
   sim::Engine engine_;
   StatsRegistry stats_;
+  TraceRecorder trace_;  // must outlive network_ and nodes_
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Rng>> rngs_;

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/mailbox.hpp"
@@ -41,6 +42,10 @@ class NicContext {
   virtual const CostModel& cost() const = 0;
   virtual Mailbox& mailbox() = 0;
   virtual StatsRegistry& stats() = 0;
+  // Structured trace recorder; sites must check trace().enabled(cat) first.
+  // Defaults to the shared disabled recorder so bare test contexts need not
+  // override it.
+  virtual TraceRecorder& trace() { return TraceRecorder::null_recorder(); }
 
   // --- send-ring inspection & in-place cancellation ---
   virtual std::size_t send_ring_size() const = 0;

@@ -5,8 +5,11 @@
 namespace nicwarp::hw {
 
 Network::Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-                 std::uint32_t num_nodes)
-    : engine_(engine), stats_(stats), cost_(cost) {
+                 std::uint32_t num_nodes, TraceRecorder* trace)
+    : engine_(engine),
+      stats_(stats),
+      trace_(trace ? *trace : TraceRecorder::null_recorder()),
+      cost_(cost) {
   links_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     links_.push_back(
@@ -21,9 +24,14 @@ void Network::transmit(NodeId src, Packet pkt, std::function<void()> on_link_fre
   const SimTime serialize = cost_.wire_time(pkt.hdr.size_bytes);
   links_[src]->submit(
       serialize,
-      [this, pkt = std::move(pkt), done = std::move(on_link_free)]() mutable {
+      [this, src, pkt = std::move(pkt), done = std::move(on_link_free)]() mutable {
         stats_.counter("net.packets").add(1);
         stats_.counter("net.bytes").add(pkt.hdr.size_bytes);
+        if (pkt.hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+          trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kMsg,
+                         TracePoint::kWireDepart, pkt.hdr.negative, src, pkt.hdr.dst,
+                         pkt.hdr.event_id, pkt.hdr.size_bytes, 0});
+        }
         if (done) done();
         const NodeId dst = pkt.hdr.dst;
         engine_.schedule(cost_.us(cost_.link_latency_us),

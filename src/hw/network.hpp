@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "core/trace.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/packet.hpp"
@@ -22,8 +23,9 @@ class Network {
  public:
   using Sink = std::function<void(NodeId dst, Packet pkt)>;
 
+  // `trace` may be null (tests); records then go to a never-enabled sink.
   Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-          std::uint32_t num_nodes);
+          std::uint32_t num_nodes, TraceRecorder* trace = nullptr);
 
   // Routes packets that complete wire traversal; set once by the Cluster.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
@@ -39,6 +41,7 @@ class Network {
  private:
   sim::Engine& engine_;
   StatsRegistry& stats_;
+  TraceRecorder& trace_;
   const CostModel& cost_;
   std::vector<std::unique_ptr<sim::Server>> links_;
   Sink sink_;

@@ -7,9 +7,10 @@ namespace nicwarp::hw {
 
 Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
          std::uint32_t world_size, Network& network, sim::Server& bus,
-         std::unique_ptr<Firmware> firmware)
+         std::unique_ptr<Firmware> firmware, TraceRecorder* trace)
     : engine_(engine),
       stats_(stats),
+      trace_(trace ? *trace : TraceRecorder::null_recorder()),
       cost_(cost),
       id_(id),
       world_size_(world_size),
@@ -40,13 +41,24 @@ void Nic::accept_from_host(Packet pkt) {
         return r.cost;
       },
       [this, state] {
+        const PacketHeader& hdr = state->first.hdr;
         switch (state->second) {
           case Firmware::Action::kForward:
+            if (hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+              trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
+                             TracePoint::kNicStage, hdr.negative, id_, hdr.dst,
+                             hdr.event_id, send_ring_.size(), 0});
+            }
             send_ring_.push_back(std::move(state->first));
             pump_tx();
             break;
           case Firmware::Action::kDrop:
           case Firmware::Action::kConsume:
+            if (hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+              trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
+                             TracePoint::kNicDropTx, hdr.negative, id_, hdr.dst,
+                             hdr.event_id, 0, 0});
+            }
             // The packet never reaches the wire; its slot frees immediately.
             NW_CHECK(slots_in_use_ > 0);
             --slots_in_use_;
@@ -73,6 +85,11 @@ Packet Nic::drop_from_send_ring(std::size_t i) {
   NW_CHECK(slots_in_use_ > 0);
   --slots_in_use_;
   stats_.counter("nic.ring_drops").add(1);
+  if (out.hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+    trace_.record({engine_.now(), out.hdr.recv_ts, TraceCat::kMsg,
+                   TracePoint::kNicDropRing, out.hdr.negative, id_, out.hdr.dst,
+                   out.hdr.event_id, i, 0});
+  }
   if (tx_slot_freed_) tx_slot_freed_();
   return out;
 }
@@ -122,6 +139,11 @@ void Nic::pump_tx() {
                  (unsigned long long)pkt->hdr.event_id, id_, pkt->hdr.negative ? 1 : 0,
                  (long long)engine_.now().ns);
   }
+  if (pkt->hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+    trace_.record({engine_.now(), pkt->hdr.recv_ts, TraceCat::kMsg,
+                   TracePoint::kWireTx, pkt->hdr.negative, id_, pkt->hdr.dst,
+                   pkt->hdr.event_id, from_ctrl ? 1u : 0u, 0});
+  }
   nic_cpu_.submit_dynamic(
       [this, pkt] { return firmware_->on_wire_tx(*pkt); },
       [this, pkt, from_ctrl] {
@@ -139,6 +161,11 @@ void Nic::pump_tx() {
 }
 
 void Nic::receive_from_net(Packet pkt) {
+  if (pkt.hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+    trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kMsg,
+                   TracePoint::kNicRx, pkt.hdr.negative, id_, pkt.hdr.src,
+                   pkt.hdr.event_id, 0, 0});
+  }
   auto state = std::make_shared<std::pair<Packet, Firmware::Action>>(
       std::move(pkt), Firmware::Action::kForward);
   nic_cpu_.submit_dynamic(

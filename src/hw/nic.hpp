@@ -22,10 +22,11 @@ namespace nicwarp::hw {
 
 class Nic final : public NicContext {
  public:
-  // `bus` is the node's I/O bus (shared with host-side tx DMA).
+  // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace` may
+  // be null (tests); records then go to a never-enabled sink.
   Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
       std::uint32_t world_size, Network& network, sim::Server& bus,
-      std::unique_ptr<Firmware> firmware);
+      std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr);
 
   // ----- host-facing interface (called from Node / comm layer) -----
 
@@ -52,6 +53,7 @@ class Nic final : public NicContext {
   const CostModel& cost() const override { return cost_; }
   Mailbox& mailbox() override { return mailbox_; }
   StatsRegistry& stats() override { return stats_; }
+  TraceRecorder& trace() override { return trace_; }
   std::size_t send_ring_size() const override { return send_ring_.size(); }
   const Packet& send_ring_at(std::size_t i) const override;
   Packet& send_ring_mutable_at(std::size_t i) override;
@@ -68,6 +70,7 @@ class Nic final : public NicContext {
 
   sim::Engine& engine_;
   StatsRegistry& stats_;
+  TraceRecorder& trace_;
   const CostModel& cost_;
   NodeId id_;
   std::uint32_t world_size_;

@@ -5,7 +5,8 @@
 namespace nicwarp::hw {
 
 Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-           std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware)
+           std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware,
+           TraceRecorder* trace)
     : engine_(engine),
       stats_(stats),
       cost_(cost),
@@ -13,7 +14,7 @@ Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, Nod
       host_cpu_(engine, "host" + std::to_string(id) + ".cpu", &stats),
       bus_(engine, "bus" + std::to_string(id), &stats) {
   nic_ = std::make_unique<Nic>(engine, stats, cost, id, world_size, network, bus_,
-                               std::move(firmware));
+                               std::move(firmware), trace);
   nic_->set_host_deliver([this](Packet pkt) {
     // The packet landed in host memory; charge the host receive path
     // (interrupt + protocol stack) before the comm layer sees it.

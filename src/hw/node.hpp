@@ -19,8 +19,10 @@ namespace nicwarp::hw {
 
 class Node {
  public:
+  // `trace` may be null (tests); records then go to a never-enabled sink.
   Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-       std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware);
+       std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware,
+       TraceRecorder* trace = nullptr);
 
   NodeId id() const { return id_; }
   sim::Server& host_cpu() { return host_cpu_; }
@@ -30,6 +32,7 @@ class Node {
   const CostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }
+  TraceRecorder& trace() { return nic_->trace(); }
 
   // --- raw packet interface for the comm layer (host-task context) ---
 

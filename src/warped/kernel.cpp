@@ -98,6 +98,12 @@ void Kernel::send_control(hw::Packet pkt) {
 }
 
 void Kernel::on_new_gvt(VirtualTime g) {
+  if (node_.trace().enabled(TraceCat::kGvt)) {
+    node_.trace().record({now(), g, TraceCat::kGvt, TracePoint::kGvtHostAdopt,
+                          false, rank(), kInvalidNode, kInvalidEvent,
+                          node_.mailbox().gvt_epoch, 0});
+  }
+  if (opts_.sampler != nullptr) opts_.sampler->on_gvt(now(), g);
   const std::size_t reclaimed = lp_.fossil_collect(g);
   if (reclaimed > 0) {
     node_.run_host_task(
@@ -189,6 +195,11 @@ void Kernel::dispatch_event(EventMsg ev, double& cost_us) {
   mgr_->stamp_outgoing(pkt.hdr);
   cost_us += cost().host_msg_send_us;
   node_.stats().counter(ev.negative ? "tw.antis_sent" : "tw.events_sent").add(1);
+  if (node_.trace().enabled(TraceCat::kMsg)) {
+    node_.trace().record({now(), ev.recv_ts, TraceCat::kMsg,
+                          TracePoint::kHostEnqueue, ev.negative, rank(), dst_node,
+                          ev.id, pkt.hdr.size_bytes, 0});
+  }
   comm_.send(std::move(pkt));
 }
 
@@ -199,6 +210,13 @@ void Kernel::apply_insert_result(const LogicalProcess::InsertResult& res,
                cost().host_rollback_per_event_us * static_cast<double>(res.events_undone);
     // Coast-forward replays re-execute model code in full.
     cost_us += cost().host_event_exec_us * static_cast<double>(res.events_replayed);
+    if (node_.trace().enabled(TraceCat::kRollback)) {
+      node_.trace().record({now(), lp_.lvt(), TraceCat::kRollback,
+                            TracePoint::kRollback, false, rank(), kInvalidNode,
+                            kInvalidEvent,
+                            static_cast<std::uint64_t>(res.events_undone),
+                            static_cast<std::uint64_t>(res.events_replayed)});
+    }
   }
   // Aggressive cancellation: dispatch the antis now (may cascade locally).
   for (const EventMsg& anti : res.antis) dispatch_event(anti, cost_us);
@@ -209,6 +227,11 @@ void Kernel::on_deliver(hw::Packet pkt) {
   switch (pkt.hdr.kind) {
     case hw::PacketKind::kEvent: {
       mgr_->on_event_received(pkt.hdr);
+      if (node_.trace().enabled(TraceCat::kMsg)) {
+        node_.trace().record({now(), pkt.hdr.recv_ts, TraceCat::kMsg,
+                              TracePoint::kHostDeliver, pkt.hdr.negative, rank(),
+                              pkt.hdr.src, pkt.hdr.event_id, 0, 0});
+      }
       double cost_us = 0.0;
       drain_drop_notices(cost_us);
       apply_insert_result(lp_.insert(packet_to_event(pkt), /*from_network=*/true), cost_us);

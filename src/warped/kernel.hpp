@@ -14,6 +14,8 @@
 
 #include "comm/host_comm.hpp"
 #include "core/rng.hpp"
+#include "core/timeseries.hpp"
+#include "core/trace.hpp"
 #include "hw/node.hpp"
 #include "warped/gvt_manager.hpp"
 #include "warped/lp.hpp"
@@ -29,6 +31,10 @@ struct KernelOptions {
   std::int64_t state_save_period = 1;  // copy state saving every N events
   double idle_poll_us = 50.0;  // manager poll cadence when nothing else runs
   bool paranoia_checks = false;  // LP-level pairing checks (tests)
+  // When set, every GVT adoption on THIS kernel is reported to the sampler.
+  // The harness wires it to exactly one kernel (rank 0) so a cluster-wide
+  // adoption yields one sample, not world_size of them. Not owned.
+  TimeSeriesSampler* sampler = nullptr;
 };
 
 class Kernel final : public KernelApi {

@@ -276,5 +276,67 @@ TEST(StatsTest, ResetClearsEverything) {
   EXPECT_EQ(s.histogram("h").count(), 0);
 }
 
+TEST(StatsTest, ResetPreservesHandedOutReferences) {
+  StatsRegistry s;
+  Counter& c = s.counter("x");
+  Histogram& h = s.histogram("h");
+  c.add(5);
+  h.record(2.0);
+  s.reset();
+  // The same objects must still be live and registered (in-place reset).
+  c.add(3);
+  h.record(7.0);
+  EXPECT_EQ(s.value("x"), 3);
+  EXPECT_EQ(s.histogram("h").count(), 1);
+  EXPECT_DOUBLE_EQ(s.histogram("h").max(), 7.0);
+}
+
+TEST(StatsTest, QuantileEmptyHistogramIsZero) {
+  Histogram h({1, 10, 100});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(StatsTest, QuantileSingleSample) {
+  Histogram h({10, 100});
+  h.record(5.0);
+  // Every quantile of a one-sample histogram is that sample's bucket bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(StatsTest, QuantileExtremesAndOverflowBucket) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 90; ++i) h.record(5.0);
+  for (int i = 0; i < 10; ++i) h.record(1e6);  // beyond the last bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);    // lowest bucket's bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  // Samples past the last bound land in the overflow bucket, whose reported
+  // value is the exact max (there is no upper bound to quote).
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1e6);
+}
+
+TEST(StatsTest, NameReuseReturnsSameInstance) {
+  StatsRegistry s;
+  Counter& a = s.counter("same");
+  Counter& b = s.counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(s.value("same"), 5);
+  // A histogram may share a counter's name; they live in separate maps.
+  Histogram& ha = s.histogram("same");
+  Histogram& hb = s.histogram("same");
+  EXPECT_EQ(&ha, &hb);
+  ha.record(1.0);
+  EXPECT_EQ(s.histogram("same").count(), 1);
+  EXPECT_EQ(s.value("same"), 5);  // counter untouched
+  ASSERT_EQ(s.all_histograms().size(), 1u);
+  EXPECT_EQ(s.all_histograms()[0].first, "same");
+}
+
 }  // namespace
 }  // namespace nicwarp

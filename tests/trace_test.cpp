@@ -1,0 +1,352 @@
+// Unit tests for the observability layer: the trace recorder's ring and
+// exporters, the time-series sampler's cadence, and the supporting parsers
+// (trace categories, log levels). Export validity is checked with a small
+// recursive-descent JSON parser rather than by string comparison, so the
+// exporters are free to change formatting without breaking the tests.
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/log.hpp"
+#include "core/stats.hpp"
+#include "core/timeseries.hpp"
+#include "core/trace.hpp"
+
+namespace nicwarp {
+namespace {
+
+// --- minimal JSON validator -------------------------------------------------
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : s_(text) {}
+
+  bool parse_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool parse_string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* c = lit; *c; ++c) {
+      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
+      ++pos_;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+bool valid_json(const std::string& text) {
+  JsonCursor c(text);
+  return c.parse_value() && c.at_end();
+}
+
+TraceRecord make_record(std::int64_t us, TraceCat cat, TracePoint point,
+                        EventId id = 7, NodeId node = 0, NodeId peer = 1) {
+  return {SimTime::from_us(static_cast<double>(us)), VirtualTime{100 + us}, cat,
+          point, false, node, peer, id, 0, 0};
+}
+
+// --- category parsing -------------------------------------------------------
+
+TEST(TraceCategories, ParsesNamesAndAll) {
+  EXPECT_EQ(parse_trace_categories(""), 0u);
+  EXPECT_EQ(parse_trace_categories("msg"), trace_bit(TraceCat::kMsg));
+  EXPECT_EQ(parse_trace_categories("msg,gvt"),
+            trace_bit(TraceCat::kMsg) | trace_bit(TraceCat::kGvt));
+  EXPECT_EQ(parse_trace_categories("all"), kTraceAll);
+  EXPECT_EQ(parse_trace_categories("cancel,rollback,credit"),
+            trace_bit(TraceCat::kCancel) | trace_bit(TraceCat::kRollback) |
+                trace_bit(TraceCat::kCredit));
+  // Unknown names are ignored, not fatal.
+  EXPECT_EQ(parse_trace_categories("msg,bogus"), trace_bit(TraceCat::kMsg));
+}
+
+// --- ring behavior ----------------------------------------------------------
+
+TEST(TraceRecorder, DisabledByDefault) {
+  TraceRecorder tr;
+  EXPECT_FALSE(tr.enabled(TraceCat::kMsg));
+  EXPECT_FALSE(tr.enabled(TraceCat::kGvt));
+  EXPECT_EQ(tr.size(), 0u);
+  // The shared null recorder can never be enabled by accident.
+  EXPECT_EQ(TraceRecorder::null_recorder().mask(), 0u);
+}
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder tr;
+  tr.configure(kTraceAll, 8);
+  for (int i = 0; i < 5; ++i) {
+    tr.record(make_record(i, TraceCat::kMsg, TracePoint::kHostEnqueue,
+                          static_cast<EventId>(i)));
+  }
+  ASSERT_EQ(tr.size(), 5u);
+  EXPECT_EQ(tr.total_recorded(), 5u);
+  EXPECT_EQ(tr.overwritten(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tr.at(i).event_id, static_cast<EventId>(i));
+  }
+}
+
+TEST(TraceRecorder, OverflowKeepsMostRecentWindow) {
+  TraceRecorder tr;
+  tr.configure(trace_bit(TraceCat::kMsg), 4);
+  for (int i = 0; i < 10; ++i) {
+    tr.record(make_record(i, TraceCat::kMsg, TracePoint::kHostEnqueue,
+                          static_cast<EventId>(i)));
+  }
+  ASSERT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.capacity(), 4u);
+  EXPECT_EQ(tr.total_recorded(), 10u);
+  EXPECT_EQ(tr.overwritten(), 6u);
+  // at(0) is the oldest retained record: ids 6,7,8,9 remain.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tr.at(i).event_id, static_cast<EventId>(6 + i));
+  }
+}
+
+TEST(TraceRecorder, ConfigureClearsAndReenables) {
+  TraceRecorder tr;
+  tr.configure(trace_bit(TraceCat::kGvt), 4);
+  EXPECT_TRUE(tr.enabled(TraceCat::kGvt));
+  EXPECT_FALSE(tr.enabled(TraceCat::kMsg));
+  tr.record(make_record(1, TraceCat::kGvt, TracePoint::kGvtInitiate));
+  tr.configure(trace_bit(TraceCat::kMsg), 4);
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.total_recorded(), 0u);
+  EXPECT_TRUE(tr.enabled(TraceCat::kMsg));
+}
+
+// --- exporters --------------------------------------------------------------
+
+TEST(TraceExport, ChromeJsonIsValidAndPairsLifecycles) {
+  TraceRecorder tr;
+  tr.configure(kTraceAll, 64);
+  // A full lifecycle, a dropped message, and a GVT round.
+  tr.record(make_record(1, TraceCat::kMsg, TracePoint::kHostEnqueue, 42));
+  tr.record(make_record(2, TraceCat::kMsg, TracePoint::kNicStage, 42));
+  tr.record(make_record(3, TraceCat::kMsg, TracePoint::kWireTx, 42));
+  tr.record(make_record(4, TraceCat::kMsg, TracePoint::kWireDepart, 42));
+  tr.record(make_record(5, TraceCat::kMsg, TracePoint::kNicRx, 42, 1, 0));
+  tr.record(make_record(6, TraceCat::kMsg, TracePoint::kHostDeliver, 42, 1, 0));
+  tr.record(make_record(7, TraceCat::kMsg, TracePoint::kHostEnqueue, 43));
+  tr.record(make_record(8, TraceCat::kMsg, TracePoint::kNicDropTx, 43));
+  tr.record(make_record(9, TraceCat::kGvt, TracePoint::kGvtInitiate));
+  tr.record(make_record(10, TraceCat::kGvt, TracePoint::kGvtComplete));
+  tr.record(make_record(11, TraceCat::kCancel, TracePoint::kCancelDropPositive, 43));
+
+  std::ostringstream os;
+  tr.export_chrome_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(valid_json(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // Async begin/end pairs must balance for Perfetto to render spans.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = text.find("\"ph\":\"b\"", pos)) != std::string::npos) { ++begins; ++pos; }
+  pos = 0;
+  while ((pos = text.find("\"ph\":\"e\"", pos)) != std::string::npos) { ++ends; ++pos; }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  // Virtual time must ride along in args.
+  EXPECT_NE(text.find("\"vt\":"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeJsonHandlesTruncatedLifecycles) {
+  TraceRecorder tr;
+  tr.configure(trace_bit(TraceCat::kMsg), 2);  // ring loses the enqueues
+  tr.record(make_record(1, TraceCat::kMsg, TracePoint::kHostEnqueue, 7));
+  tr.record(make_record(2, TraceCat::kMsg, TracePoint::kNicStage, 7));
+  tr.record(make_record(3, TraceCat::kMsg, TracePoint::kNicRx, 7, 1, 0));
+  tr.record(make_record(4, TraceCat::kMsg, TracePoint::kHostDeliver, 7, 1, 0));
+  std::ostringstream os;
+  tr.export_chrome_json(os);
+  EXPECT_TRUE(valid_json(os.str())) << os.str();
+}
+
+TEST(TraceExport, JsonlEveryLineIsValid) {
+  TraceRecorder tr;
+  tr.configure(kTraceAll, 16);
+  tr.record(make_record(1, TraceCat::kMsg, TracePoint::kHostEnqueue));
+  tr.record(make_record(2, TraceCat::kCredit, TracePoint::kCreditStall));
+  tr.record(make_record(3, TraceCat::kRollback, TracePoint::kRollback));
+  // A GVT record whose vt is +inf must serialize as null, not a bare inf.
+  TraceRecord inf_rec = make_record(4, TraceCat::kGvt, TracePoint::kGvtHostAdopt);
+  inf_rec.vt = VirtualTime::inf();
+  tr.record(inf_rec);
+
+  std::ostringstream os;
+  tr.export_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(valid_json(line)) << line;
+    EXPECT_NE(line.find("\"type\":\"trace_record\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(os.str().find("\"vt\":null"), std::string::npos);
+}
+
+// --- time-series sampler ----------------------------------------------------
+
+TEST(TimeSeries, RoundCadence) {
+  StatsRegistry st;
+  Counter& c = st.counter("tw.events_processed");
+  TimeSeriesSampler::Options o;
+  o.every_gvt_rounds = 3;
+  TimeSeriesSampler s(st, o);
+  for (int r = 1; r <= 9; ++r) {
+    c.add(10);
+    s.on_gvt(SimTime::from_us(r * 100.0), VirtualTime{r * 5});
+  }
+  EXPECT_EQ(s.rounds_seen(), 9);
+  // The first adoption always samples, then every 3rd: rounds 1, 4, 7.
+  ASSERT_EQ(s.samples().size(), 3u);
+  EXPECT_EQ(s.samples()[0].round, 1);
+  EXPECT_EQ(s.samples()[1].round, 4);
+  EXPECT_EQ(s.samples()[2].round, 7);
+  EXPECT_EQ(s.samples()[0].counters.at(0).second, 10);
+  EXPECT_EQ(s.samples()[2].counters.at(0).second, 70);
+}
+
+TEST(TimeSeries, VirtualDtCadence) {
+  StatsRegistry st;
+  st.counter("x").add(1);
+  TimeSeriesSampler::Options o;
+  o.every_gvt_rounds = 0;  // rounds alone never trigger
+  o.min_virtual_dt = 100;
+  TimeSeriesSampler s(st, o);
+  s.on_gvt(SimTime::from_us(1), VirtualTime{10});   // dt from -1: samples
+  s.on_gvt(SimTime::from_us(2), VirtualTime{50});   // +40: no
+  s.on_gvt(SimTime::from_us(3), VirtualTime{115});  // +105: samples
+  s.on_gvt(SimTime::from_us(4), VirtualTime{130});  // +15: no
+  s.on_gvt(SimTime::from_us(5), VirtualTime::inf());  // termination: samples
+  EXPECT_EQ(s.samples().size(), 3u);
+}
+
+TEST(TimeSeries, PrefixFilterAndForceSample) {
+  StatsRegistry st;
+  st.counter("tw.events_processed").add(5);
+  st.counter("net.packets").add(7);
+  TimeSeriesSampler::Options o;
+  o.counter_prefixes = {"tw."};
+  TimeSeriesSampler s(st, o);
+  s.force_sample(SimTime::from_us(1), VirtualTime{1});
+  ASSERT_EQ(s.samples().size(), 1u);
+  ASSERT_EQ(s.samples()[0].counters.size(), 1u);
+  EXPECT_EQ(s.samples()[0].counters[0].first, "tw.events_processed");
+}
+
+TEST(TimeSeries, JsonlExportIsValid) {
+  StatsRegistry st;
+  st.counter("a").add(1);
+  TimeSeriesSampler s(st, {});
+  s.on_gvt(SimTime::from_us(10), VirtualTime{5});
+  s.force_sample(SimTime::from_us(20), VirtualTime::inf());
+  std::ostringstream os;
+  s.export_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(valid_json(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(os.str().find("\"gvt\":null"), std::string::npos);  // inf round
+}
+
+// --- log-level parsing (NICWARP_LOG_LEVEL) ----------------------------------
+
+TEST(LogLevelParse, NamesAndIntegers) {
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("WARN", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("trace", LogLevel::kWarn), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("0", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("4", LogLevel::kWarn), LogLevel::kTrace);
+  // Fallback on nullptr, empty, junk, and out-of-range numbers.
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("99", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace nicwarp

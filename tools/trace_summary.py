@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Summarize nicwarp trace and metrics files on the console.
+
+Accepts any mix of:
+  * Chrome trace_event JSON written by --trace-out (one JSON object),
+  * trace-record JSONL written by --trace-jsonl (one record per line),
+  * metrics sample JSONL written by --metrics-out.
+
+File type is auto-detected from content, so the typical invocation is just:
+
+  $ ./sweep_cli model=raid --trace-out trace.json --metrics-out m.jsonl
+  $ python3 tools/trace_summary.py trace.json m.jsonl
+
+For message traces it prints per-hop latency percentiles along the
+lifecycle host-enqueue -> nic-stage -> wire-tx -> wire-depart -> nic-rx ->
+host-deliver, plus drop/cancel/credit tallies. For metrics files it prints
+a per-GVT-round breakdown (events committed, rollbacks, wire packets per
+round window). Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+# Lifecycle order; consecutive pairs define the hops we report.
+MSG_POINTS = [
+    "host-enqueue",
+    "nic-stage",
+    "wire-tx",
+    "wire-depart",
+    "nic-rx",
+    "host-deliver",
+]
+TERMINAL_DROPS = {"nic-drop-tx", "nic-drop-ring"}
+
+
+def load_any(path):
+    """Returns a list of normalized records: dicts with keys
+    kind ('trace' | 'sample'), cat, point, ts_us, event_id, negative, args."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    text = text.strip()
+    if not text:
+        return []
+    if text[0] == "{" and "\n" in text and text.splitlines()[0].rstrip().endswith("}"):
+        # Could still be a pretty-printed single object; try JSONL first.
+        try:
+            return [normalize_line(json.loads(ln)) for ln in text.splitlines() if ln.strip()]
+        except json.JSONDecodeError:
+            pass
+    doc = json.loads(text)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return [r for r in (normalize_chrome(e) for e in doc["traceEvents"]) if r]
+    raise ValueError(f"{path}: unrecognized format")
+
+
+def normalize_line(obj):
+    t = obj.get("type")
+    if t == "sample":
+        return {"kind": "sample", **obj}
+    if t == "trace_record":
+        args = obj.get("args", {})
+        return {
+            "kind": "trace",
+            "cat": obj.get("cat"),
+            "point": args.get("point"),
+            "ts_us": obj.get("sim_us", 0.0),
+            "event_id": args.get("event_id"),
+            "negative": args.get("negative", False),
+            "args": args,
+        }
+    raise ValueError(f"unknown JSONL record type: {t!r}")
+
+
+def normalize_chrome(ev):
+    if ev.get("ph") not in ("b", "n", "e", "i"):
+        return None
+    args = ev.get("args", {})
+    point = args.get("point")
+    if point is None:
+        return None
+    return {
+        "kind": "trace",
+        "cat": ev.get("cat"),
+        "point": point,
+        "ts_us": ev.get("ts", 0.0),
+        "event_id": args.get("event_id"),
+        "negative": args.get("negative", False),
+        "args": args,
+    }
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def summarize_msg(records, out):
+    msgs = [r for r in records if r["kind"] == "trace" and r["cat"] == "msg"]
+    if not msgs:
+        return
+    # Group into lifecycles: event ids recur across cancel/re-send
+    # incarnations, so a new host-enqueue (or any point at an earlier
+    # lifecycle position than the last one seen) starts a fresh incarnation.
+    pos = {p: i for i, p in enumerate(MSG_POINTS)}
+    lifecycles = defaultdict(list)  # (event_id, negative, incarnation) -> [(pos, ts)]
+    incarnation = Counter()
+    last_pos = {}
+    drops = Counter()
+    for r in msgs:
+        key = (r["event_id"], r["negative"])
+        if r["point"] in TERMINAL_DROPS:
+            drops[r["point"]] += 1
+            last_pos.pop(key, None)
+            continue
+        if r["point"] not in pos:
+            continue
+        p = pos[r["point"]]
+        if key not in last_pos or p <= last_pos[key]:
+            incarnation[key] += 1
+        last_pos[key] = p
+        lifecycles[key + (incarnation[key],)].append((p, r["ts_us"]))
+
+    hops = defaultdict(list)  # (from_point, to_point) -> [latency_us]
+    e2e = []
+    for points in lifecycles.values():
+        points.sort()
+        for (p0, t0), (p1, t1) in zip(points, points[1:]):
+            if p1 == p0:
+                continue
+            hops[(MSG_POINTS[p0], MSG_POINTS[p1])].append(t1 - t0)
+        if points[0][0] == 0 and points[-1][0] == len(MSG_POINTS) - 1:
+            e2e.append(points[-1][1] - points[0][1])
+
+    print("== message lifecycle hops ==", file=out)
+    print(f"{'hop':34s} {'count':>8s} {'p50us':>9s} {'p90us':>9s} {'p99us':>9s} {'maxus':>9s}",
+          file=out)
+    ordered = sorted(hops.items(), key=lambda kv: (pos[kv[0][0]], pos[kv[0][1]]))
+    for (a, b), vals in ordered:
+        vals.sort()
+        print(f"{a + ' -> ' + b:34s} {len(vals):8d} "
+              f"{percentile(vals, 0.5):9.2f} {percentile(vals, 0.9):9.2f} "
+              f"{percentile(vals, 0.99):9.2f} {vals[-1]:9.2f}", file=out)
+    if e2e:
+        e2e.sort()
+        print(f"{'host-enqueue -> host-deliver (e2e)':34s} {len(e2e):8d} "
+              f"{percentile(e2e, 0.5):9.2f} {percentile(e2e, 0.9):9.2f} "
+              f"{percentile(e2e, 0.99):9.2f} {e2e[-1]:9.2f}", file=out)
+    for point, n in sorted(drops.items()):
+        print(f"  dropped in NIC ({point}): {n}", file=out)
+    print(file=out)
+
+
+def summarize_instants(records, out):
+    inst = Counter()
+    for r in records:
+        if r["kind"] == "trace" and r["cat"] in ("cancel", "rollback", "credit", "gvt"):
+            inst[(r["cat"], r["point"])] += 1
+    if not inst:
+        return
+    print("== cancel / rollback / credit / gvt points ==", file=out)
+    for (cat, point), n in sorted(inst.items()):
+        print(f"  {cat:9s} {point:24s} {n:8d}", file=out)
+    print(file=out)
+
+
+def summarize_gvt_rounds(records, out):
+    samples = [r for r in records if r["kind"] == "sample"]
+    if not samples:
+        return
+    samples.sort(key=lambda s: s.get("round", 0))
+    print("== GVT-round breakdown (per sample window) ==", file=out)
+    cols = ["tw.events_processed", "tw.events_rolled_back", "tw.rollbacks", "net.packets"]
+    print(f"{'round':>6s} {'sim_us':>12s} {'gvt':>12s} "
+          + " ".join(f"{'d ' + c.split('.')[-1]:>16s}" for c in cols), file=out)
+    prev = None
+    for s in samples:
+        c = s.get("counters", {})
+        deltas = []
+        for col in cols:
+            cur = c.get(col, 0)
+            deltas.append(cur - (prev.get("counters", {}).get(col, 0) if prev else 0))
+        gvt = s.get("gvt")
+        gvt_s = "inf" if gvt is None else str(gvt)
+        print(f"{s.get('round', 0):6d} {s.get('sim_us', 0):12.1f} {gvt_s:>12s} "
+              + " ".join(f"{d:16d}" for d in deltas), file=out)
+        prev = s
+    n = len(samples)
+    print(f"  {n} samples; final counters are cumulative over the whole run", file=out)
+    print(file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+", help="trace.json / trace.jsonl / metrics.jsonl")
+    ap.add_argument("--max-rounds", type=int, default=20,
+                    help="print at most N GVT-round rows (default 20; 0 = all)")
+    args = ap.parse_args()
+
+    records = []
+    for path in args.files:
+        try:
+            records.extend(load_any(path))
+        except (ValueError, OSError) as e:
+            print(f"{path}: not a nicwarp trace/metrics file ({e})", file=sys.stderr)
+            return 1
+    if not records:
+        print("no records found", file=sys.stderr)
+        return 1
+
+    samples = [r for r in records if r["kind"] == "sample"]
+    if args.max_rounds and len(samples) > args.max_rounds:
+        keep = set(id(s) for s in samples[-args.max_rounds:])
+        records = [r for r in records if r["kind"] != "sample" or id(r) in keep]
+
+    summarize_msg(records, sys.stdout)
+    summarize_instants(records, sys.stdout)
+    summarize_gvt_rounds(records, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
