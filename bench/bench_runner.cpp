@@ -1,0 +1,199 @@
+// bench_runner — the benchmark-regression harness.
+//
+// Runs every registered scenario (bench/scenarios.cpp: representative points
+// off all bench_fig*/bench_abl* sweeps plus smoke and profiler scenarios)
+// sequentially, measuring host wall time around each, and writes one
+// schema-versioned JSON document:
+//
+//   $ ./bench_runner --list                       # names only, no runs
+//   $ ./bench_runner --filter=smoke --out=b.json  # substring-selected subset
+//   $ ./bench_runner --out=bench/baselines/BENCH_0001.json
+//
+// The document separates deterministic metrics (simulated seconds, committed
+// events, rollbacks, wire packets, signatures — identical on every machine
+// for a given seed) from noisy ones (wall seconds, rusage), so
+// tools/bench_compare.py can gate tightly on the former and loosely on the
+// latter. Scenarios run sequentially precisely so per-scenario wall time is
+// not polluted by sibling runs.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenarios.hpp"
+
+namespace {
+
+using nicwarp::bench::Scenario;
+using nicwarp::harness::ExperimentResult;
+
+constexpr int kBenchSchemaVersion = 1;
+
+// Same stable double formatting as the profiler's JSON export.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct ScenarioRun {
+  const Scenario* sc{nullptr};
+  ExperimentResult r;
+  double wall_seconds{0.0};
+};
+
+void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
+  const ExperimentResult& r = run.r;
+  const double committed_rate =
+      r.sim_seconds > 0.0 ? static_cast<double>(r.committed_events) / r.sim_seconds : 0.0;
+  const double rollback_eff =
+      r.events_processed > 0 ? static_cast<double>(r.committed_events) /
+                                   static_cast<double>(r.events_processed)
+                             : 0.0;
+  // Mean simulated time between GVT estimations — the "GVT latency" the
+  // figures care about (how stale the commit horizon runs).
+  const double gvt_latency_us =
+      r.gvt_estimations > 0 ? r.sim_seconds * 1e6 / static_cast<double>(r.gvt_estimations)
+                            : 0.0;
+
+  os << "    {\"name\": \"" << run.sc->name << "\", \"group\": \"" << run.sc->group
+     << "\",\n     \"deterministic\": {"
+     << "\"completed\": " << (r.completed ? "true" : "false")
+     << ", \"sim_seconds\": " << fmt(r.sim_seconds)
+     << ", \"committed_events\": " << r.committed_events
+     << ", \"events_processed\": " << r.events_processed
+     << ", \"events_rolled_back\": " << r.events_rolled_back
+     << ", \"rollbacks\": " << r.rollbacks
+     << ", \"committed_rate_per_sim_sec\": " << fmt(committed_rate)
+     << ", \"rollback_efficiency\": " << fmt(rollback_eff)
+     << ", \"gvt_estimations\": " << r.gvt_estimations
+     << ", \"gvt_rounds\": " << r.gvt_rounds
+     << ", \"gvt_latency_us\": " << fmt(gvt_latency_us)
+     << ", \"wire_packets\": " << r.wire_packets
+     << ", \"wire_bytes\": " << r.wire_bytes
+     << ", \"event_msgs_generated\": " << r.event_msgs_generated
+     << ", \"antis_generated\": " << r.antis_generated
+     << ", \"nic_drops\": " << r.dropped_by_nic
+     << ", \"filtered_antis\": " << r.filtered_antis
+     << ", \"antis_suppressed\": " << r.antis_suppressed
+     << ", \"signature\": " << r.signature;
+  if (r.profile != nullptr) {
+    const auto& p = *r.profile;
+    os << ", \"work_efficiency\": " << fmt(p.work_efficiency)
+       << ", \"time_vs_lower_bound\": " << fmt(p.time_vs_lower_bound)
+       << ", \"critical_path_events\": " << p.critical_path.critical_path_events
+       << ", \"cascade_roots\": " << p.cascades.roots
+       << ", \"cascade_max_depth\": " << p.cascades.max_depth
+       << ", \"nic_drops_attributed\": " << p.cascades.nic_drops_attributed;
+  }
+  os << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.wall_seconds) << "}}";
+}
+
+void write_bench_json(std::ostream& os, const std::vector<ScenarioRun>& runs) {
+  os << "{\n  \"type\": \"nicwarp-bench\",\n  \"schema_version\": "
+     << kBenchSchemaVersion << ",\n  \"seed\": 23,\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) os << ",\n";
+    write_scenario_json(os, runs[i]);
+  }
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  const double user_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                        static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+  const double sys_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                       static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+  os << "\n  ],\n  \"rusage\": {\"max_rss_kb\": " << ru.ru_maxrss
+     << ", \"user_seconds\": " << fmt(user_s)
+     << ", \"system_seconds\": " << fmt(sys_s) << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string filter;
+  std::string out_path;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.rfind(flag, 0) != 0) return nullptr;
+      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
+      if (arg.size() == n && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (arg == "--list") {
+      list_only = true;
+    } else if (const char* v = value("--filter")) {
+      filter = v;
+    } else if (const char* v = value("--out")) {
+      out_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_runner [--list] [--filter=SUBSTR] [--out=FILE]\n"
+          "  --list     print matching scenario names and exit\n"
+          "  --filter   run only scenarios whose name contains SUBSTR\n"
+          "  --out      write the BENCH JSON here (default: stdout)\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<Scenario> all = nicwarp::bench::all_scenarios();
+  std::vector<const Scenario*> selected;
+  for (const Scenario& s : all) {
+    if (filter.empty() || s.name.find(filter) != std::string::npos) {
+      selected.push_back(&s);
+    }
+  }
+  if (list_only) {
+    for (const Scenario* s : selected) std::printf("%s\n", s->name.c_str());
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenarios match filter '%s'\n", filter.c_str());
+    return 2;
+  }
+
+  std::vector<ScenarioRun> runs;
+  runs.reserve(selected.size());
+  int failures = 0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const Scenario* sc = selected[i];
+    std::fprintf(stderr, "[%2zu/%zu] %s ...\n", i + 1, selected.size(),
+                 sc->name.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentResult r = nicwarp::harness::run_experiment(sc->cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!r.completed) {
+      std::fprintf(stderr, "         WARNING: hit the simulated-time cap\n");
+      ++failures;
+    }
+    ScenarioRun run;
+    run.sc = sc;
+    run.r = std::move(r);
+    run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    runs.push_back(std::move(run));
+  }
+
+  if (out_path.empty()) {
+    write_bench_json(std::cout, runs);
+  } else {
+    std::ofstream os(out_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+      return 2;
+    }
+    write_bench_json(os, runs);
+    std::fprintf(stderr, "wrote %zu scenarios -> %s\n", runs.size(), out_path.c_str());
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -1,0 +1,53 @@
+// The two calibrated testbed presets every benchmark builds on (see
+// EXPERIMENTS.md):
+//  * gvt_preset    — the configuration for the GVT figures (Figs. 4, 5a, 5b);
+//  * cancel_preset — the congestion-point configuration for the early-
+//                    cancellation figures (Figs. 6, 7, 8), where the paper's
+//                    system demonstrably operated (e.g. RAID's ~350 messages
+//                    per disk request in Fig. 6b).
+//
+// Shared between the google-benchmark figure binaries (bench_util.hpp) and
+// the regression runner (scenarios.cpp) so a preset change moves every
+// consumer at once.
+#pragma once
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp::bench {
+
+inline harness::ExperimentConfig gvt_preset(harness::ModelKind model) {
+  harness::ExperimentConfig cfg;
+  cfg.model = model;
+  cfg.nodes = 8;
+  cfg.seed = 23;
+  cfg.rollback_scope = warped::RollbackScope::kLp;
+  cfg.max_sim_seconds = 600;
+  if (model == harness::ModelKind::kRaid) {
+    cfg.raid.sources = 10;  // paper: "10 processes ... 8 forks ... 8 disks"
+    cfg.raid.forks = 8;
+    cfg.raid.disks = 8;
+    cfg.raid.total_requests = 8000;
+    cfg.cost.host_event_exec_us = 18.0;
+  } else if (model == harness::ModelKind::kPolice) {
+    cfg.police.stations = 900;
+    cfg.cost.host_event_exec_us = 8.0;  // POLICE is fine-grained
+  }
+  return cfg;
+}
+
+inline harness::ExperimentConfig cancel_preset(harness::ModelKind model) {
+  harness::ExperimentConfig cfg = gvt_preset(model);
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 200;
+  // Operate the testbed at its congestion point: the LANai4-class NIC is
+  // the bottleneck and the baseline is rollback-bound, which is the regime
+  // where in-place cancellation pays (and where the paper's message counts
+  // place its system).
+  cfg.cost.nic_per_packet_us = 11.25;
+  if (model == harness::ModelKind::kRaid) {
+    cfg.raid.sources = 16;  // paper §4.2: "16 source processes"
+  }
+  return cfg;
+}
+
+}  // namespace nicwarp::bench

@@ -1,0 +1,171 @@
+#include "scenarios.hpp"
+
+#include "presets.hpp"
+
+namespace nicwarp::bench {
+
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ModelKind;
+
+void add(std::vector<Scenario>& out, std::string group, std::string variant,
+         ExperimentConfig cfg) {
+  Scenario s;
+  s.name = group + "/" + variant;
+  s.group = std::move(group);
+  s.cfg = std::move(cfg);
+  out.push_back(std::move(s));
+}
+
+}  // namespace
+
+std::vector<Scenario> all_scenarios() {
+  std::vector<Scenario> out;
+
+  // --- smoke: small and fast; the CI gate runs only these ---
+  {
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.raid.total_requests = 2000;
+    add(out, "smoke", "raid", cfg);
+
+    cfg = gvt_preset(ModelKind::kPolice);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.police.stations = 300;
+    add(out, "smoke", "police", cfg);
+  }
+
+  // --- profile: the cascade / critical-path profiler on both models at the
+  // congestion point, where rollback structure is richest ---
+  for (ModelKind m : {ModelKind::kRaid, ModelKind::kPolice}) {
+    ExperimentConfig cfg = cancel_preset(m);
+    cfg.early_cancel = true;
+    if (m == ModelKind::kRaid) cfg.raid.total_requests = 4000;
+    cfg.profile.enabled = true;
+    add(out, "profile", m == ModelKind::kRaid ? "raid" : "police", cfg);
+  }
+
+  // --- fig4: RAID GVT period sweep, WARPED vs NIC GVT ---
+  for (std::int64_t p : {std::int64_t{1}, std::int64_t{100}, std::int64_t{10000}}) {
+    for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic}) {
+      ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+      cfg.gvt_period = p;
+      cfg.gvt_mode = mode;
+      add(out, "fig4",
+          std::string(mode == warped::GvtMode::kNic ? "nicgvt" : "warped") +
+              "/period:" + std::to_string(p),
+          cfg);
+    }
+  }
+
+  // --- fig5 (a+b share the sweep): POLICE GVT period sweep ---
+  for (std::int64_t p : {std::int64_t{1}, std::int64_t{100}, std::int64_t{10000}}) {
+    for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic}) {
+      ExperimentConfig cfg = gvt_preset(ModelKind::kPolice);
+      cfg.gvt_period = p;
+      cfg.gvt_mode = mode;
+      add(out, "fig5",
+          std::string(mode == warped::GvtMode::kNic ? "nicgvt" : "warped") +
+              "/period:" + std::to_string(p),
+          cfg);
+    }
+  }
+
+  // --- fig6 (a+b share the sweep): RAID early cancellation vs request count ---
+  for (std::int64_t r : {std::int64_t{5000}, std::int64_t{10000}}) {
+    for (bool cancel : {false, true}) {
+      ExperimentConfig cfg = cancel_preset(ModelKind::kRaid);
+      cfg.raid.total_requests = r;
+      cfg.early_cancel = cancel;
+      add(out, "fig6",
+          std::string(cancel ? "cancel" : "warped") + "/requests:" + std::to_string(r),
+          cfg);
+    }
+  }
+
+  // --- fig7/fig8 (shared sweep): POLICE early cancellation vs station count ---
+  for (std::int64_t s : {std::int64_t{900}, std::int64_t{2000}}) {
+    for (bool cancel : {false, true}) {
+      ExperimentConfig cfg = cancel_preset(ModelKind::kPolice);
+      cfg.police.stations = s;
+      cfg.early_cancel = cancel;
+      add(out, "fig7",
+          std::string(cancel ? "cancel" : "warped") + "/stations:" + std::to_string(s),
+          cfg);
+    }
+  }
+
+  // --- abl_piggyback (A1): token piggybacking on/off at aggressive period ---
+  for (ModelKind m : {ModelKind::kRaid, ModelKind::kPolice}) {
+    for (bool piggyback : {true, false}) {
+      ExperimentConfig cfg = gvt_preset(m);
+      cfg.gvt_mode = warped::GvtMode::kNic;
+      cfg.gvt_period = 10;
+      cfg.piggyback = piggyback;
+      add(out, "abl_piggyback",
+          std::string(m == ModelKind::kRaid ? "raid" : "police") + "/" +
+              (piggyback ? "on" : "off"),
+          cfg);
+    }
+  }
+
+  // --- abl_credit (A2): sequence-number credit repair on/off ---
+  for (bool repair : {true, false}) {
+    ExperimentConfig cfg = cancel_preset(ModelKind::kPolice);
+    cfg.early_cancel = true;
+    cfg.credit_repair = repair;
+    add(out, "abl_credit", repair ? "repair" : "norepair", cfg);
+  }
+
+  // --- abl_nic_speed (A3): NIC per-packet cost sweep, both optimizations ---
+  for (double n : {2.0, 11.25}) {
+    ExperimentConfig cfg = gvt_preset(ModelKind::kPolice);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.early_cancel = true;
+    cfg.cost.nic_per_packet_us = n;
+    cfg.max_sim_seconds = 30;
+    add(out, "abl_nic_speed", "nic_us:" + std::to_string(n).substr(0, 5), cfg);
+  }
+
+  // --- abl_pgvt (A4): GVT algorithm three-way at the canonical period ---
+  for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kPGvt,
+                    warped::GvtMode::kNic}) {
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_period = 100;
+    cfg.gvt_mode = mode;
+    const char* v = mode == warped::GvtMode::kHostMattern ? "mattern"
+                    : mode == warped::GvtMode::kPGvt      ? "pgvt"
+                                                          : "nicgvt";
+    add(out, "abl_pgvt", v, cfg);
+  }
+
+  // --- abl_state (A5): state-saving period ---
+  for (std::int64_t p : {std::int64_t{1}, std::int64_t{8}, std::int64_t{64}}) {
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.state_save_period = p;
+    add(out, "abl_state", "period:" + std::to_string(p), cfg);
+  }
+
+  // --- abl_lazy (A6): aggressive vs lazy cancellation ---
+  for (ModelKind m : {ModelKind::kRaid, ModelKind::kPolice}) {
+    for (auto mode : {warped::CancellationMode::kAggressive,
+                      warped::CancellationMode::kLazy}) {
+      ExperimentConfig cfg = gvt_preset(m);
+      cfg.gvt_mode = warped::GvtMode::kNic;
+      cfg.gvt_period = 200;
+      cfg.cancellation = mode;
+      add(out, "abl_lazy",
+          std::string(m == ModelKind::kRaid ? "raid" : "police") + "/" +
+              (mode == warped::CancellationMode::kLazy ? "lazy" : "aggressive"),
+          cfg);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace nicwarp::bench

@@ -1,0 +1,31 @@
+// The benchmark-regression scenario registry.
+//
+// One named, deterministic experiment per entry — representative points off
+// every figure/ablation sweep (bench_fig*, bench_abl*) plus two fast smoke
+// scenarios for CI and two profiler scenarios that exercise the cascade /
+// critical-path subsystem. bench_runner executes these and serializes the
+// result set as a schema-versioned BENCH_<n>.json; tools/bench_compare.py
+// diffs two such files and fails on regression.
+//
+// Naming: "<group>/<variant>/<axis>:<value>" (mirrors the google-benchmark
+// point names of the figure binaries), so substring filters like
+// "--filter=fig7" or "--filter=smoke" select natural slices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace nicwarp::bench {
+
+struct Scenario {
+  std::string name;
+  std::string group;  // "fig4", "abl_credit", "smoke", "profile", ...
+  harness::ExperimentConfig cfg;
+};
+
+// Every registered scenario, in a fixed deterministic order.
+std::vector<Scenario> all_scenarios();
+
+}  // namespace nicwarp::bench

@@ -20,16 +20,29 @@
 // adoption and writes one JSON object per sample. `trace=msg,gvt` and
 // `metrics_every=N` tune both without recompiling.
 //
+// `--profile-out FILE` (or `profile=1`) attaches the cascade/critical-path
+// profiler and writes its JSON report; `--print-trace-schema` dumps the
+// trace-schema manifest (the source of tools/trace_schema.json) and exits.
+//
 // Prints the full metric set plus the canonical one-line summary.
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/trace.hpp"
 #include "harness/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace nicwarp;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--print-trace-schema") {
+      export_trace_schema(std::cout);
+      return 0;
+    }
+  }
 
   // Normalize argv: "--trace-out x" / "--trace-out=x" -> "trace_out=x".
   std::vector<std::string> words;
@@ -119,6 +132,8 @@ int main(int argc, char** argv) {
   cfg.metrics.sample_every_gvt_rounds =
       p.get_i64("metrics_every", cfg.metrics.out_path.empty() ? 0 : 1);
   cfg.metrics.sample_virtual_dt = p.get_i64("metrics_vdt", 0);
+  cfg.profile.json_out = p.get_str("profile_out", "");
+  cfg.profile.enabled = p.get_bool("profile", false);
 
   std::printf("config: %s\n", joined.c_str());
   const harness::ExperimentResult r = harness::run_experiment(cfg);
@@ -151,6 +166,12 @@ int main(int argc, char** argv) {
     std::printf("  metrics        : %zu samples", r.series.size());
     if (!cfg.metrics.out_path.empty())
       std::printf(" -> %s", cfg.metrics.out_path.c_str());
+    std::printf("\n");
+  }
+  if (r.profile != nullptr) {
+    std::printf("  profile        : %s", r.profile->summary().c_str());
+    if (!cfg.profile.json_out.empty())
+      std::printf(" -> %s", cfg.profile.json_out.c_str());
     std::printf("\n");
   }
   return r.completed ? 0 : 1;

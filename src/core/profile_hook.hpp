@@ -1,0 +1,65 @@
+// Profiling hook interface: the one-way street from the running system into
+// the profiler (src/profile).
+//
+// The Time-Warp kernel (and, via the drop-notice path, the NIC firmware)
+// reports four kinds of facts while a run executes:
+//
+//  * event executions            — the nodes of the committed-event DAG,
+//  * send edges                  — parent execution -> child event, the DAG's
+//                                  dependency edges (deterministic ids make
+//                                  re-executions idempotent),
+//  * rollbacks with their cause  — the straggler or anti-message that
+//                                  triggered the undo, the executions undone,
+//                                  and the anti-messages emitted,
+//  * NIC drops/filters           — early-cancellation decisions, attributed
+//                                  to the anti-message that doomed them.
+//
+// The interface lives in core (primitive types only) so hw/warped can call
+// it without depending on the profile library; src/profile implements it.
+// A null hook pointer means profiling is off and every call site is one
+// predicted-false branch — the same discipline as the trace recorder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp {
+
+// Everything the profiler needs to know about one rollback, captured by the
+// kernel at the point the insert result is applied (before the emitted
+// anti-messages are dispatched, so cascade parents are always registered
+// before the children they cause).
+struct RollbackProfile {
+  NodeId node{kInvalidNode};   // LP that rolled back
+  SimTime at{SimTime::zero()};
+  EventId cause_id{kInvalidEvent};  // the straggler / anti that triggered it
+  bool cause_negative{false};       // true: anti-message (secondary rollback)
+  NodeId cause_src{kInvalidNode};   // sender node; kInvalidNode for local
+  std::uint64_t events_undone{0};
+  std::uint64_t events_replayed{0};  // coast-forward replays
+  std::vector<EventId> undone;       // ids of the undone executions
+  std::vector<EventId> antis;        // ids of the anti-messages emitted
+};
+
+class ProfileHook {
+ public:
+  virtual ~ProfileHook() = default;
+
+  // An event executed (optimistically; a later rollback may undo it).
+  virtual void on_execute(NodeId node, ObjectId obj, EventId id,
+                          VirtualTime recv_ts) = 0;
+  // Execution `parent` generated event `child` (a positive send; antis are
+  // reported through on_rollback). Re-executions regenerate the same edge.
+  virtual void on_send(NodeId node, EventId parent, EventId child,
+                       ObjectId dst_obj, VirtualTime recv_ts) = 0;
+  virtual void on_rollback(const RollbackProfile& rb) = 0;
+  // The NIC dropped a doomed positive (negative=false) or filtered an anti
+  // (negative=true). `cause_anti` is the anti-message whose arrival at the
+  // NIC doomed the packet, when the firmware knows it (kInvalidEvent else).
+  virtual void on_nic_drop(NodeId node, EventId id, bool negative,
+                           EventId cause_anti) = 0;
+};
+
+}  // namespace nicwarp

@@ -70,6 +70,61 @@ const char* trace_point_name(TracePoint p) {
   return "?";
 }
 
+void export_trace_schema(std::ostream& os) {
+  constexpr TraceCat kCats[] = {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
+                                TraceCat::kRollback, TraceCat::kCredit};
+  constexpr TracePoint kPoints[] = {
+      TracePoint::kHostEnqueue,     TracePoint::kNicStage,
+      TracePoint::kWireTx,          TracePoint::kWireDepart,
+      TracePoint::kNicRx,           TracePoint::kHostDeliver,
+      TracePoint::kNicDropTx,       TracePoint::kNicDropRing,
+      TracePoint::kGvtInitiate,     TracePoint::kGvtTokenHandle,
+      TracePoint::kGvtHandshake,    TracePoint::kGvtTokenEmit,
+      TracePoint::kGvtTokenPiggyback, TracePoint::kGvtComplete,
+      TracePoint::kGvtAdopt,        TracePoint::kGvtHostAdopt,
+      TracePoint::kCancelDropPositive, TracePoint::kCancelFilterAnti,
+      TracePoint::kCancelOverflow,  TracePoint::kRollback,
+      TracePoint::kCreditStall,     TracePoint::kCreditGrant,
+      TracePoint::kCreditUpdateSent, TracePoint::kCreditRefund,
+      TracePoint::kCreditResync,    TracePoint::kSeqGap};
+  auto cat_of = [](TracePoint p) {
+    if (p <= TracePoint::kNicDropRing) return TraceCat::kMsg;
+    if (p <= TracePoint::kGvtHostAdopt) return TraceCat::kGvt;
+    if (p <= TracePoint::kCancelOverflow) return TraceCat::kCancel;
+    if (p == TracePoint::kRollback) return TraceCat::kRollback;
+    return TraceCat::kCredit;
+  };
+
+  os << "{\n  \"type\": \"trace_schema\",\n  \"schema_version\": 1,\n";
+  os << "  \"categories\": [";
+  bool first = true;
+  for (TraceCat c : kCats) {
+    os << (first ? "" : ", ") << '"' << trace_cat_name(c) << '"';
+    first = false;
+  }
+  os << "],\n  \"points\": [\n";
+  first = true;
+  for (TracePoint p : kPoints) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"" << trace_point_name(p) << "\", \"cat\": \""
+       << trace_cat_name(cat_of(p)) << "\"}";
+  }
+  os << "\n  ],\n";
+  // The msg-lifecycle hop order trace_summary.py reports latencies over,
+  // and the terminal points that end a lifecycle early.
+  os << "  \"msg_lifecycle\": [";
+  first = true;
+  for (TracePoint p : {TracePoint::kHostEnqueue, TracePoint::kNicStage,
+                       TracePoint::kWireTx, TracePoint::kWireDepart,
+                       TracePoint::kNicRx, TracePoint::kHostDeliver}) {
+    os << (first ? "" : ", ") << '"' << trace_point_name(p) << '"';
+    first = false;
+  }
+  os << "],\n  \"terminal_drops\": [\"" << trace_point_name(TracePoint::kNicDropTx)
+     << "\", \"" << trace_point_name(TracePoint::kNicDropRing) << "\"]\n}\n";
+}
+
 void TraceRecorder::configure(std::uint32_t category_mask, std::size_t capacity) {
   mask_ = capacity == 0 ? 0 : category_mask;
   buf_.assign(capacity, TraceRecord{});

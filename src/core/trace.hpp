@@ -88,6 +88,13 @@ enum class TracePoint : std::uint8_t {
 
 const char* trace_point_name(TracePoint p);
 
+// Emits the trace-schema manifest: every category and point name, the msg
+// lifecycle order, and the terminal drop points, as deterministic JSON.
+// tools/trace_schema.json is a checked-in copy of this output (generated via
+// `sweep_cli --print-trace-schema`); the Python tools load the file instead
+// of duplicating the tables, and a test diffs the two so they cannot drift.
+void export_trace_schema(std::ostream& os);
+
 // One fixed-size record; field meaning depends on `point` (see enum docs).
 struct TraceRecord {
   SimTime at{SimTime::zero()};        // simulated wall clock

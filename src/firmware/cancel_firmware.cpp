@@ -9,19 +9,22 @@ ObjectId CancelFirmware::record_key(ObjectId obj) const {
   return opts_.lp_scope ? kInvalidObject : obj;
 }
 
-bool CancelFirmware::doomed(const hw::PacketHeader& hdr) const {
+bool CancelFirmware::doomed(const hw::PacketHeader& hdr, EventId* cause) const {
   if (hdr.kind != hw::PacketKind::kEvent || hdr.negative) return false;
   auto it = records_.find(record_key(hdr.src_obj));
   if (it == records_.end()) return false;
   for (const AntiRecord& rec : it->second) {
     // Generated before the host processed this anti, and optimistically
     // beyond the rollback point: the host is guaranteed to cancel it.
-    if (hdr.send_ts > rec.ta && hdr.anti_counter_pb < rec.k) return true;
+    if (hdr.send_ts > rec.ta && hdr.anti_counter_pb < rec.k) {
+      if (cause != nullptr) *cause = rec.anti_id;
+      return true;
+    }
   }
   return false;
 }
 
-bool CancelFirmware::record_drop(const hw::PacketHeader& hdr) {
+bool CancelFirmware::record_drop(const hw::PacketHeader& hdr, EventId cause_anti) {
   hw::Mailbox& mb = ctx_->mailbox();
   const bool notice_full = mb.drop_notices.size() >= hw::Mailbox::kDropNoticeSoftLimit;
   auto& ring = mb.dropped_ring(hdr.src_obj, ctx_->cost().nic_event_id_ring_slots);
@@ -37,13 +40,16 @@ bool CancelFirmware::record_drop(const hw::PacketHeader& hdr) {
   }
   mb.drop_notices.push_back(hw::DropNotice{hdr.event_id, hdr.src_obj, hdr.dst,
                                            hdr.color_epoch, hdr.recv_ts,
-                                           /*negative=*/false});
+                                           /*negative=*/false, cause_anti});
   pending_dropped_pb_[hdr.dst] += 1;
   ctx_->stats().counter("cancel.dropped_positive").add(1);
   if (ctx_->trace().enabled(TraceCat::kCancel)) {
+    // b = dooming anti (0 = unknown) so offline analysis can attribute the
+    // saving to the cascade that earned it.
     ctx_->trace().record({ctx_->now(), hdr.recv_ts, TraceCat::kCancel,
                           TracePoint::kCancelDropPositive, false, ctx_->node_id(),
-                          hdr.dst, hdr.event_id, 0, 0});
+                          hdr.dst, hdr.event_id, 0,
+                          cause_anti != kInvalidEvent ? cause_anti : 0});
   }
   if (hdr.event_id == traced_event()) {
     std::fprintf(stderr, "[trace %llu] DROPPED at nic=%u send_ts=%lld counter=%llu t=%lld\n",
@@ -97,7 +103,8 @@ hw::Firmware::HookResult CancelFirmware::on_host_tx(hw::Packet& pkt) {
   // the host has caught up with our records (prune) or this message was
   // generated pre-anti and is doomed (drop).
   prune_records(record_key(pkt.hdr.src_obj), pkt.hdr.anti_counter_pb);
-  if (doomed(pkt.hdr) && record_drop(pkt.hdr)) {
+  EventId cause = kInvalidEvent;
+  if (doomed(pkt.hdr, &cause) && record_drop(pkt.hdr, cause)) {
     return {Action::kDrop, cost};
   }
   return {Action::kForward, cost};
@@ -131,7 +138,8 @@ SimTime CancelFirmware::scan_send_ring() {
       continue;
     }
     if (!p.hdr.negative) {
-      if (doomed(p.hdr) && record_drop(p.hdr)) {
+      EventId cause = kInvalidEvent;
+      if (doomed(p.hdr, &cause) && record_drop(p.hdr, cause)) {
         unmatched_drops[p.hdr.event_id] += 1;
         ctx_->drop_from_send_ring(i);
         continue;  // same index now holds the next packet
@@ -184,7 +192,7 @@ hw::Firmware::HookResult CancelFirmware::on_net_rx(hw::Packet& pkt) {
     const std::uint64_t k = ++antis_delivered_[key];
     auto& recs = records_[key];
     if (recs.size() < opts_.max_anti_records_per_object) {
-      recs.push_back(AntiRecord{pkt.hdr.recv_ts, k});
+      recs.push_back(AntiRecord{pkt.hdr.recv_ts, k, pkt.hdr.event_id});
       cost += scan_send_ring();
     } else {
       ctx_->stats().counter("cancel.record_overflow").add(1);

@@ -54,15 +54,17 @@ class CancelFirmware : public hw::Firmware {
   struct AntiRecord {
     VirtualTime ta;    // the anti's receive timestamp
     std::uint64_t k;   // host anti-counter value once the host processes it
+    EventId anti_id{kInvalidEvent};  // the anti itself (drop attribution)
   };
 
   // Record-table key under the configured scope.
   ObjectId record_key(ObjectId obj) const;
-  // True if `hdr` (a positive, not yet on the wire) is doomed.
-  bool doomed(const hw::PacketHeader& hdr) const;
+  // True if `hdr` (a positive, not yet on the wire) is doomed; on a match
+  // `cause` receives the dooming anti's id.
+  bool doomed(const hw::PacketHeader& hdr, EventId* cause) const;
   // Records a drop in the shared structures; returns false (and undoes
   // nothing) when shared space is exhausted — caller must then not drop.
-  bool record_drop(const hw::PacketHeader& hdr);
+  bool record_drop(const hw::PacketHeader& hdr, EventId cause_anti);
   void prune_records(ObjectId obj, std::uint64_t host_counter);
   SimTime scan_send_ring();
 

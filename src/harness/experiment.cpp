@@ -94,11 +94,15 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
                  cfg.cancellation == warped::CancellationMode::kLazy),
                "NIC early cancellation requires aggressive cancellation: the "
                "drop machinery assumes every doomed message gets an anti");
+  if (cfg.profile.on()) {
+    tb.profiler = std::make_unique<profile::ProfileCollector>();
+  }
   warped::KernelOptions kopts;
   kopts.rollback_scope = cfg.rollback_scope;
   kopts.cancellation = cfg.cancellation;
   kopts.state_save_period = cfg.state_save_period;
   kopts.paranoia_checks = cfg.paranoia_checks;
+  kopts.profile = tb.profiler.get();
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     // Only rank 0 feeds the sampler: a cluster-wide GVT adoption must yield
     // one sample, not world_size duplicates.
@@ -171,12 +175,20 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   }
   r.trace_records = tb.cluster->trace().total_recorded();
   r.trace_overwritten = tb.cluster->trace().overwritten();
+
+  if (tb.profiler != nullptr && !tb.kernels.empty()) {
+    profile::ProfileCollector::FinishParams fp;
+    fp.sim_seconds = r.sim_seconds;
+    fp.event_cost_us = tb.kernels[0]->cost().host_event_exec_us;
+    r.profile = std::make_shared<profile::ProfileReport>(tb.profiler->finish(fp));
+  }
   return r;
 }
 
 namespace {
 
-void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb) {
+void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb,
+                              const ExperimentResult& r) {
   auto open = [](const std::string& path) {
     std::ofstream os(path);
     NW_CHECK_MSG(os.good(), "cannot open output file");
@@ -194,6 +206,10 @@ void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb) {
     auto os = open(cfg.metrics.out_path);
     tb.sampler->export_jsonl(os);
   }
+  if (r.profile != nullptr && !cfg.profile.json_out.empty()) {
+    auto os = open(cfg.profile.json_out);
+    r.profile->to_json(os);
+  }
 }
 
 }  // namespace
@@ -202,7 +218,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   Testbed tb = build_testbed(cfg);
   const bool completed = tb.run_to_completion(cfg.max_sim_seconds);
   ExperimentResult r = extract_result(tb, completed);
-  write_experiment_outputs(cfg, tb);
+  write_experiment_outputs(cfg, tb, r);
   return r;
 }
 

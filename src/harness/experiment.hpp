@@ -13,6 +13,7 @@
 #include "core/trace.hpp"
 #include "hw/cluster.hpp"
 #include "models/phold.hpp"
+#include "profile/collector.hpp"
 #include "models/police.hpp"
 #include "models/raid.hpp"
 #include "warped/kernel.hpp"
@@ -43,6 +44,15 @@ struct MetricsConfig {
   }
 };
 
+// Online profiler knobs (src/profile): cascade causality + critical-path
+// lower bound. On when `enabled` is set or a JSON output path is given.
+struct ProfileConfig {
+  bool enabled = false;
+  std::string json_out;  // write the ProfileReport JSON here after the run
+
+  bool on() const { return enabled || !json_out.empty(); }
+};
+
 struct ExperimentConfig {
   ModelKind model = ModelKind::kRaid;
   models::RaidParams raid;
@@ -67,6 +77,7 @@ struct ExperimentConfig {
 
   TraceConfig trace;      // observability: structured event traces
   MetricsConfig metrics;  // observability: GVT-cadence counter samples
+  ProfileConfig profile;  // observability: cascade / critical-path profiler
 };
 
 struct ExperimentResult {
@@ -102,6 +113,9 @@ struct ExperimentResult {
 
   // Counter snapshots taken at GVT cadence (empty unless cfg.metrics set).
   std::vector<TimeSample> series;
+  // Profiler output (null unless cfg.profile is on). shared_ptr because
+  // results are copied around by the sweep/bench registries.
+  std::shared_ptr<const profile::ProfileReport> profile;
   // Trace-recorder accounting (zero unless cfg.trace.categories set).
   std::uint64_t trace_records = 0;
   std::uint64_t trace_overwritten = 0;
@@ -116,6 +130,8 @@ struct Testbed {
   std::vector<std::unique_ptr<warped::Kernel>> kernels;
   // Non-null when cfg.metrics is enabled; fed by rank 0's kernel.
   std::unique_ptr<TimeSeriesSampler> sampler;
+  // Non-null when cfg.profile is on; one collector serves every kernel.
+  std::unique_ptr<profile::ProfileCollector> profiler;
 
   bool all_stopped() const;
   // Runs until every kernel terminated or the cap; returns completed flag.

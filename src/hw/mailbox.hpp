@@ -39,6 +39,10 @@ struct DropNotice {
   std::uint32_t color_epoch{0};
   VirtualTime recv_ts{VirtualTime::zero()};
   bool negative{false};
+  // For a dropped positive: the anti-message whose NIC arrival doomed it
+  // (the profiler's causal edge). kInvalidEvent when unknown; always
+  // kInvalidEvent for filtered antis (they are their own cause).
+  EventId cause_anti{kInvalidEvent};
 };
 
 struct Mailbox {

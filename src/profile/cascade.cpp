@@ -1,0 +1,141 @@
+#include "profile/cascade.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace nicwarp::profile {
+
+namespace {
+
+void bump(std::vector<std::uint64_t>& hist, std::uint64_t value) {
+  const std::size_t i =
+      std::min<std::uint64_t>(value, CascadeBuilder::kMaxBucket);
+  if (hist.size() <= i) hist.resize(i + 1, 0);
+  hist[i] += 1;
+}
+
+}  // namespace
+
+std::size_t CascadeBuilder::add_rollback(CascadeRollback rb) {
+  Entry e;
+  e.parent = CascadeRollback::kNoParent;
+  if (rb.parent >= 0) {
+    NW_CHECK_MSG(static_cast<std::size_t>(rb.parent) < entries_.size(),
+                 "cascade parent index out of range");
+    e.parent = rb.parent;
+  } else if (rb.parent == CascadeRollback::kAutoParent && rb.cause_negative) {
+    auto it = anti_origin_.find(rb.cause_id);
+    if (it != anti_origin_.end()) {
+      e.parent = static_cast<std::int64_t>(it->second);
+    } else {
+      e.unlinked = true;
+    }
+  } else if (rb.parent == CascadeRollback::kNoParent && rb.cause_negative) {
+    e.unlinked = true;
+  }
+
+  const std::size_t idx = entries_.size();
+  if (e.parent >= 0) {
+    Entry& p = entries_[static_cast<std::size_t>(e.parent)];
+    e.depth = p.depth + 1;
+    e.root = p.root;
+    p.children += 1;
+  } else {
+    e.depth = 0;
+    e.root = idx;
+  }
+  e.rb = std::move(rb);
+  entries_.push_back(std::move(e));
+
+  const Entry& added = entries_.back();
+  for (EventId anti : added.rb.antis) anti_origin_[anti] = idx;
+  if (added.rb.cause_negative) caused_by_anti_[added.rb.cause_id] = idx;
+  return idx;
+}
+
+void CascadeBuilder::attribute_anti(std::size_t rollback_index, EventId anti_id) {
+  NW_CHECK(rollback_index < entries_.size());
+  entries_[rollback_index].rb.antis.push_back(anti_id);
+  anti_origin_[anti_id] = rollback_index;
+}
+
+void CascadeBuilder::add_nic_drop(NodeId node, EventId id, bool negative,
+                                  EventId cause_anti) {
+  drops_.push_back(Drop{node, id, negative, cause_anti});
+}
+
+CascadeStats CascadeBuilder::build() const {
+  CascadeStats s;
+  s.rollbacks = entries_.size();
+
+  // Per-tree accumulators, keyed by root index.
+  std::unordered_map<std::size_t, std::pair<std::uint64_t, std::uint64_t>>
+      trees;  // root -> {rollbacks, wasted events}
+
+  std::uint64_t depth_sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.parent < 0) {
+      s.roots += 1;
+    }
+    if (e.rb.cause_negative) s.secondary += 1;
+    if (e.unlinked) s.unlinked_secondary += 1;
+    s.max_depth = std::max(s.max_depth, e.depth);
+    depth_sum += e.depth;
+    s.wasted_events += e.rb.events_undone;
+    s.wasted_msgs += e.rb.antis.size();
+    s.replayed_events += e.rb.events_replayed;
+    bump(s.depth_hist, e.depth);
+    bump(s.fanout_hist, e.children);
+    auto& tree = trees[e.root];
+    tree.first += 1;
+    tree.second += e.rb.events_undone;
+
+    PerNodeWaste& w = s.per_node[e.rb.node];
+    w.rollbacks += 1;
+    if (e.rb.cause_negative) w.secondary_rollbacks += 1;
+    w.wasted_events += e.rb.events_undone;
+    w.wasted_msgs += e.rb.antis.size();
+    w.replayed_events += e.rb.events_replayed;
+  }
+  if (!entries_.empty()) {
+    s.mean_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(entries_.size());
+  }
+  for (const auto& [root, tree] : trees) {
+    s.max_tree_rollbacks = std::max(s.max_tree_rollbacks, tree.first);
+    s.max_tree_wasted_events = std::max(s.max_tree_wasted_events, tree.second);
+    bump(s.tree_size_hist, tree.first);
+  }
+
+  for (const Drop& d : drops_) {
+    // The rollback that owns this saving: the one the dooming anti caused
+    // (it emits the anti for the dropped positive), or — when the firmware
+    // did not know the cause — the latest rollback that emitted an anti
+    // with the dropped packet's id.
+    const Entry* owner = nullptr;
+    if (d.cause_anti != kInvalidEvent) {
+      auto it = caused_by_anti_.find(d.cause_anti);
+      if (it != caused_by_anti_.end()) owner = &entries_[it->second];
+    }
+    if (owner == nullptr) {
+      auto it = anti_origin_.find(d.id);
+      if (it != anti_origin_.end()) owner = &entries_[it->second];
+    }
+    if (d.negative) s.antis_filtered += 1;
+    if (owner != nullptr) {
+      s.nic_drops_attributed += 1;
+      PerNodeWaste& w = s.per_node[owner->rb.node];
+      if (d.negative) {
+        w.nic_filtered += 1;
+      } else {
+        w.nic_drops += 1;
+      }
+    } else {
+      s.nic_drops_unattributed += 1;
+    }
+  }
+  return s;
+}
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,131 @@
+// Rollback-cascade causality analysis.
+//
+// A Time-Warp rollback has exactly one trigger: a straggler positive (the
+// timestamp order was violated by plain optimism — a cascade *root*) or an
+// anti-message (the rollback is collateral damage of an earlier rollback
+// somewhere else — a cascade *interior node*). Every anti-message carries
+// the id of the positive it cancels, and every rollback reports the antis
+// it emits, so the rollbacks of a run link into a forest: each tree is one
+// causal avalanche, the pathology behind the paper's ~350 messages per RAID
+// request (Fig. 6b).
+//
+// CascadeBuilder consumes rollbacks in system (simulated-time) order — the
+// order the single-threaded engine produces them, which guarantees a parent
+// is registered before any child it causes — plus NIC early-cancellation
+// decisions, and aggregates the forest into depth / fan-out / waste
+// statistics per tree and per node (node == LP in this system).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp::profile {
+
+// One rollback, as reported by the kernel hook (online) or reconstructed
+// from a trace stream (offline; see trace_analysis.hpp).
+struct CascadeRollback {
+  NodeId node{kInvalidNode};
+  SimTime at{SimTime::zero()};
+  EventId cause_id{kInvalidEvent};  // straggler / anti that triggered it
+  bool cause_negative{false};
+  NodeId cause_src{kInvalidNode};  // sender node; kInvalidNode = local
+  std::uint64_t events_undone{0};
+  std::uint64_t events_replayed{0};
+  std::vector<EventId> antis;  // anti-messages this rollback emitted
+
+  // Cascade parent. kAutoParent lets the builder link via its anti-origin
+  // maps (the online path); offline analyses that resolved the parent
+  // themselves pass the index returned by add_rollback(), or kNoParent.
+  static constexpr std::int64_t kAutoParent = -2;
+  static constexpr std::int64_t kNoParent = -1;
+  std::int64_t parent{kAutoParent};
+};
+
+struct PerNodeWaste {
+  std::uint64_t rollbacks{0};
+  std::uint64_t secondary_rollbacks{0};  // anti-caused
+  std::uint64_t wasted_events{0};        // executions undone
+  std::uint64_t wasted_msgs{0};          // anti-messages emitted
+  std::uint64_t replayed_events{0};      // coast-forward re-executions
+  std::uint64_t nic_drops{0};            // early drops attributed here
+  std::uint64_t nic_filtered{0};         // antis filtered on the NIC
+};
+
+struct CascadeStats {
+  std::uint64_t rollbacks{0};
+  std::uint64_t roots{0};      // trees (straggler-caused rollbacks)
+  std::uint64_t secondary{0};  // anti-caused rollbacks
+  // Anti-caused rollbacks whose triggering anti could not be mapped to an
+  // earlier rollback (ring overwrite, pre-history, …); counted as roots.
+  std::uint64_t unlinked_secondary{0};
+
+  std::uint64_t max_depth{0};           // deepest chain (root = depth 0)
+  double mean_depth{0.0};               // over all rollbacks
+  std::uint64_t max_tree_rollbacks{0};  // largest avalanche
+  std::uint64_t max_tree_wasted_events{0};
+
+  std::uint64_t wasted_events{0};
+  std::uint64_t wasted_msgs{0};
+  std::uint64_t replayed_events{0};
+  std::uint64_t nic_drops_attributed{0};
+  std::uint64_t nic_drops_unattributed{0};
+  std::uint64_t antis_filtered{0};
+
+  // hist[i] = count at value i; the last bucket absorbs values beyond
+  // CascadeBuilder::kMaxBucket. Trailing zero buckets are trimmed.
+  std::vector<std::uint64_t> depth_hist;      // rollbacks per cascade depth
+  std::vector<std::uint64_t> fanout_hist;     // rollbacks per child count
+  std::vector<std::uint64_t> tree_size_hist;  // trees per rollback count
+
+  std::map<NodeId, PerNodeWaste> per_node;  // ordered: deterministic export
+};
+
+class CascadeBuilder {
+ public:
+  static constexpr std::size_t kMaxBucket = 64;
+
+  // Rollbacks MUST arrive in system order. Returns the rollback's index
+  // (usable as an explicit parent for later calls).
+  std::size_t add_rollback(CascadeRollback rb);
+  // Offline streams discover a rollback's emitted antis after the fact;
+  // this attributes one emission to an already-added rollback.
+  void attribute_anti(std::size_t rollback_index, EventId anti_id);
+  // A NIC early-cancellation decision: a dropped doomed positive
+  // (negative=false) or a filtered anti (negative=true). `cause_anti` is the
+  // anti that doomed it when known, kInvalidEvent otherwise.
+  void add_nic_drop(NodeId node, EventId id, bool negative, EventId cause_anti);
+
+  std::size_t size() const { return entries_.size(); }
+  CascadeStats build() const;
+
+ private:
+  struct Entry {
+    CascadeRollback rb;
+    std::int64_t parent{CascadeRollback::kNoParent};
+    std::size_t root{0};
+    std::uint64_t depth{0};
+    std::uint64_t children{0};
+    bool unlinked{false};  // anti-caused but parent unknown
+  };
+  struct Drop {
+    NodeId node{kInvalidNode};
+    EventId id{kInvalidEvent};
+    bool negative{false};
+    EventId cause_anti{kInvalidEvent};
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<Drop> drops_;
+  // anti id -> index of the latest rollback that emitted it (ids recur
+  // across cancel/re-send incarnations; system order makes "latest" right).
+  std::unordered_map<EventId, std::size_t> anti_origin_;
+  // anti id -> index of the latest rollback *caused by* that anti (the
+  // rollback that will emit antis for the positives the NIC drops).
+  std::unordered_map<EventId, std::size_t> caused_by_anti_;
+};
+
+}  // namespace nicwarp::profile

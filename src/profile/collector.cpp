@@ -1,0 +1,77 @@
+#include "profile/collector.hpp"
+
+#include <vector>
+
+namespace nicwarp::profile {
+
+void ProfileCollector::on_execute(NodeId node, ObjectId obj, EventId id,
+                                  VirtualTime recv_ts) {
+  ExecInfo& e = execs_[id];
+  e.obj = obj;
+  e.node = node;
+  e.recv_ts = recv_ts;
+  e.execs += 1;
+  executions_ += 1;
+}
+
+void ProfileCollector::on_send(NodeId /*node*/, EventId parent, EventId child,
+                               ObjectId /*dst_obj*/, VirtualTime /*recv_ts*/) {
+  parent_[child] = parent;
+}
+
+void ProfileCollector::on_rollback(const RollbackProfile& rb) {
+  for (EventId id : rb.undone) {
+    auto it = execs_.find(id);
+    if (it != execs_.end()) it->second.undone += 1;
+  }
+  CascadeRollback cr;
+  cr.node = rb.node;
+  cr.at = rb.at;
+  cr.cause_id = rb.cause_id;
+  cr.cause_negative = rb.cause_negative;
+  cr.cause_src = rb.cause_src;
+  cr.events_undone = rb.events_undone;
+  cr.events_replayed = rb.events_replayed;
+  cr.antis = rb.antis;
+  cascades_.add_rollback(std::move(cr));
+}
+
+void ProfileCollector::on_nic_drop(NodeId node, EventId id, bool negative,
+                                   EventId cause_anti) {
+  cascades_.add_nic_drop(node, id, negative, cause_anti);
+}
+
+ProfileReport ProfileCollector::finish(const FinishParams& p) const {
+  ProfileReport r;
+  r.sim_seconds = p.sim_seconds;
+  r.event_cost_us = p.event_cost_us;
+  r.executions = executions_;
+  r.distinct_events = execs_.size();
+
+  std::vector<CpEvent> committed;
+  committed.reserve(execs_.size());
+  for (const auto& [id, e] : execs_) {
+    if (e.execs <= e.undone) continue;  // final incarnation was undone
+    CpEvent ev;
+    ev.id = id;
+    ev.obj = e.obj;
+    ev.recv_ts = e.recv_ts;
+    ev.cost_us = p.event_cost_us;
+    auto pit = parent_.find(id);
+    ev.parent = pit != parent_.end() ? pit->second : kInvalidEvent;
+    committed.push_back(ev);
+  }
+  r.committed = committed.size();
+  r.critical_path = critical_path(std::move(committed));
+  r.cascades = cascades_.build();
+
+  r.work_efficiency = r.executions > 0
+                          ? static_cast<double>(r.committed) /
+                                static_cast<double>(r.executions)
+                          : 0.0;
+  const double cp_s = r.critical_path.critical_path_seconds();
+  r.time_vs_lower_bound = cp_s > 0.0 ? r.sim_seconds / cp_s : 0.0;
+  return r;
+}
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,58 @@
+// The online profiler: a ProfileHook implementation that watches a run
+// through the kernel/firmware hooks and turns it into a ProfileReport.
+//
+// One collector serves a whole testbed (the engine is single-threaded, so
+// hooks arrive in system order — exactly what the cascade builder needs).
+// Memory: one ~40-byte record per distinct event id plus one per rollback;
+// profiling a million-event run costs tens of megabytes, not the run's
+// timing — all collection happens outside the simulated cost model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/profile_hook.hpp"
+#include "profile/cascade.hpp"
+#include "profile/report.hpp"
+
+namespace nicwarp::profile {
+
+class ProfileCollector final : public ProfileHook {
+ public:
+  void on_execute(NodeId node, ObjectId obj, EventId id,
+                  VirtualTime recv_ts) override;
+  void on_send(NodeId node, EventId parent, EventId child, ObjectId dst_obj,
+               VirtualTime recv_ts) override;
+  void on_rollback(const RollbackProfile& rb) override;
+  void on_nic_drop(NodeId node, EventId id, bool negative,
+                   EventId cause_anti) override;
+
+  struct FinishParams {
+    double sim_seconds{0.0};
+    double event_cost_us{0.0};  // critical-path weight per committed event
+  };
+  // Builds the report from everything observed so far. The committed set is
+  // every event id whose executions outnumber its undo's — i.e. whose final
+  // incarnation survived.
+  ProfileReport finish(const FinishParams& p) const;
+
+  const CascadeBuilder& cascades() const { return cascades_; }
+  std::uint64_t executions() const { return executions_; }
+
+ private:
+  struct ExecInfo {
+    ObjectId obj{kInvalidObject};
+    NodeId node{kInvalidNode};
+    VirtualTime recv_ts{VirtualTime::zero()};
+    std::uint32_t execs{0};
+    std::uint32_t undone{0};
+  };
+  std::unordered_map<EventId, ExecInfo> execs_;
+  // child event id -> generating execution id. Deterministic ids make
+  // re-executions rewrite the identical edge.
+  std::unordered_map<EventId, EventId> parent_;
+  CascadeBuilder cascades_;
+  std::uint64_t executions_{0};
+};
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,54 @@
+#include "profile/critical_path.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nicwarp::profile {
+
+CriticalPathResult critical_path(std::vector<CpEvent> events) {
+  std::sort(events.begin(), events.end(), [](const CpEvent& a, const CpEvent& b) {
+    if (a.recv_ts != b.recv_ts) return a.recv_ts < b.recv_ts;
+    if (a.obj != b.obj) return a.obj < b.obj;
+    return a.id < b.id;
+  });
+
+  struct Path {
+    double finish_us{0.0};
+    std::uint64_t length{0};
+  };
+  auto longer = [](const Path& a, const Path& b) {
+    if (a.finish_us != b.finish_us) return a.finish_us > b.finish_us;
+    return a.length > b.length;
+  };
+
+  std::unordered_map<EventId, Path> by_event;
+  by_event.reserve(events.size());
+  std::unordered_map<ObjectId, Path> by_object;
+
+  CriticalPathResult r;
+  r.committed_events = events.size();
+  Path best;
+  for (const CpEvent& ev : events) {
+    Path start;  // {0, 0}: a root can start immediately
+    if (auto it = by_object.find(ev.obj); it != by_object.end()) {
+      if (longer(it->second, start)) start = it->second;
+    }
+    if (ev.parent != kInvalidEvent) {
+      if (auto it = by_event.find(ev.parent); it != by_event.end()) {
+        if (longer(it->second, start)) start = it->second;
+      } else {
+        r.missing_parents += 1;
+      }
+    }
+    const Path done{start.finish_us + ev.cost_us, start.length + 1};
+    by_event[ev.id] = done;
+    by_object[ev.obj] = done;
+    if (longer(done, best)) best = done;
+    r.total_work_us += ev.cost_us;
+  }
+  r.critical_path_us = best.finish_us;
+  r.critical_path_events = best.length;
+  return r;
+}
+
+}  // namespace nicwarp::profile

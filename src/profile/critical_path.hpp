@@ -1,0 +1,61 @@
+// Critical-path lower bound over the committed-event dependency DAG.
+//
+// The committed trajectory of a Time-Warp run is schedule-independent (the
+// canonical EventOrder makes it unique), so its dependency structure gives a
+// lower bound on achievable execution time that no optimism tuning, GVT
+// cadence, or cancellation policy can beat: an event cannot execute before
+// (a) the previous committed event of the same object finished — objects
+// are sequential state machines — and (b) the execution that *generated*
+// it finished — causality. The classic Berry/Jefferson critical-path
+// argument, applied to the reproduction's event DAG.
+//
+// finish(e) = cost(e) + max(finish(prev committed event on e.obj),
+//                           finish(generator of e))
+//
+// The bound assumes infinite parallelism, free messages, and zero rollback —
+// deliberately unreachable; its value is the denominator of the optimism
+// efficiency score: actual_time / critical_path >= 1 always, and how far
+// above 1 a run sits is exactly the cost of Time-Warp overheads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp::profile {
+
+// One committed event. `parent` is the execution that generated it
+// (kInvalidEvent for roots: initial self-scheduled events).
+struct CpEvent {
+  EventId id{kInvalidEvent};
+  ObjectId obj{kInvalidObject};
+  VirtualTime recv_ts{VirtualTime::zero()};
+  EventId parent{kInvalidEvent};
+  double cost_us{0.0};
+};
+
+struct CriticalPathResult {
+  std::uint64_t committed_events{0};
+  double total_work_us{0.0};      // sum of costs (serial lower bound)
+  double critical_path_us{0.0};   // the parallel lower bound
+  std::uint64_t critical_path_events{0};  // chain length along the path
+  // Edges whose parent was not in the committed set (e.g. the generator's
+  // node left the profiled window). Each such edge only weakens the bound.
+  std::uint64_t missing_parents{0};
+
+  double critical_path_seconds() const { return critical_path_us * 1e-6; }
+  // Upper bound on speedup over serial execution implied by the DAG.
+  double parallelism() const {
+    return critical_path_us > 0.0 ? total_work_us / critical_path_us : 0.0;
+  }
+};
+
+// Events may arrive in any order; they are processed in the canonical
+// (recv_ts, obj, id) order, under which a generator precedes its children
+// for any model with positive lookahead. A parent that has not finished by
+// the time a child is processed (zero-lookahead tie) contributes 0 —
+// weakening, never breaking, the lower bound.
+CriticalPathResult critical_path(std::vector<CpEvent> events);
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,103 @@
+#include "profile/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace nicwarp::profile {
+
+namespace {
+
+// %.9g keeps integers exact, round-trips every value we emit, and is
+// locale-independent — the JSON stays byte-stable across runs and machines.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void hist_to_json(std::ostream& os, const std::vector<std::uint64_t>& h) {
+  os << "[";
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (i) os << ",";
+    os << h[i];
+  }
+  os << "]";
+}
+
+}  // namespace
+
+void cascade_stats_to_json(std::ostream& os, const CascadeStats& s) {
+  os << "{\"rollbacks\":" << s.rollbacks << ",\"roots\":" << s.roots
+     << ",\"secondary\":" << s.secondary
+     << ",\"unlinked_secondary\":" << s.unlinked_secondary
+     << ",\"max_depth\":" << s.max_depth
+     << ",\"mean_depth\":" << fmt(s.mean_depth)
+     << ",\"max_tree_rollbacks\":" << s.max_tree_rollbacks
+     << ",\"max_tree_wasted_events\":" << s.max_tree_wasted_events
+     << ",\"wasted_events\":" << s.wasted_events
+     << ",\"wasted_msgs\":" << s.wasted_msgs
+     << ",\"replayed_events\":" << s.replayed_events
+     << ",\"nic_drops_attributed\":" << s.nic_drops_attributed
+     << ",\"nic_drops_unattributed\":" << s.nic_drops_unattributed
+     << ",\"antis_filtered\":" << s.antis_filtered << ",\"depth_hist\":";
+  hist_to_json(os, s.depth_hist);
+  os << ",\"fanout_hist\":";
+  hist_to_json(os, s.fanout_hist);
+  os << ",\"tree_size_hist\":";
+  hist_to_json(os, s.tree_size_hist);
+  os << ",\"per_node\":[";
+  bool first = true;
+  for (const auto& [node, w] : s.per_node) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"node\":" << node << ",\"rollbacks\":" << w.rollbacks
+       << ",\"secondary_rollbacks\":" << w.secondary_rollbacks
+       << ",\"wasted_events\":" << w.wasted_events
+       << ",\"wasted_msgs\":" << w.wasted_msgs
+       << ",\"replayed_events\":" << w.replayed_events
+       << ",\"nic_drops\":" << w.nic_drops
+       << ",\"nic_filtered\":" << w.nic_filtered << "}";
+  }
+  os << "]}";
+}
+
+void ProfileReport::to_json(std::ostream& os) const {
+  os << "{\"type\":\"profile_report\",\"schema_version\":" << kProfileSchemaVersion
+     << ",\"sim_seconds\":" << fmt(sim_seconds)
+     << ",\"event_cost_us\":" << fmt(event_cost_us)
+     << ",\"executions\":" << executions
+     << ",\"distinct_events\":" << distinct_events
+     << ",\"committed\":" << committed
+     << ",\"work_efficiency\":" << fmt(work_efficiency)
+     << ",\"time_vs_lower_bound\":" << fmt(time_vs_lower_bound)
+     << ",\"critical_path\":{\"committed_events\":" << critical_path.committed_events
+     << ",\"total_work_us\":" << fmt(critical_path.total_work_us)
+     << ",\"critical_path_us\":" << fmt(critical_path.critical_path_us)
+     << ",\"critical_path_events\":" << critical_path.critical_path_events
+     << ",\"missing_parents\":" << critical_path.missing_parents
+     << ",\"parallelism\":" << fmt(critical_path.parallelism()) << "}"
+     << ",\"cascades\":";
+  cascade_stats_to_json(os, cascades);
+  os << "}\n";
+}
+
+std::string ProfileReport::to_json_string() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
+std::string ProfileReport::summary() const {
+  std::ostringstream os;
+  os << "committed " << committed << "/" << executions << " (work-eff "
+     << fmt(work_efficiency) << "), critical path "
+     << fmt(critical_path.critical_path_seconds()) << " s over "
+     << critical_path.critical_path_events << " events (actual/lower-bound "
+     << fmt(time_vs_lower_bound) << "), " << cascades.rollbacks
+     << " rollbacks in " << cascades.roots << " cascades (max depth "
+     << cascades.max_depth << ")";
+  return os.str();
+}
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,47 @@
+// The profiler's end product: one deterministic, schema-versioned JSON
+// document per run, combining cascade causality and the critical-path
+// lower bound into the two optimism-efficiency scores.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "profile/cascade.hpp"
+#include "profile/critical_path.hpp"
+
+namespace nicwarp::profile {
+
+inline constexpr int kProfileSchemaVersion = 1;
+
+struct ProfileReport {
+  // Run frame (copied in by whoever finishes the collector).
+  double sim_seconds{0.0};
+  double event_cost_us{0.0};  // per-event host cost used as the CP weight
+
+  std::uint64_t executions{0};       // optimistic executions observed
+  std::uint64_t distinct_events{0};  // unique event ids executed
+  std::uint64_t committed{0};
+
+  CascadeStats cascades;
+  CriticalPathResult critical_path;
+
+  // Optimism-efficiency scores.
+  //  * work_efficiency     = committed / executions   (1.0 = no waste)
+  //  * time_vs_lower_bound = sim_seconds / critical-path seconds
+  //                          (>= 1.0; 1.0 = the run was provably optimal)
+  double work_efficiency{0.0};
+  double time_vs_lower_bound{0.0};
+
+  // {"type":"profile_report","schema_version":1,...} — key order fixed,
+  // doubles printed with stable precision, histograms as arrays: the same
+  // run always serializes to the same bytes.
+  void to_json(std::ostream& os) const;
+  std::string to_json_string() const;
+  std::string summary() const;  // one console line
+};
+
+// Shared by ProfileReport and the offline trace analysis.
+void cascade_stats_to_json(std::ostream& os, const CascadeStats& s);
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,81 @@
+#include "profile/trace_analysis.hpp"
+
+#include <unordered_map>
+
+#include "core/trace.hpp"
+
+namespace nicwarp::profile {
+
+namespace {
+
+TraceAnalysis analyze_impl(const TraceRecorder* rec,
+                           const std::vector<TraceRecord>* vec) {
+  const std::size_t n = rec ? rec->size() : vec->size();
+  auto record_at = [&](std::size_t i) -> const TraceRecord& {
+    return rec ? rec->at(i) : (*vec)[i];
+  };
+
+  TraceAnalysis out;
+  CascadeBuilder builder;
+  // node -> index (into builder) of the most recent rollback on that node.
+  std::unordered_map<NodeId, std::size_t> last_rollback;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRecord& r = record_at(i);
+    out.records_seen += 1;
+    switch (r.point) {
+      case TracePoint::kRollback: {
+        CascadeRollback rb;
+        rb.node = r.node;
+        rb.at = r.at;
+        rb.cause_id = r.event_id;
+        rb.cause_negative = r.negative;
+        rb.cause_src = r.peer;
+        rb.events_undone = r.a;
+        rb.events_replayed = r.b;
+        const std::size_t idx = builder.add_rollback(std::move(rb));
+        last_rollback[r.node] = idx;
+        out.rollback_records += 1;
+        break;
+      }
+      case TracePoint::kHostEnqueue: {
+        if (!r.negative) break;
+        if (auto it = last_rollback.find(r.node); it != last_rollback.end()) {
+          builder.attribute_anti(it->second, r.event_id);
+          out.anti_enqueues += 1;
+        } else {
+          out.orphan_antis += 1;
+        }
+        break;
+      }
+      case TracePoint::kCancelDropPositive: {
+        // `b` carries the dooming anti's id; 0 means an old trace that
+        // predates the convention.
+        const EventId cause = r.b != 0 ? static_cast<EventId>(r.b)
+                                       : kInvalidEvent;
+        builder.add_nic_drop(r.node, r.event_id, /*negative=*/false, cause);
+        break;
+      }
+      case TracePoint::kCancelFilterAnti:
+        builder.add_nic_drop(r.node, r.event_id, /*negative=*/true,
+                             kInvalidEvent);
+        break;
+      default:
+        break;
+    }
+  }
+  out.cascades = builder.build();
+  return out;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_cascades(const std::vector<TraceRecord>& records) {
+  return analyze_impl(nullptr, &records);
+}
+
+TraceAnalysis analyze_cascades(const TraceRecorder& rec) {
+  return analyze_impl(&rec, nullptr);
+}
+
+}  // namespace nicwarp::profile

@@ -1,0 +1,44 @@
+// Offline cascade reconstruction from a TraceRecorder stream.
+//
+// The online collector (collector.hpp) sees rollbacks through kernel hooks;
+// this module recovers the same cascade forest from the trace ring after the
+// fact, so post-mortems work on any run that had rollback+msg+cancel tracing
+// enabled — no profiler attached at run time.
+//
+// It leans on three trace conventions the kernel/firmware guarantee:
+//  * kRollback records carry the cause in (event_id, negative, peer) and the
+//    damage in (a = events undone, b = events replayed).
+//  * The kernel records a rollback BEFORE enqueueing the anti-messages it
+//    emits, so a negative kHostEnqueue on a node belongs to the latest
+//    kRollback on that node (within one do_step, in ring order).
+//  * kCancelDropPositive stamps the dooming anti's id into `b`.
+//
+// Accuracy caveat, by construction: the ring overwrites its oldest records,
+// so cascades whose roots scrolled out reappear as unlinked secondaries —
+// build() counts them separately rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/cascade.hpp"
+
+namespace nicwarp {
+struct TraceRecord;
+class TraceRecorder;
+}  // namespace nicwarp
+
+namespace nicwarp::profile {
+
+struct TraceAnalysis {
+  CascadeStats cascades;
+  std::uint64_t records_seen{0};
+  std::uint64_t rollback_records{0};
+  std::uint64_t anti_enqueues{0};   // negative kHostEnqueue records linked
+  std::uint64_t orphan_antis{0};    // negative enqueues with no prior rollback
+};
+
+TraceAnalysis analyze_cascades(const std::vector<TraceRecord>& records);
+TraceAnalysis analyze_cascades(const TraceRecorder& rec);
+
+}  // namespace nicwarp::profile

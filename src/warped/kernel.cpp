@@ -51,6 +51,8 @@ Kernel::Kernel(hw::Node& node, comm::HostComm& comm, std::shared_ptr<const Parti
   NW_CHECK(part_ != nullptr);
   NW_CHECK(mgr_ != nullptr);
   lp_.set_paranoia(opts.paranoia_checks);
+  // The profiler needs to know which executions each rollback undid.
+  lp_.set_collect_undone(opts.profile != nullptr);
   comm_.set_deliver([this](hw::Packet pkt) { on_deliver(std::move(pkt)); });
   mgr_->attach(*this);
 }
@@ -128,6 +130,9 @@ void Kernel::drain_drop_notices(double& cost_us) {
   while (!mb.drop_notices.empty()) {
     const hw::DropNotice n = mb.drop_notices.front();
     mb.drop_notices.pop_front();
+    if (opts_.profile != nullptr) {
+      opts_.profile->on_nic_drop(rank(), n.id, n.negative, n.cause_anti);
+    }
     mgr_->on_nic_drop(n);
     comm_.refund_credits(n.dst, 1);
     node_.stats().counter("tw.drop_notices").add(1);
@@ -154,6 +159,14 @@ SimTime Kernel::do_step() {
 
   LogicalProcess::ExecResult r = lp_.execute_next();
   NW_CHECK(r.executed);
+  if (opts_.profile != nullptr) {
+    opts_.profile->on_execute(rank(), r.obj, r.id, r.ts);
+    // Send edges for the positives only; the lazy-flush antis in r.antis
+    // belong to older generators, not this execution.
+    for (const EventMsg& s : r.sends) {
+      opts_.profile->on_send(rank(), r.id, s.id, s.dst_obj, s.recv_ts);
+    }
+  }
   // State saving is periodic; amortize its cost over the period.
   const double save_us =
       cost().host_state_save_us / static_cast<double>(opts_.state_save_period);
@@ -186,7 +199,10 @@ void Kernel::dispatch_event(EventMsg ev, double& cost_us) {
 
   if (dst_node == rank()) {
     cost_us += cost().host_local_msg_us;
-    apply_insert_result(lp_.insert(std::move(ev)), cost_us);
+    const EventId cause_id = ev.id;
+    const bool cause_negative = ev.negative;
+    apply_insert_result(lp_.insert(std::move(ev)), cost_us, cause_id,
+                        cause_negative, kInvalidNode);
     return;
   }
 
@@ -204,18 +220,37 @@ void Kernel::dispatch_event(EventMsg ev, double& cost_us) {
 }
 
 void Kernel::apply_insert_result(const LogicalProcess::InsertResult& res,
-                                 double& cost_us) {
+                                 double& cost_us, EventId cause_id,
+                                 bool cause_negative, NodeId cause_src) {
   if (res.rollback) {
     cost_us += cost().host_rollback_fixed_us +
                cost().host_rollback_per_event_us * static_cast<double>(res.events_undone);
     // Coast-forward replays re-execute model code in full.
     cost_us += cost().host_event_exec_us * static_cast<double>(res.events_replayed);
+    // The record names its trigger: (event_id, negative, peer) identify the
+    // straggler or anti so offline analysis can rebuild the cascade forest.
     if (node_.trace().enabled(TraceCat::kRollback)) {
       node_.trace().record({now(), lp_.lvt(), TraceCat::kRollback,
-                            TracePoint::kRollback, false, rank(), kInvalidNode,
-                            kInvalidEvent,
+                            TracePoint::kRollback, cause_negative, rank(),
+                            cause_src, cause_id,
                             static_cast<std::uint64_t>(res.events_undone),
                             static_cast<std::uint64_t>(res.events_replayed)});
+    }
+    // Report BEFORE dispatching the antis: a local anti can trigger the next
+    // rollback re-entrantly, and its cascade parent must exist by then.
+    if (opts_.profile != nullptr) {
+      RollbackProfile rb;
+      rb.node = rank();
+      rb.at = now();
+      rb.cause_id = cause_id;
+      rb.cause_negative = cause_negative;
+      rb.cause_src = cause_src;
+      rb.events_undone = res.events_undone;
+      rb.events_replayed = res.events_replayed;
+      rb.undone = res.undone_ids;
+      rb.antis.reserve(res.antis.size());
+      for (const EventMsg& anti : res.antis) rb.antis.push_back(anti.id);
+      opts_.profile->on_rollback(rb);
     }
   }
   // Aggressive cancellation: dispatch the antis now (may cascade locally).
@@ -234,7 +269,8 @@ void Kernel::on_deliver(hw::Packet pkt) {
       }
       double cost_us = 0.0;
       drain_drop_notices(cost_us);
-      apply_insert_result(lp_.insert(packet_to_event(pkt), /*from_network=*/true), cost_us);
+      apply_insert_result(lp_.insert(packet_to_event(pkt), /*from_network=*/true),
+                          cost_us, pkt.hdr.event_id, pkt.hdr.negative, pkt.hdr.src);
       if (cost_us > 0.0) node_.run_host_task(cost().us(cost_us), [] {});
       pump();
       return;

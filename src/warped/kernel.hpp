@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "comm/host_comm.hpp"
+#include "core/profile_hook.hpp"
 #include "core/rng.hpp"
 #include "core/timeseries.hpp"
 #include "core/trace.hpp"
@@ -35,6 +36,11 @@ struct KernelOptions {
   // The harness wires it to exactly one kernel (rank 0) so a cluster-wide
   // adoption yields one sample, not world_size of them. Not owned.
   TimeSeriesSampler* sampler = nullptr;
+  // Online profiler (src/profile). Null = off; every hook site is one
+  // predicted-false branch. Enabling it also turns on undone-id collection
+  // in the LP (the only extra work plain runs would otherwise pay). Not
+  // owned; one hook may serve every kernel in the testbed.
+  ProfileHook* profile = nullptr;
 };
 
 class Kernel final : public KernelApi {
@@ -81,7 +87,11 @@ class Kernel final : public KernelApi {
   SimTime do_step();  // returns the step's host-CPU cost
   // Routes one event; accumulates host cost (µs) into `cost_us`.
   void dispatch_event(EventMsg ev, double& cost_us);
-  void apply_insert_result(const LogicalProcess::InsertResult& res, double& cost_us);
+  // `cause_*` describe the message whose insertion produced `res` (the
+  // rollback trigger when res.rollback): id, polarity, and the sending node
+  // (kInvalidNode for local sends).
+  void apply_insert_result(const LogicalProcess::InsertResult& res, double& cost_us,
+                           EventId cause_id, bool cause_negative, NodeId cause_src);
   void on_deliver(hw::Packet pkt);
   void idle_tick();
   void drain_drop_notices(double& cost_us);

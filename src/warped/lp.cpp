@@ -134,12 +134,13 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
     // positive reappears in pending — annihilate it there.
     for (std::size_t i = 0; i < rt.processed.size(); ++i) {
       if (rt.processed[i].ev.id == ev.id) {
+        std::vector<EventId>* sink = collect_undone_ ? &res.undone_ids : nullptr;
         if (scope_ == RollbackScope::kLp) {
           // Copy the pivot: rollback_all mutates the deque it lives in.
           const EventMsg pivot = rt.processed[i].ev;
-          res.events_undone = rollback_all(pivot, res.antis, res.events_replayed);
+          res.events_undone = rollback_all(pivot, res.antis, res.events_replayed, sink);
         } else {
-          res.events_undone = rollback_to(rt, i, res.antis, res.events_replayed);
+          res.events_undone = rollback_to(rt, i, res.antis, res.events_replayed, sink);
         }
         res.rollback = true;
         // The straggler positive is now the least pending event for this
@@ -193,11 +194,12 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
 
   // Straggler detection against the canonical order.
   if (is_straggler(rt, ev)) {
+    std::vector<EventId>* sink = collect_undone_ ? &res.undone_ids : nullptr;
     if (scope_ == RollbackScope::kLp) {
-      res.events_undone = rollback_all(ev, res.antis, res.events_replayed);
+      res.events_undone = rollback_all(ev, res.antis, res.events_replayed, sink);
     } else {
       res.events_undone = rollback_to(rt, rollback_pos(rt, ev), res.antis,
-                                      res.events_replayed);
+                                      res.events_replayed, sink);
     }
     res.rollback = true;
     stats_.counter("tw.straggler_rollbacks").add(1);
@@ -226,7 +228,8 @@ std::size_t LogicalProcess::rollback_pos(const ObjRt& rt, const EventMsg& pivot)
 }
 
 std::size_t LogicalProcess::rollback_all(const EventMsg& pivot, std::vector<EventMsg>& out,
-                                         std::size_t& replayed) {
+                                         std::size_t& replayed,
+                                         std::vector<EventId>* undone_ids) {
   // 2002-era shared-queue semantics: every object returns to the straggler's
   // point in the canonical order. All optimistic output beyond it is
   // cancelled — which is precisely what licenses the NIC's timestamp-only
@@ -234,14 +237,17 @@ std::size_t LogicalProcess::rollback_all(const EventMsg& pivot, std::vector<Even
   std::size_t undone = 0;
   for (auto& [id, rt] : objs_) {
     const std::size_t pos = rollback_pos(rt, pivot);
-    if (pos < rt.processed.size()) undone += rollback_to(rt, pos, out, replayed);
+    if (pos < rt.processed.size()) {
+      undone += rollback_to(rt, pos, out, replayed, undone_ids);
+    }
   }
   return undone;
 }
 
 std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
                                         std::vector<EventMsg>& out,
-                                        std::size_t& replayed) {
+                                        std::size_t& replayed,
+                                        std::vector<EventId>* undone_ids) {
   NW_CHECK(pos < rt.processed.size());
   const std::size_t undone = rt.processed.size() - pos;
 
@@ -267,6 +273,7 @@ std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
 
   for (std::size_t i = pos; i < rt.processed.size(); ++i) {
     ProcessedRecord& rec = rt.processed[i];
+    if (undone_ids != nullptr) undone_ids->push_back(rec.ev.id);
     // Undone events go back to pending for re-execution.
     rt.pending.insert(rec.ev);
     if (cancellation_ == CancellationMode::kAggressive) {
@@ -379,6 +386,7 @@ LogicalProcess::ExecResult LogicalProcess::execute_next() {
   res.executed = true;
   res.ts = ev.recv_ts;
   res.obj = best->obj->id();
+  res.id = ev.id;
 
   if (cancellation_ == CancellationMode::kLazy && !best->lazy.empty()) {
     // Match regenerated sends against held outputs. The deterministic id is

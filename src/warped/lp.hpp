@@ -77,6 +77,10 @@ class LogicalProcess {
     // event. The caller dispatches them (possibly suppressing NIC-dropped
     // ones).
     std::vector<EventMsg> antis;
+    // Ids of the undone executions, in undo order. Only filled when
+    // set_collect_undone(true) — profiling pays for the copies, plain runs
+    // never do.
+    std::vector<EventId> undone_ids;
   };
   // `from_network` marks messages delivered by the comm stack (as opposed
   // to local sends): only network anti-messages advance the anti counters
@@ -91,6 +95,7 @@ class LogicalProcess {
     bool executed{false};
     VirtualTime ts{VirtualTime::zero()};
     ObjectId obj{kInvalidObject};
+    EventId id{kInvalidEvent};  // the executed event (parent of its sends)
     std::vector<EventMsg> sends;
     // kLazy: antis for held outputs whose generators are now past (flushed
     // because execution moved beyond them without regenerating).
@@ -129,6 +134,8 @@ class LogicalProcess {
   // Enables O(queue) duplicate-positive detection on every insert — used by
   // the test suite to catch cancellation pairing violations at their source.
   void set_paranoia(bool on) { paranoia_ = on; }
+  // Makes InsertResult carry the ids of undone executions (profiler food).
+  void set_collect_undone(bool on) { collect_undone_ = on; }
   std::size_t total_pending() const;
   std::size_t total_processed_records() const;
   std::size_t orphan_antis() const;
@@ -164,7 +171,7 @@ class LogicalProcess {
   // holds them as lazy records (kLazy). Returns events undone; adds
   // coast-forward replays to `replayed`.
   std::size_t rollback_to(ObjRt& rt, std::size_t pos, std::vector<EventMsg>& out,
-                          std::size_t& replayed);
+                          std::size_t& replayed, std::vector<EventId>* undone_ids);
   // Re-executes `ev` against the object's current state without emitting
   // sends (used to rebuild state between a snapshot and the rollback point).
   void coast_forward(ObjRt& rt, const EventMsg& ev);
@@ -174,7 +181,7 @@ class LogicalProcess {
   void flush_lazy_for_gen(ObjRt& rt, EventId gen_id, std::vector<EventMsg>& antis);
   // kLp scope: rolls EVERY object back past `pivot` (canonical order).
   std::size_t rollback_all(const EventMsg& pivot, std::vector<EventMsg>& out,
-                           std::size_t& replayed);
+                           std::size_t& replayed, std::vector<EventId>* undone_ids);
   // First processed position in `rt` at or after `pivot`.
   static std::size_t rollback_pos(const ObjRt& rt, const EventMsg& pivot);
   bool is_straggler(const ObjRt& rt, const EventMsg& ev) const;
@@ -188,6 +195,7 @@ class LogicalProcess {
   CancellationMode cancellation_;
   std::int64_t state_save_period_;
   bool paranoia_{false};
+  bool collect_undone_{false};
   std::uint64_t lp_antis_processed_{0};
   VirtualTime lp_last_anti_ts_{VirtualTime::zero()};
   std::map<ObjectId, ObjRt> objs_;

@@ -1,0 +1,196 @@
+// Tests for the profiling subsystem: rollback-cascade causality (offline,
+// from a synthetic trace), the critical-path lower bound (hand-built 3-LP
+// DAG), and the end-to-end profiler on the real models (structure sanity +
+// byte-determinism at a fixed seed).
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "harness/experiment.hpp"
+#include "profile/cascade.hpp"
+#include "profile/critical_path.hpp"
+#include "profile/report.hpp"
+#include "profile/trace_analysis.hpp"
+
+namespace nicwarp::profile {
+namespace {
+
+TraceRecord rec(TracePoint point, NodeId node, EventId id, bool negative,
+                NodeId peer = kInvalidNode, std::uint64_t a = 0,
+                std::uint64_t b = 0) {
+  TraceRecord r;
+  r.cat = TraceCat::kRollback;  // cat is ignored by the analyzer
+  r.point = point;
+  r.node = node;
+  r.event_id = id;
+  r.negative = negative;
+  r.peer = peer;
+  r.a = a;
+  r.b = b;
+  return r;
+}
+
+// A three-node avalanche plus one unlinked secondary, written exactly the
+// way kernel + firmware emit it (rollback first, then its antis; drop
+// records stamp the dooming anti in `b`).
+TEST(CascadeFromTrace, ReconstructsForest) {
+  std::vector<TraceRecord> t;
+  // Root on node 1: straggler 100 undoes 3 events, replays 1, emits anti 500.
+  t.push_back(rec(TracePoint::kRollback, 1, 100, false, 0, 3, 1));
+  t.push_back(rec(TracePoint::kHostEnqueue, 1, 500, true));
+  // Node 2 rolls back because of anti 500; emits anti 600.
+  t.push_back(rec(TracePoint::kRollback, 2, 500, true, 1, 2, 0));
+  t.push_back(rec(TracePoint::kHostEnqueue, 2, 600, true));
+  // Node 3 rolls back because of anti 600 — depth 2.
+  t.push_back(rec(TracePoint::kRollback, 3, 600, true, 2, 1, 0));
+  // A second rollback on node 3 caused by an anti nobody registered
+  // (scrolled out of the ring) — an unlinked secondary, counted as a root.
+  t.push_back(rec(TracePoint::kRollback, 3, 999, true, 0, 1, 0));
+  // NIC early cancellation: positive 700 dropped because of anti 500, and
+  // anti 500 itself filtered after the drop.
+  t.push_back(rec(TracePoint::kCancelDropPositive, 2, 700, false, kInvalidNode,
+                  0, /*b=cause anti*/ 500));
+  t.push_back(rec(TracePoint::kCancelFilterAnti, 2, 500, true));
+
+  const TraceAnalysis a = analyze_cascades(t);
+  EXPECT_EQ(a.records_seen, t.size());
+  EXPECT_EQ(a.rollback_records, 4u);
+  EXPECT_EQ(a.anti_enqueues, 2u);
+  EXPECT_EQ(a.orphan_antis, 0u);
+
+  const CascadeStats& s = a.cascades;
+  EXPECT_EQ(s.rollbacks, 4u);
+  EXPECT_EQ(s.roots, 2u);  // the straggler tree + the unlinked secondary
+  EXPECT_EQ(s.secondary, 3u);
+  EXPECT_EQ(s.unlinked_secondary, 1u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.wasted_events, 3u + 2u + 1u + 1u);
+  EXPECT_EQ(s.wasted_msgs, 2u);  // antis 500 and 600
+  EXPECT_EQ(s.replayed_events, 1u);
+  EXPECT_EQ(s.max_tree_rollbacks, 3u);
+  EXPECT_EQ(s.max_tree_wasted_events, 6u);
+
+  // depth_hist: two at depth 0 (root + unlinked), one at 1, one at 2.
+  ASSERT_EQ(s.depth_hist.size(), 3u);
+  EXPECT_EQ(s.depth_hist[0], 2u);
+  EXPECT_EQ(s.depth_hist[1], 1u);
+  EXPECT_EQ(s.depth_hist[2], 1u);
+  // fanout_hist: rollbacks 0 and 1 each have one child; 2 and 3 have none.
+  ASSERT_EQ(s.fanout_hist.size(), 2u);
+  EXPECT_EQ(s.fanout_hist[0], 2u);
+  EXPECT_EQ(s.fanout_hist[1], 2u);
+  // tree_size_hist: one singleton tree, one 3-rollback avalanche.
+  ASSERT_EQ(s.tree_size_hist.size(), 4u);
+  EXPECT_EQ(s.tree_size_hist[1], 1u);
+  EXPECT_EQ(s.tree_size_hist[3], 1u);
+
+  // The positive drop attributes via caused_by_anti: anti 500 caused the
+  // node-2 rollback, which owns the saving. The anti filter has no cause,
+  // so it falls back to anti_origin: the node-1 rollback emitted anti 500.
+  EXPECT_EQ(s.nic_drops_attributed, 2u);
+  EXPECT_EQ(s.nic_drops_unattributed, 0u);
+  EXPECT_EQ(s.antis_filtered, 1u);
+  ASSERT_TRUE(s.per_node.count(1));
+  ASSERT_TRUE(s.per_node.count(2));
+  EXPECT_EQ(s.per_node.at(2).nic_drops, 1u);
+  EXPECT_EQ(s.per_node.at(1).nic_filtered, 1u);
+  EXPECT_EQ(s.per_node.at(3).rollbacks, 2u);
+  EXPECT_EQ(s.per_node.at(3).secondary_rollbacks, 2u);
+}
+
+TEST(CascadeFromTrace, AntiBeforeAnyRollbackIsOrphan) {
+  std::vector<TraceRecord> t;
+  t.push_back(rec(TracePoint::kHostEnqueue, 1, 500, true));
+  const TraceAnalysis a = analyze_cascades(t);
+  EXPECT_EQ(a.orphan_antis, 1u);
+  EXPECT_EQ(a.cascades.rollbacks, 0u);
+}
+
+// Hand-built DAG over three objects (A=1, B=2, C=3), every event 10us:
+//
+//   e1(A,@10) --> e2(A,@30) --> e5(C,@50)
+//        \                       ^
+//         +--> e3(B,@20) --> e4(C,@40)   (e4 precedes e5 on C)
+//
+// The longest chain is e1,e3,e4,e5 (object C serializes e4 before e5):
+// finish = 40us over 4 events; total work is 50us.
+TEST(CriticalPath, ThreeLpDag) {
+  auto ev = [](EventId id, ObjectId obj, std::int64_t ts, EventId parent) {
+    return CpEvent{id, obj, VirtualTime{ts}, parent, 10.0};
+  };
+  std::vector<CpEvent> events = {
+      ev(5, 3, 50, 2), ev(1, 1, 10, kInvalidEvent), ev(4, 3, 40, 3),
+      ev(2, 1, 30, 1), ev(3, 2, 20, 1),  // order shuffled on purpose
+  };
+  const CriticalPathResult r = critical_path(events);
+  EXPECT_EQ(r.committed_events, 5u);
+  EXPECT_DOUBLE_EQ(r.total_work_us, 50.0);
+  EXPECT_DOUBLE_EQ(r.critical_path_us, 40.0);
+  EXPECT_EQ(r.critical_path_events, 4u);
+  EXPECT_EQ(r.missing_parents, 0u);
+  EXPECT_DOUBLE_EQ(r.parallelism(), 1.25);
+}
+
+TEST(CriticalPath, MissingParentWeakensButNeverBreaks) {
+  std::vector<CpEvent> events = {
+      {1, 1, VirtualTime{10}, kInvalidEvent, 10.0},
+      {2, 2, VirtualTime{20}, /*parent=*/999, 10.0},  // generator unknown
+  };
+  const CriticalPathResult r = critical_path(events);
+  EXPECT_EQ(r.missing_parents, 1u);
+  // The orphan starts at 0: the bound stays a bound (10us chain on obj 2).
+  EXPECT_DOUBLE_EQ(r.critical_path_us, 10.0);
+}
+
+harness::ExperimentConfig profiled_config(harness::ModelKind model) {
+  harness::ExperimentConfig cfg;
+  cfg.model = model;
+  cfg.nodes = 4;
+  cfg.seed = 23;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 100;
+  cfg.early_cancel = true;
+  cfg.max_sim_seconds = 600;
+  if (model == harness::ModelKind::kRaid) {
+    cfg.raid.total_requests = 1500;
+  } else {
+    cfg.police.stations = 200;
+  }
+  cfg.profile.enabled = true;
+  return cfg;
+}
+
+class ProfiledModels
+    : public ::testing::TestWithParam<harness::ModelKind> {};
+
+// Acceptance: cascade depth/fan-out histograms + optimism-efficiency scores
+// for the real models, byte-identical across runs at seed 23.
+TEST_P(ProfiledModels, ReportIsStructuredAndDeterministic) {
+  const harness::ExperimentConfig cfg = profiled_config(GetParam());
+  const harness::ExperimentResult r1 = harness::run_experiment(cfg);
+  const harness::ExperimentResult r2 = harness::run_experiment(cfg);
+
+  ASSERT_TRUE(r1.completed);
+  ASSERT_NE(r1.profile, nullptr);
+  const ProfileReport& p = *r1.profile;
+
+  EXPECT_EQ(p.committed, static_cast<std::uint64_t>(r1.committed_events));
+  EXPECT_GT(p.cascades.rollbacks, 0u);
+  EXPECT_FALSE(p.cascades.depth_hist.empty());
+  EXPECT_FALSE(p.cascades.fanout_hist.empty());
+  EXPECT_GT(p.work_efficiency, 0.0);
+  EXPECT_LE(p.work_efficiency, 1.0);
+  // Real runs sit strictly above the infinite-parallelism lower bound.
+  EXPECT_GT(p.time_vs_lower_bound, 1.0);
+  EXPECT_GT(p.critical_path.critical_path_events, 0u);
+  EXPECT_LE(p.critical_path.critical_path_us * 1e-6, r1.sim_seconds);
+
+  ASSERT_NE(r2.profile, nullptr);
+  EXPECT_EQ(p.to_json_string(), r2.profile->to_json_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(RaidAndPolice, ProfiledModels,
+                         ::testing::Values(harness::ModelKind::kRaid,
+                                           harness::ModelKind::kPolice));
+
+}  // namespace
+}  // namespace nicwarp::profile

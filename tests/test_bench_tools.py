@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""ctest gate for the benchmark/profiling Python tooling.
+
+Run from the repo root (ctest sets WORKING_DIRECTORY) with two env vars
+pointing at built binaries:
+
+  NICWARP_BENCH_RUNNER  — build/bench/bench_runner
+  NICWARP_SWEEP_CLI     — build/examples/sweep_cli
+
+Checks:
+  1. bench_runner --filter=smoke emits a BENCH document that survives a
+     real-JSON-parser round-trip with the expected schema and metrics;
+  2. bench_compare.py passes that document against the checked-in baseline
+     and, crucially, exits non-zero once a regression is injected;
+  3. the generated trace-schema manifest (tools/trace_schema.json) matches
+     what the built sweep_cli emits — the C++ enums and the Python tools
+     cannot drift apart silently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.getcwd()
+BENCH_RUNNER = os.environ.get("NICWARP_BENCH_RUNNER", "build/bench/bench_runner")
+SWEEP_CLI = os.environ.get("NICWARP_SWEEP_CLI", "build/examples/sweep_cli")
+COMPARE = os.path.join(REPO, "tools", "bench_compare.py")
+BASELINE = os.path.join(REPO, "bench", "baselines", "BENCH_0001.json")
+MANIFEST = os.path.join(REPO, "tools", "trace_schema.json")
+
+REQUIRED_METRICS = [
+    "completed", "sim_seconds", "committed_events", "events_processed",
+    "rollbacks", "committed_rate_per_sim_sec", "rollback_efficiency",
+    "gvt_estimations", "gvt_latency_us", "wire_packets", "nic_drops",
+    "filtered_antis", "signature",
+]
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def check(ok, msg):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {msg}")
+    if not ok:
+        sys.exit(1)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. schema round-trip through a real JSON parser.
+        out = os.path.join(tmp, "bench_smoke.json")
+        r = run([BENCH_RUNNER, "--filter=smoke", f"--out={out}"])
+        check(r.returncode == 0, f"bench_runner --filter=smoke (rc={r.returncode})")
+        with open(out) as f:
+            doc = json.load(f)
+        check(doc["type"] == "nicwarp-bench" and doc["schema_version"] == 1,
+              "BENCH document type/schema_version")
+        check(len(doc["scenarios"]) == 2, "smoke filter selects 2 scenarios")
+        for s in doc["scenarios"]:
+            missing = [m for m in REQUIRED_METRICS if m not in s["deterministic"]]
+            check(not missing, f"{s['name']}: all metrics present {missing or ''}")
+            check("wall_seconds" in s["noisy"], f"{s['name']}: wall time recorded")
+        check("max_rss_kb" in doc["rusage"], "rusage block present")
+        reserialized = json.loads(json.dumps(doc))
+        check(reserialized == doc, "JSON round-trip is lossless")
+
+        # 2a. the fresh run matches the checked-in baseline bit-exactly.
+        r = run([sys.executable, COMPARE, BASELINE, out])
+        check(r.returncode == 0,
+              f"bench_compare vs baseline (rc={r.returncode})\n{r.stdout}{r.stderr}")
+
+        # 2b. an injected regression must flip the gate to non-zero.
+        doc["scenarios"][0]["deterministic"]["committed_events"] += 1
+        bad = os.path.join(tmp, "bench_regressed.json")
+        with open(bad, "w") as f:
+            json.dump(doc, f)
+        r = run([sys.executable, COMPARE, BASELINE, bad])
+        check(r.returncode != 0, "bench_compare flags the injected regression")
+        check("committed_events" in r.stdout, "failure names the regressed metric")
+
+        # 2c. ...and a tolerance wide enough to cover it passes again.
+        r = run([sys.executable, COMPARE, BASELINE, bad, "--tolerance=0.01"])
+        check(r.returncode == 0, "tolerance band suppresses the small diff")
+
+        # 3. manifest sync: generated schema == checked-in schema.
+        r = run([SWEEP_CLI, "--print-trace-schema"])
+        check(r.returncode == 0, "sweep_cli --print-trace-schema")
+        with open(MANIFEST) as f:
+            on_disk = json.load(f)
+        check(json.loads(r.stdout) == on_disk,
+              "tools/trace_schema.json matches the built binary "
+              "(regenerate with: sweep_cli --print-trace-schema)")
+
+    print("all bench-tool checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

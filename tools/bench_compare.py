@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<n>.json documents and fail on regression.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--tolerance=0.0] [--wall-tolerance=3.0] [--filter=SUBSTR]
+
+Scenarios are matched by name; only the intersection is compared, so a
+candidate produced with `bench_runner --filter=smoke` can be gated against
+the full checked-in baseline. Metrics under "deterministic" must agree to
+--tolerance (relative; default 0 = bit-exact, which holds for a fixed seed).
+"wall_seconds" under "noisy" is machine-dependent: it only fails when the
+candidate is slower than baseline * (1 + --wall-tolerance).
+
+Exit status: 0 = no regression, 1 = regression or schema mismatch,
+2 = usage / unreadable input.
+"""
+
+import json
+import sys
+
+EXPECTED_TYPE = "nicwarp-bench"
+EXPECTED_SCHEMA = 1
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("type") != EXPECTED_TYPE or doc.get("schema_version") != EXPECTED_SCHEMA:
+        print(
+            f"error: {path} is not a {EXPECTED_TYPE} schema_version "
+            f"{EXPECTED_SCHEMA} document",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def rel_diff(base, cand):
+    if base == cand:
+        return 0.0
+    denom = max(abs(base), abs(cand))
+    return abs(cand - base) / denom if denom else 0.0
+
+
+def main(argv):
+    tolerance = 0.0
+    wall_tolerance = 3.0
+    name_filter = ""
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--wall-tolerance="):
+            wall_tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--filter="):
+            name_filter = arg.split("=", 1)[1]
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline, candidate = load(paths[0]), load(paths[1])
+    common = [
+        n for n in candidate if n in baseline and (not name_filter or name_filter in n)
+    ]
+    if not common:
+        print("error: no common scenarios to compare", file=sys.stderr)
+        return 1
+    only_candidate = sorted(set(candidate) - set(baseline))
+    if only_candidate:
+        print(f"note: {len(only_candidate)} scenario(s) not in baseline (skipped): "
+              + ", ".join(only_candidate))
+
+    failures = 0
+    for name in common:
+        b, c = baseline[name], candidate[name]
+        for key, bval in b["deterministic"].items():
+            if key not in c["deterministic"]:
+                print(f"FAIL {name}: deterministic metric '{key}' missing from candidate")
+                failures += 1
+                continue
+            cval = c["deterministic"][key]
+            if isinstance(bval, bool) or isinstance(cval, bool):
+                if bval != cval:
+                    print(f"FAIL {name}: {key} {bval} -> {cval}")
+                    failures += 1
+                continue
+            d = rel_diff(bval, cval)
+            if d > tolerance:
+                print(f"FAIL {name}: {key} {bval} -> {cval} "
+                      f"(rel diff {d:.3g} > tolerance {tolerance:g})")
+                failures += 1
+        bwall = b["noisy"]["wall_seconds"]
+        cwall = c["noisy"]["wall_seconds"]
+        if cwall > bwall * (1.0 + wall_tolerance):
+            print(f"FAIL {name}: wall_seconds {bwall:.3f} -> {cwall:.3f} "
+                  f"(slower than {1.0 + wall_tolerance:g}x baseline)")
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} regression(s) across {len(common)} scenario(s)")
+        return 1
+    print(f"OK: {len(common)} scenario(s), no regressions "
+          f"(tolerance={tolerance:g}, wall-tolerance={wall_tolerance:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

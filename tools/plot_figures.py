@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Render the paper-reproduction figures from bench_output.txt as SVG.
+"""Render the paper-reproduction figures as SVG.
 
-Pure standard library — no matplotlib required. Each bench binary prints a
-CSV block after its aligned table; this script finds those blocks and draws
-one SVG per figure into --outdir (default: figures/).
+Pure standard library — no matplotlib required. Accepts either input format
+(auto-detected from content):
+
+  * bench_output.txt — concatenated stdout of the google-benchmark figure
+    binaries; each prints a CSV block after its aligned table;
+  * BENCH_<n>.json — the bench_runner regression document, whose fig4/fig5/
+    fig6/fig7 scenario groups carry the same data points.
 
 Usage:
-    for b in build/bench/bench_*; do $b; done > bench_output.txt
+    for b in build/bench/bench_fig*; do $b; done > bench_output.txt
     python3 tools/plot_figures.py bench_output.txt --outdir figures
+    # or, from the regression runner:
+    build/bench/bench_runner --filter=fig --out=BENCH_0002.json
+    python3 tools/plot_figures.py BENCH_0002.json --outdir figures
 """
 
 from __future__ import annotations
 
 import argparse
 import html
+import json
 import math
 import os
 import re
 import sys
+from collections import defaultdict
 
 # ----------------------------------------------------------------------------
 # Parsing
@@ -48,6 +57,85 @@ def parse_blocks(text: str) -> dict[str, list[list[str]]]:
 
 def numeric(cell: str) -> float:
     return float(cell.rstrip("%"))
+
+
+def blocks_from_bench(doc: dict) -> dict[str, list[list[str]]]:
+    """Builds the same {title: CSV rows} dict from a BENCH_<n>.json document,
+    using its fig4/fig5/fig6/fig7 scenario groups. Titles and column layouts
+    mirror the figure binaries so the FIGURES specs below apply unchanged."""
+    # group -> x value -> variant -> deterministic metrics
+    points: dict[str, dict[float, dict[str, dict]]] = defaultdict(
+        lambda: defaultdict(dict))
+    for s in doc.get("scenarios", []):
+        parts = s["name"].split("/")
+        if len(parts) != 3 or parts[0] not in ("fig4", "fig5", "fig6", "fig7"):
+            continue
+        group, variant, axis = parts
+        x = float(axis.split(":", 1)[1])
+        points[group][x][variant] = s["deterministic"]
+
+    def rows(group, header, make_row, need=("warped",)):
+        out = [header]
+        for x in sorted(points.get(group, {})):
+            variants = points[group][x]
+            if any(v not in variants for v in need):
+                continue
+            out.append([f"{c:g}" if isinstance(c, float) else str(c)
+                        for c in make_row(x, variants)])
+        return out if len(out) > 1 else None
+
+    def improvement(base_s, cancel_s):
+        return 100.0 * (base_s - cancel_s) / base_s if base_s > 0 else 0.0
+
+    blocks = {}
+
+    def put(title, block):
+        if block:
+            blocks[title] = block
+
+    for group, fig in (("fig4", "Fig. 4 — RAID"), ("fig5", "Fig. 5a — POLICE")):
+        put(f"{fig} execution time vs GVT period",
+            rows(group, ["period", "warped_s", "nicgvt_s"],
+                 lambda x, v: [x, v["warped"]["sim_seconds"],
+                               v["nicgvt"]["sim_seconds"]],
+                 need=("warped", "nicgvt")))
+    put("Fig. 5b — GVT rounds vs GVT period",
+        rows("fig5", ["period", "warped_rounds", "nicgvt_rounds"],
+             lambda x, v: [x, v["warped"]["gvt_rounds"],
+                           v["nicgvt"]["gvt_rounds"]],
+             need=("warped", "nicgvt")))
+    for group, x_name, fig_a, fig_b in (
+            ("fig6", "requests", "Fig. 6a — RAID improvement",
+             "Fig. 6b — RAID messages sent"),
+            ("fig7", "stations", "Fig. 7a — POLICE improvement", None)):
+        put(fig_a,
+            rows(group, [x_name, "baseline_s", "cancel_s", "improvement"],
+                 lambda x, v: [x, v["warped"]["sim_seconds"],
+                               v["cancel"]["sim_seconds"],
+                               improvement(v["warped"]["sim_seconds"],
+                                           v["cancel"]["sim_seconds"])],
+                 need=("warped", "cancel")))
+        if fig_b:
+            put(fig_b,
+                rows(group, [x_name, "warped_msgs", "cancel_msgs"],
+                     lambda x, v: [x, v["warped"]["wire_packets"],
+                                   v["cancel"]["wire_packets"]],
+                     need=("warped", "cancel")))
+    put("Fig. 7b — percentage of cancelled messages dropped by the NIC",
+        rows("fig7", ["stations", "antis", "dropped", "filtered", "pct"],
+             lambda x, v: [x, v["cancel"]["antis_generated"],
+                           v["cancel"]["nic_drops"],
+                           v["cancel"]["filtered_antis"],
+                           (100.0 * v["cancel"]["nic_drops"] /
+                            v["cancel"]["antis_generated"])
+                           if v["cancel"]["antis_generated"] else 0.0],
+             need=("cancel",)))
+    put("Fig. 8 — POLICE overall messages generated",
+        rows("fig7", ["stations", "warped_msgs", "cancel_msgs"],
+             lambda x, v: [x, v["warped"]["event_msgs_generated"],
+                           v["cancel"]["event_msgs_generated"]],
+             need=("warped", "cancel")))
+    return blocks
 
 
 # ----------------------------------------------------------------------------
@@ -224,7 +312,21 @@ def main() -> int:
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
-        blocks = parse_blocks(f.read())
+        text = f.read()
+    doc = None
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+    if isinstance(doc, dict) and doc.get("type") == "nicwarp-bench":
+        blocks = blocks_from_bench(doc)
+        if not blocks:
+            print("no fig4/fig5/fig6/fig7 scenarios in this BENCH document",
+                  file=sys.stderr)
+            return 1
+    else:
+        blocks = parse_blocks(text)
     if not blocks:
         print("no CSV blocks found — is this really bench output?", file=sys.stderr)
         return 1

@@ -20,10 +20,14 @@ round window). Only the Python standard library is used.
 
 import argparse
 import json
+import os
 import sys
 from collections import Counter, defaultdict
 
-# Lifecycle order; consecutive pairs define the hops we report.
+# Hop/category constants come from the generated manifest (kept in sync with
+# src/core/trace.cpp via `sweep_cli --print-trace-schema`; a ctest checks the
+# two agree). The literals below are only the fallback when the manifest is
+# not next to this script.
 MSG_POINTS = [
     "host-enqueue",
     "nic-stage",
@@ -33,6 +37,26 @@ MSG_POINTS = [
     "host-deliver",
 ]
 TERMINAL_DROPS = {"nic-drop-tx", "nic-drop-ring"}
+INSTANT_CATS = ("cancel", "rollback", "credit", "gvt")
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "trace_schema.json")
+
+
+def load_schema(path=SCHEMA_PATH):
+    """Replaces the fallback constants with the generated manifest."""
+    global MSG_POINTS, TERMINAL_DROPS, INSTANT_CATS
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return False
+    if doc.get("type") != "trace_schema" or doc.get("schema_version") != 1:
+        return False
+    MSG_POINTS = doc["msg_lifecycle"]
+    TERMINAL_DROPS = set(doc["terminal_drops"])
+    INSTANT_CATS = tuple(c for c in doc["categories"] if c != "msg")
+    return True
 
 
 def load_any(path):
@@ -157,7 +181,7 @@ def summarize_msg(records, out):
 def summarize_instants(records, out):
     inst = Counter()
     for r in records:
-        if r["kind"] == "trace" and r["cat"] in ("cancel", "rollback", "credit", "gvt"):
+        if r["kind"] == "trace" and r["cat"] in INSTANT_CATS:
             inst[(r["cat"], r["point"])] += 1
     if not inst:
         return
@@ -199,7 +223,10 @@ def main():
     ap.add_argument("files", nargs="+", help="trace.json / trace.jsonl / metrics.jsonl")
     ap.add_argument("--max-rounds", type=int, default=20,
                     help="print at most N GVT-round rows (default 20; 0 = all)")
+    ap.add_argument("--schema", default=SCHEMA_PATH,
+                    help="trace_schema.json manifest (default: next to this script)")
     args = ap.parse_args()
+    load_schema(args.schema)
 
     records = []
     for path in args.files:
