@@ -82,6 +82,24 @@ void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
      << ", \"filtered_antis\": " << r.filtered_antis
      << ", \"antis_suppressed\": " << r.antis_suppressed
      << ", \"signature\": " << r.signature;
+  if (run.sc->cfg.fault.enabled()) {
+    // Chaos scenarios: injection and recovery volumes are seeded and fully
+    // deterministic, so they gate exactly like the commit metrics.
+    os << ", \"fault_drops\": " << r.fault_drops
+       << ", \"fault_dups\": " << r.fault_dups
+       << ", \"fault_corrupts\": " << r.fault_corrupts
+       << ", \"fault_delays\": " << r.fault_delays
+       << ", \"retransmits\": " << r.retransmits
+       << ", \"naks_sent\": " << r.naks_sent
+       << ", \"retx_timeouts\": " << r.retx_timeouts
+       << ", \"retx_evicted\": " << r.retx_evicted
+       << ", \"rel_crc_discards\": " << r.rel_crc_discards
+       << ", \"rel_dup_discards\": " << r.rel_dup_discards
+       << ", \"rel_gap_discards\": " << r.rel_gap_discards
+       << ", \"gvt_token_regens\": " << r.gvt_token_regens
+       << ", \"gvt_tokens_stale\": " << r.gvt_tokens_stale
+       << ", \"credit_resyncs\": " << r.credit_resyncs;
+  }
   if (r.profile != nullptr) {
     const auto& p = *r.profile;
     os << ", \"work_efficiency\": " << fmt(p.work_efficiency)

@@ -150,6 +150,46 @@ std::vector<Scenario> all_scenarios() {
     add(out, "abl_state", "period:" + std::to_string(p), cfg);
   }
 
+  // --- chaos: fault-sweep scenarios. Deterministic seeded fault plans; the
+  // committed-state metrics (committed/signature) must stay EXACTLY equal to
+  // the matching fault-free runs — recovery costs time, never correctness.
+  // Wall-clock metrics show the price of the reliability layer's replays. ---
+  for (double loss : {0.001, 0.01}) {
+    for (bool cancel : {false, true}) {
+      ExperimentConfig cfg = cancel_preset(ModelKind::kRaid);
+      cfg.raid.total_requests = 5000;
+      cfg.early_cancel = cancel;
+      cfg.fault.drop_rate = loss;
+      cfg.fault.seed = 11;
+      add(out, "chaos",
+          std::string(cancel ? "cancel" : "warped") + "/raid_loss:" +
+              (loss < 0.005 ? "0.1%" : "1%"),
+          cfg);
+    }
+  }
+  {
+    // Mixed-fault POLICE run: drops + dups + corruption + delay together.
+    ExperimentConfig cfg = cancel_preset(ModelKind::kPolice);
+    cfg.police.stations = 900;
+    cfg.early_cancel = true;
+    cfg.fault.drop_rate = 0.01;
+    cfg.fault.dup_rate = 0.005;
+    cfg.fault.corrupt_rate = 0.005;
+    cfg.fault.delay_rate = 0.01;
+    cfg.fault.seed = 11;
+    add(out, "chaos", "cancel/police_mixed", cfg);
+  }
+  {
+    // Token-loss stress on the host-Mattern ring (sequenced kHostGvtToken
+    // recovery) as a counterpoint to the NIC-GVT regeneration path above.
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_mode = warped::GvtMode::kHostMattern;
+    cfg.raid.total_requests = 5000;
+    cfg.fault.drop_rate = 0.02;
+    cfg.fault.seed = 11;
+    add(out, "chaos", "mattern/raid_loss:2%", cfg);
+  }
+
   // --- abl_lazy (A6): aggressive vs lazy cancellation ---
   for (ModelKind m : {ModelKind::kRaid, ModelKind::kPolice}) {
     for (auto mode : {warped::CancellationMode::kAggressive,

@@ -112,6 +112,16 @@ int main(int argc, char** argv) {
   cfg.state_save_period = p.get_i64("state_period", cfg.state_save_period);
   cfg.seed = static_cast<std::uint64_t>(p.get_i64("seed", 42));
   cfg.max_sim_seconds = p.get_f64("cap", cfg.max_sim_seconds);
+
+  // Fault injection (--fault-drop-rate 0.01 --fault-seed 3 ...). Any nonzero
+  // rate arms the fabric chaos layer; the harness then force-enables the NIC
+  // reliability sublayer, since Time-Warp deadlocks on a lossy fabric.
+  cfg.fault.drop_rate = p.get_f64("fault_drop_rate", 0.0);
+  cfg.fault.dup_rate = p.get_f64("fault_dup_rate", 0.0);
+  cfg.fault.corrupt_rate = p.get_f64("fault_corrupt_rate", 0.0);
+  cfg.fault.delay_rate = p.get_f64("fault_delay_rate", 0.0);
+  cfg.fault.delay_max_us = p.get_f64("fault_delay_max_us", cfg.fault.delay_max_us);
+  cfg.fault.seed = static_cast<std::uint64_t>(p.get_i64("fault_seed", 1));
   // cm.* overrides apply on top of the model's granularity default.
   cfg.cost = hw::CostModel::from_params(p);
   if (model == "police" && !p.contains("cm.host_event_exec_us")) {
@@ -151,6 +161,20 @@ int main(int argc, char** argv) {
               (long long)r.lazy_matched);
   std::printf("  GVT            : %lld estimations, %lld ring rounds\n",
               (long long)r.gvt_estimations, (long long)r.gvt_rounds);
+  if (cfg.fault.enabled()) {
+    std::printf("  faults injected: %lld dropped, %lld duplicated, %lld corrupted, %lld delayed\n",
+                (long long)r.fault_drops, (long long)r.fault_dups,
+                (long long)r.fault_corrupts, (long long)r.fault_delays);
+    std::printf("  recovery       : %lld retransmits (%lld timeouts, %lld evicted), %lld NAKs\n",
+                (long long)r.retransmits, (long long)r.retx_timeouts,
+                (long long)r.retx_evicted, (long long)r.naks_sent);
+    std::printf("  rx filter      : %lld bad-CRC, %lld duplicate, %lld gap discards\n",
+                (long long)r.rel_crc_discards, (long long)r.rel_dup_discards,
+                (long long)r.rel_gap_discards);
+    std::printf("  GVT recovery   : %lld token regens, %lld stale tokens, %lld credit resyncs\n",
+                (long long)r.gvt_token_regens, (long long)r.gvt_tokens_stale,
+                (long long)r.credit_resyncs);
+  }
   std::printf("  signature      : %lld\n", (long long)r.signature);
   if (!cfg.trace.categories.empty()) {
     std::printf("  trace          : %llu records (%llu overwritten)",

@@ -1,5 +1,7 @@
 #include "comm/host_comm.hpp"
 
+#include <algorithm>
+
 #include "core/assert.hpp"
 #include "core/log.hpp"
 
@@ -24,9 +26,16 @@ bool HostComm::is_sequenced(const hw::Packet& pkt) const {
     case hw::PacketKind::kAck:
       return true;
     case hw::PacketKind::kGvtBroadcast:
-    case hw::PacketKind::kNicGvtToken:
     case hw::PacketKind::kCreditUpdate:
-      return false;
+      // On an unreliable fabric these ride the sequenced stream too: a lost
+      // credit return must be replayed or the window leaks shut, and a lost
+      // host GVT broadcast would strand peers after the root stops. The
+      // NIC's exactly-once accept then makes duplicated credit grants
+      // idempotent per seq.
+      return node_.cost().rel_enabled;
+    case hw::PacketKind::kNicGvtToken:
+    case hw::PacketKind::kNak:
+      return false;  // NIC-generated traffic never joins the BIP stream
   }
   return false;
 }
@@ -94,7 +103,12 @@ void HostComm::pump_credit_queue(NodeId dst) {
     ++ch.consumed_total;
     dispatch(std::move(pkt));
   }
-  if (ch.credit_waiting.empty()) ch.stall_since = SimTime::max();
+  if (ch.credit_waiting.empty()) {
+    ch.stall_since = SimTime::max();
+    // The channel recovered; a future stall starts a fresh retry budget.
+    ch.resync_attempts = 0;
+    ch.next_resync_ok = SimTime::zero();
+  }
 }
 
 void HostComm::grant_credits(NodeId src, std::int64_t n) {
@@ -110,6 +124,7 @@ void HostComm::grant_credits(NodeId src, std::int64_t n) {
   ch.granted_total += n;
   if (ch.credits > window_) {
     stats_.counter("comm.credit_clamped").add(ch.credits - window_);
+    ch.clamped_total += ch.credits - window_;
     ch.credits = window_;  // clamp against repair races
   }
   if (trace_.enabled(TraceCat::kCredit)) {
@@ -195,6 +210,7 @@ void HostComm::on_raw_rx(hw::Packet pkt) {
   // 3. Credit consumption accounting for event traffic.
   if (pkt.hdr.kind == hw::PacketKind::kEvent) {
     rx_[src].credits_owed += 1;
+    rx_[src].accepted_total += 1;
     maybe_return_credits(src);
   }
 
@@ -206,9 +222,11 @@ void HostComm::on_raw_rx(hw::Packet pkt) {
 }
 
 void HostComm::check_stalls() {
-  if (opts_.credit_repair || stall_probe_scheduled_) return;
-  // With repair disabled, dropped packets leak credits; model the MPICH
-  // timeout/resync path so the simulation stays live (at a price).
+  // The resync path runs when repair is off (credits leak by design, A2
+  // ablation) and, as a bounded-retry backstop, on an unreliable fabric
+  // (where it should never actually fire if the NIC recovery works).
+  const bool recovery_active = !opts_.credit_repair || node_.cost().rel_enabled;
+  if (!recovery_active || stall_probe_scheduled_) return;
   stall_probe_scheduled_ = true;
   node_.engine().schedule(SimTime::from_us(opts_.credit_timeout_us), [this] {
     stall_probe_scheduled_ = false;
@@ -216,17 +234,33 @@ void HostComm::check_stalls() {
     for (auto& [dst, ch] : tx_) {
       if (!ch.credit_waiting.empty() &&
           node_.engine().now() - ch.stall_since >=
-              SimTime::from_us(opts_.credit_timeout_us)) {
+              SimTime::from_us(opts_.credit_timeout_us) &&
+          node_.engine().now() >= ch.next_resync_ok) {
+        if (ch.resync_attempts >= node_.cost().credit_resync_max_retries) {
+          // Bounded: give up on this channel and leave the evidence in the
+          // stats rather than resyncing forever against a broken peer.
+          stats_.counter("comm.credit_resync_exhausted").add(1);
+          continue;
+        }
         stats_.counter("comm.credit_resyncs").add(1);
         if (trace_.enabled(TraceCat::kCredit)) {
           trace_.record({node_.engine().now(), VirtualTime::inf(), TraceCat::kCredit,
                          TracePoint::kCreditResync, false, node_.id(), dst,
                          kInvalidEvent,
-                         static_cast<std::uint64_t>(ch.credit_waiting.size()), 0});
+                         static_cast<std::uint64_t>(ch.credit_waiting.size()),
+                         static_cast<std::uint64_t>(ch.resync_attempts)});
         }
         // Resynchronize: recover the full window after a costly host-side
-        // timeout handler.
+        // timeout handler. Retries back off exponentially.
         node_.run_host_task(node_.cost().us(node_.cost().host_msg_recv_us * 4), [] {});
+        ch.resynced = true;
+        ch.next_resync_ok =
+            node_.engine().now() +
+            SimTime::from_us(opts_.credit_timeout_us *
+                             static_cast<double>(std::int64_t{1}
+                                                 << std::min<std::int64_t>(
+                                                        ch.resync_attempts, 16)));
+        ++ch.resync_attempts;
         ch.credits = window_;
         pump_credit_queue(dst);
       }
@@ -236,6 +270,32 @@ void HostComm::check_stalls() {
   });
 }
 
+void HostComm::check_invariants(const HostComm& sender, const HostComm& receiver) {
+  const NodeId dst = receiver.node_.id();
+  const auto txit = sender.tx_.find(dst);
+  if (txit == sender.tx_.end() || !txit->second.opened) return;
+  const ChannelTx& tx = txit->second;
+  if (tx.resynced) return;  // the emergency path mints credits by design
+
+  std::int64_t accepted = 0, owed = 0, returned = 0;
+  const auto rxit = receiver.rx_.find(sender.node_.id());
+  if (rxit != receiver.rx_.end()) {
+    accepted = rxit->second.accepted_total;
+    owed = rxit->second.credits_owed;
+    returned = rxit->second.returned_total;
+  }
+  const std::int64_t in_flight = tx.consumed_total - tx.refunded_total - accepted;
+  const std::int64_t returning = returned - tx.granted_total;
+  NW_CHECK_MSG(tx.credits >= 0 && tx.credits <= sender.window_,
+               "credit balance outside [0, window]");
+  NW_CHECK_MSG(in_flight >= 0, "more events accepted than consumed credits");
+  NW_CHECK_MSG(returning >= 0, "more credits granted than the receiver returned");
+  NW_CHECK_MSG(owed >= 0, "negative credits owed");
+  NW_CHECK_MSG(tx.credits + in_flight + owed + returning + tx.clamped_total ==
+                   sender.window_,
+               "credit conservation violated: window leaked open or shut");
+}
+
 void HostComm::refund_credits(NodeId dst, std::int64_t n) {
   if (!opts_.credit_repair || n <= 0) return;
   auto& ch = tx_[dst];
@@ -243,6 +303,7 @@ void HostComm::refund_credits(NodeId dst, std::int64_t n) {
   ch.refunded_total += n;
   if (ch.credits > window_) {
     stats_.counter("comm.credit_clamped_refund").add(ch.credits - window_);
+    ch.clamped_total += ch.credits - window_;
     ch.credits = window_;
   }
   stats_.counter("comm.credits_refunded").add(n);

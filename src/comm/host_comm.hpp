@@ -78,6 +78,19 @@ class HostComm {
   // Debug: prints per-channel credit/staging state to stderr.
   void dump_state() const;
 
+  // Credit-conservation checker (the window is a fixed token supply): for
+  // the channel sender -> receiver,
+  //
+  //   credits + (consumed - refunded - accepted) + owed
+  //           + (returned - granted) + clamped == window
+  //
+  // i.e. every credit is either held by the sender, attached to an event in
+  // flight, owed at the receiver, riding a return update, or was destroyed
+  // by a documented clamp. The identity holds at every host-task boundary;
+  // a channel that took the emergency resync path (which mints a fresh
+  // window) is skipped. Aborts via NW_CHECK on violation.
+  static void check_invariants(const HostComm& sender, const HostComm& receiver);
+
  private:
   struct ChannelTx {  // per destination
     bool opened{false};
@@ -85,14 +98,20 @@ class HostComm {
     std::int64_t consumed_total{0};
     std::int64_t granted_total{0};
     std::int64_t refunded_total{0};
+    std::int64_t clamped_total{0};  // credits destroyed by window clamps
     std::uint64_t next_seq{1};
     std::deque<hw::Packet> credit_waiting;
     SimTime stall_since{SimTime::max()};
+    // Emergency resync bookkeeping (bounded-retry recovery path).
+    std::int64_t resync_attempts{0};
+    bool resynced{false};  // ever took the resync path (breaks conservation)
+    SimTime next_resync_ok{SimTime::zero()};
   };
   struct ChannelRx {  // per source
     std::uint64_t expected_seq{1};
     std::int64_t credits_owed{0};  // consumed but not yet returned
     std::int64_t returned_total{0};
+    std::int64_t accepted_total{0};  // event packets that cleared the stack
   };
 
   void on_raw_rx(hw::Packet pkt);

@@ -17,6 +17,7 @@ const char* trace_cat_name(TraceCat c) {
     case TraceCat::kCancel: return "cancel";
     case TraceCat::kRollback: return "rollback";
     case TraceCat::kCredit: return "credit";
+    case TraceCat::kFault: return "fault";
   }
   return "?";
 }
@@ -30,7 +31,7 @@ std::uint32_t parse_trace_categories(std::string_view list) {
     std::string_view tok = list.substr(pos, comma - pos);
     if (tok == "all") mask |= kTraceAll;
     for (TraceCat c : {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
-                       TraceCat::kRollback, TraceCat::kCredit}) {
+                       TraceCat::kRollback, TraceCat::kCredit, TraceCat::kFault}) {
       if (tok == trace_cat_name(c)) mask |= trace_bit(c);
     }
     pos = comma + 1;
@@ -56,6 +57,8 @@ const char* trace_point_name(TracePoint p) {
     case TracePoint::kGvtComplete: return "gvt-complete";
     case TracePoint::kGvtAdopt: return "gvt-adopt";
     case TracePoint::kGvtHostAdopt: return "gvt-host-adopt";
+    case TracePoint::kGvtTokenStale: return "gvt-token-stale";
+    case TracePoint::kGvtTokenRegen: return "gvt-token-regen";
     case TracePoint::kCancelDropPositive: return "cancel-drop-positive";
     case TracePoint::kCancelFilterAnti: return "cancel-filter-anti";
     case TracePoint::kCancelOverflow: return "cancel-overflow";
@@ -66,13 +69,23 @@ const char* trace_point_name(TracePoint p) {
     case TracePoint::kCreditRefund: return "credit-refund";
     case TracePoint::kCreditResync: return "credit-resync";
     case TracePoint::kSeqGap: return "seq-gap";
+    case TracePoint::kFaultDrop: return "fault-drop";
+    case TracePoint::kFaultDup: return "fault-dup";
+    case TracePoint::kFaultCorrupt: return "fault-corrupt";
+    case TracePoint::kFaultDelay: return "fault-delay";
+    case TracePoint::kRelCrcDiscard: return "rel-crc-discard";
+    case TracePoint::kRelDupDiscard: return "rel-dup-discard";
+    case TracePoint::kRelGapDiscard: return "rel-gap-discard";
+    case TracePoint::kRelNak: return "rel-nak";
+    case TracePoint::kRelRetransmit: return "rel-retransmit";
   }
   return "?";
 }
 
 void export_trace_schema(std::ostream& os) {
   constexpr TraceCat kCats[] = {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
-                                TraceCat::kRollback, TraceCat::kCredit};
+                                TraceCat::kRollback, TraceCat::kCredit,
+                                TraceCat::kFault};
   constexpr TracePoint kPoints[] = {
       TracePoint::kHostEnqueue,     TracePoint::kNicStage,
       TracePoint::kWireTx,          TracePoint::kWireDepart,
@@ -82,17 +95,24 @@ void export_trace_schema(std::ostream& os) {
       TracePoint::kGvtHandshake,    TracePoint::kGvtTokenEmit,
       TracePoint::kGvtTokenPiggyback, TracePoint::kGvtComplete,
       TracePoint::kGvtAdopt,        TracePoint::kGvtHostAdopt,
+      TracePoint::kGvtTokenStale,   TracePoint::kGvtTokenRegen,
       TracePoint::kCancelDropPositive, TracePoint::kCancelFilterAnti,
       TracePoint::kCancelOverflow,  TracePoint::kRollback,
       TracePoint::kCreditStall,     TracePoint::kCreditGrant,
       TracePoint::kCreditUpdateSent, TracePoint::kCreditRefund,
-      TracePoint::kCreditResync,    TracePoint::kSeqGap};
+      TracePoint::kCreditResync,    TracePoint::kSeqGap,
+      TracePoint::kFaultDrop,       TracePoint::kFaultDup,
+      TracePoint::kFaultCorrupt,    TracePoint::kFaultDelay,
+      TracePoint::kRelCrcDiscard,   TracePoint::kRelDupDiscard,
+      TracePoint::kRelGapDiscard,   TracePoint::kRelNak,
+      TracePoint::kRelRetransmit};
   auto cat_of = [](TracePoint p) {
     if (p <= TracePoint::kNicDropRing) return TraceCat::kMsg;
-    if (p <= TracePoint::kGvtHostAdopt) return TraceCat::kGvt;
+    if (p <= TracePoint::kGvtTokenRegen) return TraceCat::kGvt;
     if (p <= TracePoint::kCancelOverflow) return TraceCat::kCancel;
     if (p == TracePoint::kRollback) return TraceCat::kRollback;
-    return TraceCat::kCredit;
+    if (p <= TracePoint::kSeqGap) return TraceCat::kCredit;
+    return TraceCat::kFault;
   };
 
   os << "{\n  \"type\": \"trace_schema\",\n  \"schema_version\": 1,\n";
@@ -279,6 +299,9 @@ void TraceRecorder::export_chrome_json(std::ostream& os) const {
         break;
       case TraceCat::kCredit:
         emit_instant("credit", trace_point_name(r.point), r);
+        break;
+      case TraceCat::kFault:
+        emit_instant("fault", trace_point_name(r.point), r);
         break;
     }
   }

@@ -34,6 +34,7 @@ enum class TraceCat : std::uint8_t {
   kCancel = 2,    // early-cancellation decisions on the NIC
   kRollback = 3,  // host rollbacks (count + depth)
   kCredit = 4,    // flow control: stalls, grants, refunds, sequence gaps
+  kFault = 5,     // injected fabric faults + reliability-layer recovery
 };
 inline constexpr std::uint32_t trace_bit(TraceCat c) {
   return 1u << static_cast<unsigned>(c);
@@ -42,7 +43,8 @@ inline constexpr std::uint32_t kTraceAll = trace_bit(TraceCat::kMsg) |
                                            trace_bit(TraceCat::kGvt) |
                                            trace_bit(TraceCat::kCancel) |
                                            trace_bit(TraceCat::kRollback) |
-                                           trace_bit(TraceCat::kCredit);
+                                           trace_bit(TraceCat::kCredit) |
+                                           trace_bit(TraceCat::kFault);
 
 const char* trace_cat_name(TraceCat c);
 // Parses "msg,gvt,cancel" / "all" / "" into a mask; unknown names are
@@ -71,6 +73,8 @@ enum class TracePoint : std::uint8_t {
   kGvtComplete,        // estimation converged at the root (vt=GVT, a=epoch)
   kGvtAdopt,           // a NIC adopted a broadcast value (vt=GVT, a=epoch)
   kGvtHostAdopt,       // host kernel observed a new GVT (vt=GVT)
+  kGvtTokenStale,      // duplicate/stale token discarded (a=epoch, b=round)
+  kGvtTokenRegen,      // root regenerated a lost token (a=new epoch, b=old)
   // --- cancel ---
   kCancelDropPositive,  // doomed positive dropped in place
   kCancelFilterAnti,    // anti filtered against an earlier drop
@@ -84,6 +88,16 @@ enum class TracePoint : std::uint8_t {
   kCreditRefund,      // NIC-drop refund applied (a=count, peer=dst)
   kCreditResync,      // no-repair timeout path fired (peer=dst)
   kSeqGap,            // BIP gap observed at the receiver (a=gap, peer=src)
+  // --- fault (fabric injection + NIC reliability recovery) ---
+  kFaultDrop,        // fabric dropped a packet (a=bip_seq, peer=dst)
+  kFaultDup,         // fabric duplicated a packet (a=bip_seq, peer=dst)
+  kFaultCorrupt,     // fabric corrupted a header CRC (a=bip_seq, peer=dst)
+  kFaultDelay,       // fabric added extra delay (a=extra ns, peer=dst)
+  kRelCrcDiscard,    // receiver NIC discarded a corrupt packet (peer=src)
+  kRelDupDiscard,    // receiver NIC discarded a duplicate seq (a=seq, peer=src)
+  kRelGapDiscard,    // receiver NIC held back an out-of-order seq (a=seq)
+  kRelNak,           // receiver NIC emitted a NAK (a=expected seq, peer=src)
+  kRelRetransmit,    // sender NIC retransmitted (a=seq, b=tx count, peer=dst)
 };
 
 const char* trace_point_name(TracePoint p);

@@ -33,7 +33,11 @@ SimTime GvtFirmware::poll() {
   // 2. Piggyback window expired: pay for a dedicated wire token.
   if (out_token_ && ctx_->now() >= out_deadline_) cost += emit_wire_token();
 
-  // 3. Root: time to start a new estimation?
+  // 3. Unreliable fabric only: lost-token / lost-broadcast recovery (root).
+  cost += maybe_regenerate();
+  cost += maybe_rebroadcast();
+
+  // 4. Root: time to start a new estimation?
   cost += maybe_initiate();
 
   ctx_->schedule(SimTime::from_us(opts_.poll_interval_us), [this] { return poll(); });
@@ -48,9 +52,13 @@ SimTime GvtFirmware::maybe_initiate() {
   const bool autonomy_hit =
       ctx_->now() - last_completion_ >= SimTime::from_us(opts_.autonomy_us);
   if (!period_hit && !autonomy_hit) return SimTime::zero();
+  return initiate();
+}
 
+SimTime GvtFirmware::initiate() {
   estimating_ = true;
-  events_base_ = mb.events_processed;
+  events_base_ = ctx_->mailbox().events_processed;
+  last_est_activity_ = ctx_->now();
   ctx_->stats().counter("gvt.estimations").add(1);
   if (ctx_->trace().enabled(TraceCat::kGvt)) {
     ctx_->trace().record({ctx_->now(), VirtualTime::zero(), TraceCat::kGvt,
@@ -65,11 +73,92 @@ SimTime GvtFirmware::maybe_initiate() {
   token.white_count = 0;
   token.t = VirtualTime::inf();
   token.tmin = VirtualTime::inf();
+  // Whites of every epoch in [floor, epoch) count toward this estimation.
+  // Fault-free, floor is always epoch - 1; after an abandoned epoch the range
+  // widens so a zombie epoch's in-flight messages cannot escape the count.
+  token.floor = last_completed_epoch_;
   return handle_token(token);
 }
 
+SimTime GvtFirmware::maybe_regenerate() {
+  if (!is_root() || !estimating_ || !ctx_->cost().rel_enabled) return SimTime::zero();
+  const SimTime timeout = ctx_->cost().us(ctx_->cost().gvt_token_timeout_us);
+  if (ctx_->now() - last_est_activity_ < timeout) return SimTime::zero();
+
+  // The token of the current epoch is presumed lost (dropped or corrupted on
+  // the wire). Abandon the epoch and start over: the abandoned colors remain
+  // inside the next token's [floor, epoch) counting range, so a regenerated
+  // estimate can only be delayed, never unsafely high. The root initiates
+  // every epoch, so epoch_ + 1 is globally fresh and any straggler copy of
+  // the old token dies at the first NIC that has seen the new one.
+  ctx_->stats().counter("gvt.token_regens").add(1);
+  if (ctx_->trace().enabled(TraceCat::kGvt)) {
+    ctx_->trace().record({ctx_->now(), VirtualTime::zero(), TraceCat::kGvt,
+                          TracePoint::kGvtTokenRegen, false, ctx_->node_id(),
+                          kInvalidNode, kInvalidEvent, epoch_,
+                          static_cast<std::uint64_t>(last_handled_round_)});
+  }
+  held_token_.reset();
+  out_token_.reset();
+  estimating_ = false;
+  return initiate();
+}
+
+SimTime GvtFirmware::maybe_rebroadcast() {
+  if (!is_root() || !ctx_->cost().rel_enabled) return SimTime::zero();
+  hw::Mailbox& mb = ctx_->mailbox();
+  if (mb.gvt_epoch == 0) return SimTime::zero();  // nothing published yet
+  const SimTime interval = ctx_->cost().us(ctx_->cost().gvt_rebroadcast_us);
+  if (ctx_->now() - last_rebroadcast_ < interval) return SimTime::zero();
+  last_rebroadcast_ = ctx_->now();
+  ctx_->stats().counter("gvt.rebroadcasts").add(1);
+  for (NodeId n = 0; n < ctx_->world_size(); ++n) {
+    if (n == ctx_->node_id()) continue;
+    hw::Packet pkt;
+    pkt.hdr.kind = hw::PacketKind::kGvtBroadcast;
+    pkt.hdr.dst = n;
+    pkt.hdr.size_bytes = static_cast<std::uint32_t>(ctx_->cost().gvt_ctrl_bytes);
+    pkt.hdr.gvt.gvt = mb.gvt;
+    pkt.hdr.gvt.epoch = mb.gvt_epoch;
+    ctx_->emit(std::move(pkt));
+  }
+  return ctx_->cost().us(ctx_->cost().nic_token_handle_us);
+}
+
 SimTime GvtFirmware::handle_token(const hw::GvtFields& token) {
+  // Fabric duplicates and zombie tokens from abandoned epochs arrive here
+  // under fault injection. (epoch, round) strictly increases at every NIC of
+  // a healthy ring, so anything not above the last handled pair is discarded
+  // — dropping a token is always safe (GVT is merely delayed, and the root
+  // regenerates if the live token was the casualty).
+  const bool fresh =
+      token.epoch > last_handled_epoch_ ||
+      (token.epoch == last_handled_epoch_ &&
+       static_cast<std::int64_t>(token.round) > last_handled_round_);
+  if (!fresh) {
+    ctx_->stats().counter("gvt.tokens_stale").add(1);
+    if (ctx_->trace().enabled(TraceCat::kGvt)) {
+      ctx_->trace().record({ctx_->now(), token.t, TraceCat::kGvt,
+                            TracePoint::kGvtTokenStale, false, ctx_->node_id(),
+                            kInvalidNode, kInvalidEvent, token.epoch,
+                            static_cast<std::uint64_t>(token.round)});
+    }
+    return ctx_->cost().us(ctx_->cost().nic_token_handle_us);
+  }
+  // A newer epoch supersedes whatever older token this NIC still holds or
+  // has queued for forwarding (the root abandoned that estimation).
+  if (held_token_ && held_token_->epoch < token.epoch) {
+    ctx_->stats().counter("gvt.tokens_stale").add(1);
+    held_token_.reset();
+  }
+  if (out_token_ && out_token_->epoch < token.epoch) {
+    ctx_->stats().counter("gvt.tokens_stale").add(1);
+    out_token_.reset();
+  }
   NW_CHECK_MSG(!held_token_, "second GVT token while one is held (ring protocol broken)");
+  last_handled_epoch_ = token.epoch;
+  last_handled_round_ = static_cast<std::int64_t>(token.round);
+  if (is_root()) last_est_activity_ = ctx_->now();
   if (epoch_ < token.epoch) {
     // The cut passes this NIC now: later wire exits are colored `epoch`.
     epoch_ = token.epoch;
@@ -114,8 +203,17 @@ SimTime GvtFirmware::resolve_handshake(std::uint64_t epoch, VirtualTime host_t) 
 
   const std::uint32_t e = token.epoch;
   if (token.phase == 0) {
-    const std::int64_t s = sent_[e - 1];
-    const std::int64_t r = received_[e - 1];
+    // Whites are every color in [floor, e). Fault-free the floor is always
+    // e - 1, which reduces to the classic single-epoch count; after a token
+    // regeneration the range also covers the abandoned epochs, whose
+    // in-flight messages must still be proven drained before completion.
+    const std::uint32_t f = static_cast<std::uint32_t>(token.floor);
+    std::int64_t s = 0;
+    std::int64_t r = 0;
+    for (auto it = sent_.lower_bound(f); it != sent_.end() && it->first < e; ++it)
+      s += it->second;
+    for (auto it = received_.lower_bound(f); it != received_.end() && it->first < e; ++it)
+      r += it->second;
     token.white_count += (s - reported_sent_) - (r - reported_recv_);
     reported_sent_ = s;
     reported_recv_ = r;
@@ -156,7 +254,13 @@ SimTime GvtFirmware::dispatch_token(hw::GvtFields token) {
 }
 
 void GvtFirmware::queue_outgoing(hw::GvtFields token) {
-  NW_CHECK_MSG(!out_token_, "outgoing token overwrite");
+  if (out_token_) {
+    // Only a newer epoch may displace a queued token (its epoch was
+    // abandoned); within an epoch an overwrite is a protocol bug.
+    NW_CHECK_MSG(out_token_->epoch < token.epoch, "outgoing token overwrite");
+    ctx_->stats().counter("gvt.tokens_stale").add(1);
+    out_token_.reset();
+  }
   out_token_ = token;
   out_dst_ = next_rank();
   out_deadline_ = ctx_->now() + SimTime::from_us(opts_.piggyback_window_us);
@@ -195,6 +299,8 @@ SimTime GvtFirmware::emit_wire_token() {
 SimTime GvtFirmware::complete(VirtualTime gvt_value, std::uint32_t epoch) {
   estimating_ = false;
   last_completion_ = ctx_->now();
+  last_completed_epoch_ = epoch;   // next token's floor
+  last_rebroadcast_ = ctx_->now();  // a fresh broadcast is going out right now
   events_base_ = ctx_->mailbox().events_processed;
   if (ctx_->trace().enabled(TraceCat::kGvt)) {
     ctx_->trace().record({ctx_->now(), gvt_value, TraceCat::kGvt,
@@ -228,11 +334,13 @@ SimTime GvtFirmware::adopt_gvt(VirtualTime gvt_value, std::uint32_t epoch) {
                             kInvalidNode, kInvalidEvent, epoch, 0});
     }
   }
-  if (epoch >= 1) {
-    sent_.erase(epoch - 1);
-    received_.erase(epoch - 1);
-    tmin_sent_.erase(epoch - 1);
-  }
+  // Colors below a completed epoch are proven drained cluster-wide (that is
+  // exactly what white_count == 0 established), so all of them can be pruned.
+  // Fault-free this removes only epoch - 1; after a token regeneration it
+  // also collects the abandoned epochs' counters.
+  sent_.erase(sent_.begin(), sent_.lower_bound(epoch));
+  received_.erase(received_.begin(), received_.lower_bound(epoch));
+  tmin_sent_.erase(tmin_sent_.begin(), tmin_sent_.lower_bound(epoch));
   // Nudge the host so fossil collection (and termination) is timely.
   hw::Packet notify;
   notify.hdr.kind = hw::PacketKind::kGvtBroadcast;

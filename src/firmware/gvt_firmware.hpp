@@ -46,6 +46,15 @@ class GvtFirmware : public hw::Firmware {
 
   SimTime poll();
   SimTime maybe_initiate();
+  SimTime initiate();  // unconditional part of maybe_initiate
+  // Root, unreliable fabric only: abandon an estimation whose token went
+  // missing and start a fresh epoch whose floor still covers the abandoned
+  // colors (GVT delayed, never unsafe).
+  SimTime maybe_regenerate();
+  // Root, unreliable fabric only: re-announce the current GVT so a lost
+  // broadcast cannot strand a node (matters for termination, when the root
+  // stops right after publishing the final value).
+  SimTime maybe_rebroadcast();
   // Token arrived (wire, piggybacked, or locally created at the root).
   SimTime handle_token(const hw::GvtFields& token);
   // Host reply (T) available for the held token.
@@ -74,10 +83,19 @@ class GvtFirmware : public hw::Firmware {
   NodeId out_dst_{kInvalidNode};
   SimTime out_deadline_{SimTime::zero()};
 
+  // Token-loss tolerance. (epoch, round) strictly increases at every NIC in
+  // a healthy ring, so anything at or below the last handled pair is a
+  // fabric duplicate or a zombie from an abandoned epoch: discard it.
+  std::uint64_t last_handled_epoch_{0};
+  std::int64_t last_handled_round_{-1};
+
   // Root estimation state.
   bool estimating_{false};
   std::int64_t events_base_{0};
   SimTime last_completion_{SimTime::zero()};
+  std::uint32_t last_completed_epoch_{0};  // floor carried by the next token
+  SimTime last_est_activity_{SimTime::zero()};  // token sightings at the root
+  SimTime last_rebroadcast_{SimTime::zero()};
 };
 
 }  // namespace nicwarp::firmware

@@ -68,8 +68,13 @@ models::BuiltModel build_model(const ExperimentConfig& cfg) {
 
 Testbed build_testbed(const ExperimentConfig& cfg) {
   Testbed tb;
-  tb.cluster = std::make_unique<hw::Cluster>(cfg.cost, cfg.nodes,
-                                             make_firmware_factory(cfg), cfg.seed);
+  hw::CostModel cost = cfg.cost;
+  // Chaos implies recovery: without the reliability sublayer a lossy fabric
+  // deadlocks Time-Warp (lost events, wedged credit windows, dead tokens).
+  if (cfg.fault.enabled()) cost.rel_enabled = true;
+  tb.cluster = std::make_unique<hw::Cluster>(cost, cfg.nodes,
+                                             make_firmware_factory(cfg), cfg.seed,
+                                             cfg.fault);
   if (!cfg.trace.categories.empty()) {
     tb.cluster->trace().configure(parse_trace_categories(cfg.trace.categories),
                                   cfg.trace.capacity);
@@ -166,6 +171,21 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   r.gvt_rounds = st.value("gvt.rounds");
   r.gvt_estimations = st.value("gvt.estimations");
   r.host_gvt_ctrl_msgs = st.value("comm.credit_msgs");
+
+  r.fault_drops = st.value("net.fault_drops");
+  r.fault_dups = st.value("net.fault_dups");
+  r.fault_corrupts = st.value("net.fault_corrupts");
+  r.fault_delays = st.value("net.fault_delays");
+  r.retransmits = st.value("nic.retransmits");
+  r.naks_sent = st.value("nic.naks_sent");
+  r.retx_timeouts = st.value("nic.retx_timeouts");
+  r.retx_evicted = st.value("nic.retx_evicted");
+  r.rel_crc_discards = st.value("nic.rel_crc_discards");
+  r.rel_dup_discards = st.value("nic.rel_dup_discards");
+  r.rel_gap_discards = st.value("nic.rel_gap_discards");
+  r.gvt_token_regens = st.value("gvt.token_regens");
+  r.gvt_tokens_stale = st.value("gvt.tokens_stale");
+  r.credit_resyncs = st.value("comm.credit_resyncs");
 
   if (tb.sampler != nullptr) {
     // Close the series with the end-of-run state (final GVT is +inf on a

@@ -71,6 +71,11 @@ struct ExperimentConfig {
   bool credit_repair = true;       // ablation A2 (§3.2 sequence-number fix)
 
   hw::CostModel cost{};
+  // Deterministic fabric chaos (inert by default). A non-trivial plan
+  // force-enables the NIC reliability sublayer (cost.rel_enabled) — faults
+  // without recovery deadlock Time-Warp (lost events, wedged credit windows,
+  // dead GVT tokens). Use raw hw::Cluster to study the unprotected modes.
+  hw::FaultPlan fault{};
   std::uint64_t seed = 42;
   double max_sim_seconds = 900.0;  // wall-clock (simulated) safety cap
   bool paranoia_checks = false;    // expensive LP-level pairing checks (tests)
@@ -107,6 +112,23 @@ struct ExperimentResult {
   std::int64_t gvt_rounds = 0;
   std::int64_t gvt_estimations = 0;
   std::int64_t host_gvt_ctrl_msgs = 0;  // wire tokens + broadcasts from hosts
+
+  // Fault injection (zero unless cfg.fault is enabled).
+  std::int64_t fault_drops = 0;
+  std::int64_t fault_dups = 0;
+  std::int64_t fault_corrupts = 0;
+  std::int64_t fault_delays = 0;
+  // Reliability-layer recovery work (zero on a healthy fabric).
+  std::int64_t retransmits = 0;
+  std::int64_t naks_sent = 0;
+  std::int64_t retx_timeouts = 0;
+  std::int64_t retx_evicted = 0;      // nonzero == a loss became unrecoverable
+  std::int64_t rel_crc_discards = 0;
+  std::int64_t rel_dup_discards = 0;
+  std::int64_t rel_gap_discards = 0;
+  std::int64_t gvt_token_regens = 0;
+  std::int64_t gvt_tokens_stale = 0;
+  std::int64_t credit_resyncs = 0;
 
   std::int64_t signature = 0;  // schedule-independent result fingerprint
   VirtualTime final_gvt{VirtualTime::zero()};

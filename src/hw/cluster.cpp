@@ -5,9 +5,10 @@
 namespace nicwarp::hw {
 
 Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
-                 std::uint64_t seed)
+                 std::uint64_t seed, const FaultPlan& faults)
     : cost_(cost), seed_(seed), network_(engine_, stats_, cost_, num_nodes, &trace_) {
   NW_CHECK(num_nodes >= 1);
+  if (faults.enabled()) network_.set_fault_plan(faults);
   nodes_.reserve(num_nodes);
   rngs_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {

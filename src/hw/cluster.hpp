@@ -17,8 +17,11 @@ namespace nicwarp::hw {
 
 class Cluster {
  public:
+  // `faults` configures deterministic fabric fault injection (inert by
+  // default); pair a non-trivial plan with cost.rel_enabled or Time-Warp
+  // correctness is forfeit.
   Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
-          std::uint64_t seed);
+          std::uint64_t seed, const FaultPlan& faults = {});
 
   sim::Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }

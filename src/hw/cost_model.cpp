@@ -43,6 +43,17 @@ CostModel CostModel::from_params(const ParamSet& p) {
       p.get_f64(key("handshake_piggyback_window_us"), m.handshake_piggyback_window_us);
   m.nic_event_id_ring_slots =
       p.get_i64(key("nic_event_id_ring_slots"), m.nic_event_id_ring_slots);
+  m.rel_enabled = p.get_bool(key("rel_enabled"), m.rel_enabled);
+  m.rel_rto_us = p.get_f64(key("rel_rto_us"), m.rel_rto_us);
+  m.rel_backoff_max = p.get_i64(key("rel_backoff_max"), m.rel_backoff_max);
+  m.rel_poll_us = p.get_f64(key("rel_poll_us"), m.rel_poll_us);
+  m.rel_nak_holdoff_us = p.get_f64(key("rel_nak_holdoff_us"), m.rel_nak_holdoff_us);
+  m.nic_retx_ring_slots = p.get_i64(key("nic_retx_ring_slots"), m.nic_retx_ring_slots);
+  m.nic_retx_us = p.get_f64(key("nic_retx_us"), m.nic_retx_us);
+  m.credit_resync_max_retries =
+      p.get_i64(key("credit_resync_max_retries"), m.credit_resync_max_retries);
+  m.gvt_token_timeout_us = p.get_f64(key("gvt_token_timeout_us"), m.gvt_token_timeout_us);
+  m.gvt_rebroadcast_us = p.get_f64(key("gvt_rebroadcast_us"), m.gvt_rebroadcast_us);
   m.host_exec_jitter = p.get_f64(key("host_exec_jitter"), m.host_exec_jitter);
   return m;
 }

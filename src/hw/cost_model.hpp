@@ -64,6 +64,21 @@ struct CostModel {
   double handshake_piggyback_window_us = 25.0;  // wait this long for a free ride
   std::int64_t nic_event_id_ring_slots = 10;    // paper: "a buffer of size 10"
 
+  // --- Reliability sublayer (go-back-N over the unreliable fabric) ---
+  // Off by default: a reliable fabric needs none of it, and fault-free
+  // baselines must stay byte-identical. The harness turns it on whenever a
+  // FaultPlan is active.
+  bool rel_enabled = false;
+  double rel_rto_us = 400.0;        // base retransmit timeout (oldest unacked)
+  std::int64_t rel_backoff_max = 8; // RTO multiplier cap (exponential backoff)
+  double rel_poll_us = 100.0;       // retransmit-timer poll interval
+  double rel_nak_holdoff_us = 60.0; // min spacing between NAKs per channel
+  std::int64_t nic_retx_ring_slots = 256;  // per-destination retransmit ring
+  double nic_retx_us = 1.0;         // NIC cost to replay one stored packet
+  std::int64_t credit_resync_max_retries = 8;  // bounded credit recovery
+  double gvt_token_timeout_us = 4000.0;  // NIC-GVT token regeneration timeout
+  double gvt_rebroadcast_us = 1000.0;    // periodic root GVT re-announce
+
   // Multiplicative jitter (+/- fraction) on host event execution, drawn from
   // a per-node deterministic stream; models instruction-path variance.
   double host_exec_jitter = 0.20;

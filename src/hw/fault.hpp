@@ -1,0 +1,34 @@
+// Deterministic fault-injection plan for the simulated fabric.
+//
+// A FaultPlan describes an *unreliable* Myrinet: per-packet probabilities of
+// loss, duplication, header corruption, and extra delivery delay, evaluated
+// per source link from a seeded `core/rng` stream so every run is exactly
+// reproducible. The plan is applied by hw::Network at the point a packet
+// leaves the wire (after serialization, before the latency hop), which is
+// the earliest point at which the fabric — rather than the NIC — owns the
+// packet.
+//
+// A default-constructed plan is inert: `enabled()` is false and the network
+// takes a branch-free fast path that is byte-identical to the reliable
+// fabric, so fault-free baselines (and their RNG streams) are unchanged.
+#pragma once
+
+#include <cstdint>
+
+namespace nicwarp::hw {
+
+struct FaultPlan {
+  double drop_rate{0.0};     // P(packet silently vanishes on the wire)
+  double dup_rate{0.0};      // P(a second copy is delivered)
+  double corrupt_rate{0.0};  // P(header CRC is flipped in flight)
+  double delay_rate{0.0};    // P(extra delivery delay is added)
+  double delay_max_us{50.0}; // uniform extra delay bound (breaks FIFO order)
+  std::uint64_t seed{1};     // fault-stream seed, independent of the model seed
+
+  bool enabled() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
+           delay_rate > 0.0;
+  }
+};
+
+}  // namespace nicwarp::hw

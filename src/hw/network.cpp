@@ -17,6 +17,16 @@ Network::Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cos
   }
 }
 
+void Network::set_fault_plan(const FaultPlan& plan) {
+  fault_ = plan;
+  fault_rngs_.clear();
+  if (!fault_.enabled()) return;
+  fault_rngs_.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    fault_rngs_.emplace_back(fault_.seed, "fault.link" + std::to_string(i));
+  }
+}
+
 void Network::transmit(NodeId src, Packet pkt, std::function<void()> on_link_free) {
   NW_CHECK(src < links_.size());
   NW_CHECK_MSG(pkt.hdr.dst < links_.size(), "packet to unknown node");
@@ -33,13 +43,68 @@ void Network::transmit(NodeId src, Packet pkt, std::function<void()> on_link_fre
                          pkt.hdr.event_id, pkt.hdr.size_bytes, 0});
         }
         if (done) done();
-        const NodeId dst = pkt.hdr.dst;
-        engine_.schedule(cost_.us(cost_.link_latency_us),
-                         [this, dst, p = std::move(pkt)]() mutable {
-                           ++delivered_;
-                           sink_(dst, std::move(p));
-                         });
+        if (fault_.enabled()) {
+          deliver_with_faults(src, std::move(pkt));
+        } else {
+          schedule_delivery(std::move(pkt), SimTime::zero());
+        }
       });
+}
+
+void Network::schedule_delivery(Packet pkt, SimTime extra) {
+  const NodeId dst = pkt.hdr.dst;
+  engine_.schedule(cost_.us(cost_.link_latency_us) + extra,
+                   [this, dst, p = std::move(pkt)]() mutable {
+                     ++delivered_;
+                     sink_(dst, std::move(p));
+                   });
+}
+
+void Network::deliver_with_faults(NodeId src, Packet pkt) {
+  Rng& rng = fault_rngs_[src];
+  // A FIXED number of draws per packet, consumed unconditionally, so the
+  // fault schedule of packet N never depends on which faults hit packets
+  // 1..N-1 (stream alignment across sweeps of a single rate knob).
+  const double u_drop = rng.next_double();
+  const double u_dup = rng.next_double();
+  const double u_corrupt = rng.next_double();
+  const double u_delay = rng.next_double();
+  const double u_delay_amt = rng.next_double();
+  const double u_dup_delay = rng.next_double();
+
+  const auto fault_trace = [&](TracePoint point, std::uint64_t a) {
+    if (trace_.enabled(TraceCat::kFault)) {
+      trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kFault, point,
+                     pkt.hdr.negative, src, pkt.hdr.dst, pkt.hdr.event_id, a, 0});
+    }
+  };
+
+  if (u_drop < fault_.drop_rate) {
+    stats_.counter("net.fault_drops").add(1);
+    fault_trace(TracePoint::kFaultDrop, pkt.hdr.bip_seq);
+    return;  // the fabric ate it; recovery is the NIC's problem
+  }
+  if (u_corrupt < fault_.corrupt_rate) {
+    stats_.counter("net.fault_corrupts").add(1);
+    fault_trace(TracePoint::kFaultCorrupt, pkt.hdr.bip_seq);
+    pkt.hdr.crc ^= 0xdeadbeefu;  // never maps a stamped crc back to itself
+  }
+  SimTime extra = SimTime::zero();
+  if (u_delay < fault_.delay_rate) {
+    extra = SimTime::from_ns(
+        static_cast<std::int64_t>(u_delay_amt * fault_.delay_max_us * 1e3));
+    stats_.counter("net.fault_delays").add(1);
+    fault_trace(TracePoint::kFaultDelay, static_cast<std::uint64_t>(extra.ns));
+  }
+  if (u_dup < fault_.dup_rate) {
+    stats_.counter("net.fault_dups").add(1);
+    fault_trace(TracePoint::kFaultDup, pkt.hdr.bip_seq);
+    Packet copy = pkt;
+    schedule_delivery(std::move(copy),
+                      extra + SimTime::from_ns(static_cast<std::int64_t>(
+                                  u_dup_delay * fault_.delay_max_us * 1e3)));
+  }
+  schedule_delivery(std::move(pkt), extra);
 }
 
 }  // namespace nicwarp::hw

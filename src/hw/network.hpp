@@ -9,10 +9,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
+#include "hw/fault.hpp"
 #include "hw/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/server.hpp"
@@ -30,6 +32,13 @@ class Network {
   // Routes packets that complete wire traversal; set once by the Cluster.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  // Arms deterministic fault injection. One RNG stream per injection link so
+  // traffic on one link never perturbs another's fault schedule. An inert
+  // plan (enabled() == false) leaves delivery byte-identical to the reliable
+  // fabric.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_; }
+
   // Transmits `pkt` from `src`'s injection link. `on_link_free` fires when
   // the link has finished serializing the packet (the NIC may then start the
   // next send-ring entry); delivery at the destination happens `link_latency`
@@ -46,6 +55,14 @@ class Network {
   std::vector<std::unique_ptr<sim::Server>> links_;
   Sink sink_;
   std::uint64_t delivered_{0};
+
+  // Applies the fault plan to one serialized packet; schedules 0, 1, or 2
+  // deliveries. Called from the link-completion path when fault_.enabled().
+  void deliver_with_faults(NodeId src, Packet pkt);
+  void schedule_delivery(Packet pkt, SimTime extra);
+
+  FaultPlan fault_{};
+  std::vector<Rng> fault_rngs_;  // one per injection link
 };
 
 }  // namespace nicwarp::hw

@@ -1,5 +1,7 @@
 #include "hw/nic.hpp"
 
+#include <algorithm>
+
 #include "core/assert.hpp"
 #include "core/log.hpp"
 
@@ -19,6 +21,8 @@ Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeI
       firmware_(std::move(firmware)),
       nic_cpu_(engine, "nic" + std::to_string(id) + ".cpu", &stats) {
   NW_CHECK(firmware_ != nullptr);
+  rel_tx_.resize(world_size_);
+  rel_rx_.resize(world_size_);
   firmware_->attach(*this);
 }
 
@@ -60,6 +64,7 @@ void Nic::accept_from_host(Packet pkt) {
                              hdr.event_id, 0, 0});
             }
             // The packet never reaches the wire; its slot frees immediately.
+            rel_record_void(hdr.dst, hdr.bip_seq);
             NW_CHECK(slots_in_use_ > 0);
             --slots_in_use_;
             if (tx_slot_freed_) tx_slot_freed_();
@@ -82,6 +87,7 @@ Packet Nic::drop_from_send_ring(std::size_t i) {
   NW_CHECK(i < send_ring_.size());
   Packet out = std::move(send_ring_[i]);
   send_ring_.erase(send_ring_.begin() + static_cast<std::ptrdiff_t>(i));
+  rel_record_void(out.hdr.dst, out.hdr.bip_seq);
   NW_CHECK(slots_in_use_ > 0);
   --slots_in_use_;
   stats_.counter("nic.ring_drops").add(1);
@@ -121,12 +127,18 @@ void Nic::schedule(SimTime delay, std::function<SimTime()> fn) {
 
 void Nic::pump_tx() {
   if (tx_busy_) return;
-  const bool from_ctrl = !ctrl_queue_.empty();
-  if (!from_ctrl && send_ring_.empty()) return;
+  // Reliability replays first (they unblock a stalled receiver), then
+  // NIC-generated control traffic, then the host send ring.
+  const bool from_retx = !retx_queue_.empty();
+  const bool from_ctrl = !from_retx && !ctrl_queue_.empty();
+  if (!from_retx && !from_ctrl && send_ring_.empty()) return;
   tx_busy_ = true;
 
   auto pkt = std::make_shared<Packet>();
-  if (from_ctrl) {
+  if (from_retx) {
+    *pkt = std::move(retx_queue_.front());
+    retx_queue_.pop_front();
+  } else if (from_ctrl) {
     *pkt = std::move(ctrl_queue_.front());
     ctrl_queue_.pop_front();
   } else {
@@ -142,14 +154,21 @@ void Nic::pump_tx() {
   if (pkt->hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
     trace_.record({engine_.now(), pkt->hdr.recv_ts, TraceCat::kMsg,
                    TracePoint::kWireTx, pkt->hdr.negative, id_, pkt->hdr.dst,
-                   pkt->hdr.event_id, from_ctrl ? 1u : 0u, 0});
+                   pkt->hdr.event_id, from_retx ? 2u : (from_ctrl ? 1u : 0u), 0});
   }
   nic_cpu_.submit_dynamic(
-      [this, pkt] { return firmware_->on_wire_tx(*pkt); },
-      [this, pkt, from_ctrl] {
-        network_.transmit(id_, std::move(*pkt), [this, from_ctrl] {
+      [this, pkt, from_retx] {
+        // A replay is a stored-copy DMA out of SRAM; the firmware hooks
+        // already ran (and counted) the original, so they must not run again.
+        if (from_retx) return cost_.us(cost_.nic_retx_us);
+        return firmware_->on_wire_tx(*pkt);
+      },
+      [this, pkt, from_ctrl, from_retx] {
+        const bool host_pkt = !from_ctrl && !from_retx;
+        if (cost_.rel_enabled) rel_stamp_outgoing(*pkt, host_pkt);
+        network_.transmit(id_, std::move(*pkt), [this, host_pkt] {
           tx_busy_ = false;
-          if (!from_ctrl) {
+          if (host_pkt) {
             // The SRAM buffer is recycled once the link drained the packet.
             NW_CHECK(slots_in_use_ > 0);
             --slots_in_use_;
@@ -170,6 +189,16 @@ void Nic::receive_from_net(Packet pkt) {
       std::move(pkt), Firmware::Action::kForward);
   nic_cpu_.submit_dynamic(
       [this, state] {
+        if (cost_.rel_enabled) {
+          SimTime rel_cost = SimTime::zero();
+          if (!rel_rx_process(state->first, rel_cost)) {
+            state->second = Firmware::Action::kConsume;
+            return rel_cost;
+          }
+          const Firmware::HookResult r = firmware_->on_net_rx(state->first);
+          state->second = r.action;
+          return r.cost + rel_cost;
+        }
         const Firmware::HookResult r = firmware_->on_net_rx(state->first);
         state->second = r.action;
         return r.cost;
@@ -181,6 +210,211 @@ void Nic::receive_from_net(Packet pkt) {
         // kDrop / kConsume: the packet dies on the NIC, saving the bus
         // crossing and the host receive path entirely.
       });
+}
+
+// ---------------------------------------------------------------------------
+// Reliability sublayer.
+// ---------------------------------------------------------------------------
+
+void Nic::rel_record_void(NodeId dst, std::uint64_t seq) {
+  if (!cost_.rel_enabled || seq == 0) return;
+  // Ring scans can void a higher seq before a lower one (anti/positive
+  // pairing is not FIFO within the window), so keep the set sorted.
+  auto& v = rel_tx_[dst].voided;
+  v.insert(std::lower_bound(v.begin(), v.end(), seq), seq);
+}
+
+void Nic::rel_on_ack(NodeId from, std::uint64_t ack) {
+  if (ack == 0) return;
+  RelTx& tx = rel_tx_[from];
+  bool progress = false;
+  while (!tx.ring.empty() && tx.ring.front().hdr.bip_seq < ack) {
+    tx.ring.pop_front();
+    progress = true;
+  }
+  // Voids below the ack floor can never be consulted again (future packets
+  // all carry higher seqs); fold them into the retired count.
+  while (!tx.voided.empty() && tx.voided.front() < ack) {
+    tx.voided.pop_front();
+    ++tx.voids_retired;
+  }
+  if (progress) {
+    tx.backoff = 1;
+    tx.last_event = engine_.now();
+  }
+}
+
+void Nic::rel_go_back_n(NodeId dst, bool force) {
+  RelTx& tx = rel_tx_[dst];
+  if (tx.ring.empty()) return;
+  if (!force &&
+      engine_.now() < tx.last_retx + cost_.us(cost_.rel_nak_holdoff_us)) {
+    return;
+  }
+  tx.last_retx = engine_.now();
+  for (Packet& stored : tx.ring) {
+    ++stored.hdr.retx_count;
+    Packet copy = stored;
+    copy.hdr.rel_ack_pb = rel_rx_[dst].expected_seq;
+    copy.hdr.crc = header_crc(copy);
+    stats_.counter("nic.retransmits").add(1);
+    if (trace_.enabled(TraceCat::kFault)) {
+      trace_.record({engine_.now(), copy.hdr.recv_ts, TraceCat::kFault,
+                     TracePoint::kRelRetransmit, copy.hdr.negative, id_, dst,
+                     copy.hdr.event_id, copy.hdr.bip_seq, copy.hdr.retx_count});
+    }
+    retx_queue_.push_back(std::move(copy));
+  }
+  pump_tx();
+}
+
+bool Nic::rel_rx_process(Packet& pkt, SimTime& cost) {
+  const NodeId src = pkt.hdr.src;
+  cost = SimTime::zero();
+  // 1. Integrity: every packet on a reliability-enabled fabric is stamped, so
+  // crc == 0 (clobbered to the unstamped sentinel) is corruption too.
+  if (pkt.hdr.crc == 0 || header_crc(pkt) != pkt.hdr.crc) {
+    // A corrupt header's ack/seq fields are garbage: do not process them.
+    stats_.counter("nic.rel_crc_discards").add(1);
+    if (trace_.enabled(TraceCat::kFault)) {
+      trace_.record({engine_.now(), VirtualTime::zero(), TraceCat::kFault,
+                     TracePoint::kRelCrcDiscard, false, id_, src,
+                     kInvalidEvent, pkt.hdr.bip_seq, 0});
+    }
+    cost = cost_.us(cost_.nic_retx_us);
+    return false;
+  }
+  // 2. Cumulative ack rides on every valid packet, including ones about to
+  // be discarded as duplicates.
+  rel_on_ack(src, pkt.hdr.rel_ack_pb);
+  // 3. A NAK is a pure sequence-status report: the ack above already retired
+  // what the receiver has; replay whatever remains.
+  if (pkt.hdr.kind == PacketKind::kNak) {
+    rel_go_back_n(src, /*force=*/false);
+    cost = cost_.us(cost_.nic_retx_us);
+    return false;
+  }
+  // 4. Sequenced stream: exactly-once, in-order accept.
+  if (pkt.hdr.bip_seq != 0) {
+    RelRx& rx = rel_rx_[src];
+    const std::uint64_t seq = pkt.hdr.bip_seq;
+    if (seq < rx.expected_seq) {
+      stats_.counter("nic.rel_dup_discards").add(1);
+      if (trace_.enabled(TraceCat::kFault)) {
+        trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kFault,
+                       TracePoint::kRelDupDiscard, pkt.hdr.negative, id_, src,
+                       pkt.hdr.event_id, seq, 0});
+      }
+      rel_send_status(src);  // quench: tells the sender how far we really are
+      cost = cost_.us(cost_.nic_retx_us);
+      return false;
+    }
+    const std::uint64_t gap = seq - rx.expected_seq;
+    const std::uint64_t void_delta = pkt.hdr.void_cum - rx.voids_seen;
+    NW_CHECK_MSG(void_delta <= gap,
+                 "void accounting claims more intentional drops than the gap");
+    if (void_delta < gap) {
+      // Fabric loss (or reordering): the gap is not fully explained by
+      // intentional NIC drops. Hold the line and ask for a replay.
+      stats_.counter("nic.rel_gap_discards").add(1);
+      if (trace_.enabled(TraceCat::kFault)) {
+        trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kFault,
+                       TracePoint::kRelGapDiscard, pkt.hdr.negative, id_, src,
+                       pkt.hdr.event_id, seq, rx.expected_seq});
+      }
+      rel_send_status(src);
+      cost = cost_.us(cost_.nic_retx_us);
+      return false;
+    }
+    rx.expected_seq = seq + 1;
+    rx.voids_seen = pkt.hdr.void_cum;
+    // Recovered data: report progress promptly so the sender's ring drains
+    // even if we have no reverse traffic of our own.
+    if (pkt.hdr.retx_count > 0) rel_send_status(src);
+  }
+  return true;
+}
+
+void Nic::rel_send_status(NodeId to) {
+  RelRx& rx = rel_rx_[to];
+  if (rx.last_nak.ns >= 0 &&
+      engine_.now() < rx.last_nak + cost_.us(cost_.rel_nak_holdoff_us)) {
+    return;
+  }
+  rx.last_nak = engine_.now();
+  Packet nak;
+  nak.hdr.kind = PacketKind::kNak;
+  nak.hdr.dst = to;
+  nak.hdr.size_bytes = static_cast<std::uint32_t>(cost_.ack_msg_bytes);
+  stats_.counter("nic.naks_sent").add(1);
+  if (trace_.enabled(TraceCat::kFault)) {
+    trace_.record({engine_.now(), VirtualTime::zero(), TraceCat::kFault,
+                   TracePoint::kRelNak, false, id_, to, kInvalidEvent,
+                   rx.expected_seq, 0});
+  }
+  emit(std::move(nak));  // rel_ack_pb is stamped with expected_seq at pump
+}
+
+void Nic::rel_stamp_outgoing(Packet& pkt, bool first_departure) {
+  const NodeId dst = pkt.hdr.dst;
+  if (first_departure && pkt.hdr.bip_seq != 0) {
+    RelTx& tx = rel_tx_[dst];
+    // Exact and immutable: the send ring is FIFO, so every void of a lower
+    // seq is already recorded; later ring voids all carry higher seqs.
+    pkt.hdr.void_cum =
+        tx.voids_retired +
+        static_cast<std::uint64_t>(std::lower_bound(tx.voided.begin(),
+                                                    tx.voided.end(),
+                                                    pkt.hdr.bip_seq) -
+                                   tx.voided.begin());
+    if (tx.ring.size() >=
+        static_cast<std::size_t>(cost_.nic_retx_ring_slots)) {
+      // SRAM pressure: drop the oldest stored copy. Recovery then depends on
+      // it already having been delivered; chaos tests assert this never
+      // fires at the default sizing.
+      tx.ring.pop_front();
+      stats_.counter("nic.retx_evicted").add(1);
+    }
+    if (tx.ring.empty()) tx.last_event = engine_.now();
+    tx.ring.push_back(pkt);
+    arm_rel_timer();
+  }
+  pkt.hdr.rel_ack_pb = rel_rx_[dst].expected_seq;
+  pkt.hdr.crc = header_crc(pkt);
+}
+
+void Nic::arm_rel_timer() {
+  if (rel_timer_armed_ || !cost_.rel_enabled) return;
+  bool any = false;
+  for (const RelTx& tx : rel_tx_) {
+    if (!tx.ring.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;  // self-disarming: the engine can drain when idle
+  rel_timer_armed_ = true;
+  schedule(cost_.us(cost_.rel_poll_us), [this] {
+    rel_timer_armed_ = false;
+    rel_check_timeouts();
+    arm_rel_timer();
+    return SimTime::zero();
+  });
+}
+
+void Nic::rel_check_timeouts() {
+  for (NodeId d = 0; d < world_size_; ++d) {
+    RelTx& tx = rel_tx_[d];
+    if (tx.ring.empty()) continue;
+    const SimTime rto =
+        cost_.us(cost_.rel_rto_us * static_cast<double>(tx.backoff));
+    if (engine_.now() >= tx.last_event + rto) {
+      stats_.counter("nic.retx_timeouts").add(1);
+      tx.backoff = std::min(tx.backoff * 2, cost_.rel_backoff_max);
+      tx.last_event = engine_.now();
+      rel_go_back_n(d, /*force=*/true);
+    }
+  }
 }
 
 }  // namespace nicwarp::hw

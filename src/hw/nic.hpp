@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "core/stats.hpp"
 #include "core/types.hpp"
@@ -68,6 +69,50 @@ class Nic final : public NicContext {
  private:
   void pump_tx();
 
+  // ----- reliability sublayer (active only when cost().rel_enabled) -----
+  // Sits below the firmware hooks: a received packet passes CRC verification
+  // and the go-back-N accept filter before any firmware sees it, so the GVT
+  // message counters and the cancellation unit observe every logical message
+  // exactly once even when the fabric drops, duplicates, or reorders copies.
+  //
+  // Per tx channel (this node -> dst) the NIC keeps the unacked sequenced
+  // packets in a bounded retransmit ring plus the *exact* set of sequence
+  // numbers it intentionally voided (early cancellation). At first wire
+  // departure each packet is stamped with the cumulative void count below its
+  // own seq — an immutable value, since the send ring is FIFO: every void of
+  // a lower seq has already happened by the time a packet departs. The
+  // receiver can then distinguish an intentional gap (gap == void delta:
+  // accept) from fabric loss (gap > void delta: NAK + go-back-N replay).
+  struct RelTx {
+    std::deque<Packet> ring;           // unacked sequenced packets, seq order
+    std::deque<std::uint64_t> voided;  // intentionally voided seqs, sorted
+    std::uint64_t voids_retired{0};    // voided seqs pruned below the ack floor
+    std::int64_t backoff{1};           // RTO multiplier (exponential, capped)
+    SimTime last_event{SimTime::zero()};  // last ack progress / retransmit
+    SimTime last_retx{SimTime::zero()};
+  };
+  struct RelRx {
+    std::uint64_t expected_seq{1};
+    std::uint64_t voids_seen{0};  // void_cum of the last accepted packet
+    SimTime last_nak{SimTime{-1}};
+  };
+
+  // Records an intentional drop of a sequenced packet (never retransmitted;
+  // its seq becomes an explained gap for the receiver).
+  void rel_record_void(NodeId dst, std::uint64_t seq);
+  // Retires ring entries below the peer's cumulative ack.
+  void rel_on_ack(NodeId from, std::uint64_t ack);
+  // Replays every unacked packet to `dst` (rate-limited unless `force`).
+  void rel_go_back_n(NodeId dst, bool force);
+  // CRC + ack + sequence filter; false == the NIC consumed the packet.
+  bool rel_rx_process(Packet& pkt, SimTime& cost);
+  // Rate-limited kNak carrying our expected_seq for the channel to -> us.
+  void rel_send_status(NodeId to);
+  // Stamps void_cum (+ ring copy) on first departures, then ack + CRC.
+  void rel_stamp_outgoing(Packet& pkt, bool first_departure);
+  void arm_rel_timer();
+  void rel_check_timeouts();
+
   sim::Engine& engine_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
@@ -82,8 +127,13 @@ class Nic final : public NicContext {
   Mailbox mailbox_;
   std::deque<Packet> send_ring_;  // host event traffic, FIFO
   std::deque<Packet> ctrl_queue_; // NIC-generated control traffic (priority)
+  std::deque<Packet> retx_queue_; // reliability replays (top wire priority)
   std::size_t slots_in_use_{0};   // reserved + staged + on-wire host packets
   bool tx_busy_{false};
+
+  std::vector<RelTx> rel_tx_;  // indexed by destination node
+  std::vector<RelRx> rel_rx_;  // indexed by source node
+  bool rel_timer_armed_{false};
 
   std::function<void(Packet)> host_deliver_;
   std::function<void()> tx_slot_freed_;

@@ -52,6 +52,10 @@ SimTime Node::host_recv_cost(const Packet& pkt) const {
     case PacketKind::kCreditUpdate:
     case PacketKind::kAck:
       return cost_.us(cost_.host_msg_recv_us * 0.5);
+    case PacketKind::kNak:
+      // Link-level NAKs live entirely inside the NIC reliability sublayer;
+      // one reaching the host means the NIC failed to consume it.
+      NW_UNREACHABLE("kNak surfaced to the host");
   }
   NW_UNREACHABLE("unknown packet kind");
 }

@@ -24,7 +24,7 @@ void PGvtManager::maybe_initiate(bool force) {
   gathering_ = true;
   events_at_last_init_ = api_->events_processed();
   ++gather_epoch_;
-  replies_ = 0;
+  reporters_.clear();
   gather_min_ = local_report();
   api_->stats().counter("gvt.estimations").add(1);
   api_->stats().counter("gvt.rounds").add(1);
@@ -47,15 +47,24 @@ void PGvtManager::maybe_initiate(bool force) {
 
 VirtualTime PGvtManager::local_report() {
   VirtualTime m = VirtualTime::min(low_water_, api_->safe_local_min());
-  for (const auto& [k, ts] : outstanding_) m = VirtualTime::min(m, ts);
+  for (const auto& [k, p] : outstanding_) m = VirtualTime::min(m, p.ts);
   low_water_ = VirtualTime::inf();  // new reporting interval starts now
   return m;
 }
 
 void PGvtManager::stamp_outgoing(hw::PacketHeader& hdr) {
   if (hdr.kind != hw::PacketKind::kEvent) return;
-  outstanding_[key(hdr.event_id, hdr.negative)] = hdr.recv_ts;
+  Pending& p = outstanding_[key(hdr.event_id, hdr.negative)];
+  p.copies += 1;
+  p.ts = VirtualTime::min(p.ts, hdr.recv_ts);
   low_water_ = VirtualTime::min(low_water_, hdr.recv_ts);
+}
+
+void PGvtManager::release_outstanding(std::uint64_t k) {
+  auto it = outstanding_.find(k);
+  NW_CHECK_MSG(it != outstanding_.end() && it->second.copies > 0,
+               "pGVT released a send it was not tracking");
+  if (--it->second.copies == 0) outstanding_.erase(it);
 }
 
 void PGvtManager::on_event_received(const hw::PacketHeader& hdr) {
@@ -75,15 +84,19 @@ void PGvtManager::send_ack(const hw::PacketHeader& hdr) {
 }
 
 void PGvtManager::on_nic_drop(const hw::DropNotice& n) {
-  // A dropped packet will never be acknowledged; forget it. Its timestamp
-  // stays in low_water_, which is merely conservative.
-  outstanding_.erase(key(n.id, n.negative));
+  // A dropped packet will never be acknowledged; release its copy. Its
+  // timestamp stays in low_water_, which is merely conservative. A tracked
+  // copy MUST exist — each stamped send is released exactly once, by its ack
+  // or by its DropNotice. A miss would mean the drop and ack paths disagree
+  // about which message this was, silently pinning `outstanding_` (a GVT
+  // floor leak) or double-releasing a copy still in flight (unsafe GVT).
+  release_outstanding(key(n.id, n.negative));
 }
 
 void PGvtManager::on_control(const hw::Packet& pkt) {
   switch (pkt.hdr.kind) {
     case hw::PacketKind::kAck:
-      outstanding_.erase(key(pkt.hdr.event_id, pkt.hdr.negative));
+      release_outstanding(key(pkt.hdr.event_id, pkt.hdr.negative));
       return;
     case hw::PacketKind::kPGvtRequest: {
       hw::Packet rep;
@@ -97,8 +110,12 @@ void PGvtManager::on_control(const hw::Packet& pkt) {
     }
     case hw::PacketKind::kPGvtReport: {
       if (!gathering_ || pkt.hdr.gvt.epoch != gather_epoch_) return;
+      // Track reporters by identity, not by count: a duplicated report must
+      // not complete the gather while some node has not answered (its
+      // in-flight messages would be missing from the minimum).
+      if (!reporters_.insert(pkt.hdr.src).second) return;
       gather_min_ = VirtualTime::min(gather_min_, pkt.hdr.gvt.t);
-      if (++replies_ == api_->world_size() - 1) {
+      if (reporters_.size() == api_->world_size() - 1) {
         gathering_ = false;
         last_completion_ = api_->now();
         for (NodeId n = 0; n < api_->world_size(); ++n) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "warped/gvt_manager.hpp"
@@ -38,6 +39,17 @@ class PGvtManager final : public GvtManager {
 
   std::size_t unacked() const { return outstanding_.size(); }
 
+  // One (event id, negative) key can cover several in-flight copies: after a
+  // rollback the kernel re-sends the same event id while the original copy
+  // (or its anti) may still be unacknowledged. The entry therefore counts
+  // copies; it pins the GVT floor until *every* copy is acked or reported
+  // dropped by the NIC. A plain set here is the classic silent bug: the
+  // first ack would release the timestamp while a copy is still in flight.
+  struct Pending {
+    std::int64_t copies{0};
+    VirtualTime ts{VirtualTime::inf()};
+  };
+
  private:
   static std::uint64_t key(EventId id, bool negative) {
     return (id << 1) | (negative ? 1u : 0u);
@@ -49,13 +61,15 @@ class PGvtManager final : public GvtManager {
 
   PGvtOptions opts_;
 
-  std::unordered_map<std::uint64_t, VirtualTime> outstanding_;  // unacked sends
+  void release_outstanding(std::uint64_t k);
+
+  std::unordered_map<std::uint64_t, Pending> outstanding_;  // unacked sends
   VirtualTime low_water_{VirtualTime::inf()};  // since last report
 
   // Root gather state.
   bool gathering_{false};
   std::uint64_t gather_epoch_{0};
-  std::uint32_t replies_{0};
+  std::set<NodeId> reporters_;  // nodes whose report for gather_epoch_ arrived
   VirtualTime gather_min_{VirtualTime::inf()};
   std::int64_t events_at_last_init_{0};
   SimTime last_completion_{SimTime::zero()};

@@ -286,6 +286,8 @@ void Kernel::on_deliver(hw::Packet pkt) {
       return;
     case hw::PacketKind::kCreditUpdate:
       return;  // consumed by HostComm before it gets here
+    case hw::PacketKind::kNak:
+      return;  // NIC reliability traffic; never crosses the I/O bus
   }
 }
 

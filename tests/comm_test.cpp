@@ -54,6 +54,8 @@ TEST_F(CommFixture, DeliversEventsInOrder) {
     EXPECT_EQ(delivered_[1][static_cast<std::size_t>(i)].hdr.bip_seq,
               static_cast<std::uint64_t>(i + 1));
   }
+  HostComm::check_invariants(*comms_[0], *comms_[1]);
+  HostComm::check_invariants(*comms_[1], *comms_[0]);
 }
 
 TEST_F(CommFixture, WindowExhaustionStagesThenResumes) {
@@ -70,6 +72,7 @@ TEST_F(CommFixture, WindowExhaustionStagesThenResumes) {
   }
   EXPECT_EQ(comms_[0]->staged(), 0u);
   EXPECT_GT(cluster_.stats().value("comm.credit_msgs"), 0);
+  HostComm::check_invariants(*comms_[0], *comms_[1]);
 }
 
 TEST_F(CommFixture, ControlTrafficBypassesCredits) {
@@ -196,6 +199,64 @@ TEST(CommDropTest, RefundPlusGapKeepsWindowExact) {
   // (returned by receiver).
   EXPECT_EQ(a.credits_for(1), comm_cost().mpi_credit_window);
   EXPECT_EQ(cluster.stats().value("comm.credit_clamped_refund"), 0);
+}
+
+TEST(CommDropTest, InvariantHoldsThroughDropsAndRefunds) {
+  // The credit conservation identity must survive the full drop lifecycle:
+  // consume -> NIC drop -> gap detected -> refund.
+  hw::Cluster cluster(comm_cost(), 2,
+                      [](NodeId id) -> std::unique_ptr<hw::Firmware> {
+                        if (id == 0) return std::make_unique<DropFirstN>(3);
+                        return std::make_unique<hw::BaselineFirmware>();
+                      },
+                      1);
+  HostComm a(cluster.node(0)), b(cluster.node(1));
+  b.set_deliver([](hw::Packet) {});
+  a.set_deliver([](hw::Packet) {});
+  for (int i = 0; i < 6; ++i) a.send(event_packet(1, static_cast<EventId>(i)));
+  cluster.run();
+  a.refund_credits(1, 3);
+  cluster.run();
+  HostComm::check_invariants(a, b);
+  HostComm::check_invariants(b, a);
+}
+
+// Lossy fabric with the NIC reliability sublayer on: every event must still
+// arrive exactly once and in order, recovered by NAK-triggered (or
+// timeout-triggered) go-back-N replays, and the credit window must be whole
+// afterwards — a lost kCreditUpdate is replayed, never minted.
+TEST(CommRelTest, FabricLossRecoveredByRetransmission) {
+  hw::CostModel cost = comm_cost();
+  cost.rel_enabled = true;
+  hw::FaultPlan plan;
+  plan.drop_rate = 0.05;
+  plan.dup_rate = 0.02;
+  plan.seed = 7;
+  hw::Cluster cluster(cost, 2,
+                      [](NodeId) { return std::make_unique<hw::BaselineFirmware>(); },
+                      1, plan);
+  HostComm a(cluster.node(0)), b(cluster.node(1));
+  std::vector<hw::Packet> got;
+  b.set_deliver([&](hw::Packet p) { got.push_back(std::move(p)); });
+  a.set_deliver([](hw::Packet) {});
+  const int kSends = 200;
+  for (int i = 0; i < kSends; ++i) {
+    a.send(event_packet(1, static_cast<EventId>(i)));
+    if (i % 8 == 7) cluster.run();  // interleave so the window keeps cycling
+  }
+  cluster.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kSends));
+  for (int i = 0; i < kSends; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].hdr.event_id, static_cast<EventId>(i));
+  }
+  // The fabric really did lose packets, and the NIC really did recover them.
+  EXPECT_GT(cluster.stats().value("net.fault_drops"), 0);
+  EXPECT_GT(cluster.stats().value("nic.retransmits"), 0);
+  EXPECT_EQ(cluster.stats().value("nic.retx_evicted"), 0);
+  EXPECT_EQ(a.credits_for(1), comm_cost().mpi_credit_window);
+  EXPECT_EQ(cluster.stats().value("comm.credit_resyncs"), 0);
+  HostComm::check_invariants(a, b);
+  HostComm::check_invariants(b, a);
 }
 
 TEST(CommTest, PerDestinationOrderingAcrossManyDestinations) {

@@ -7,6 +7,8 @@
 #include <queue>
 
 #include "core/rng.hpp"
+#include "harness/experiment.hpp"
+#include "hw/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/server.hpp"
 #include "warped/event.hpp"
@@ -277,6 +279,98 @@ TEST_P(LpAntiFuzz, FullCancellationLeavesNoTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LpAntiFuzz, ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// ---------------------------------------------------------------------------
+// Chaos: the full testbed under randomized fabric fault schedules.
+//
+// The central robustness property of the reliability layer: for ANY fault
+// plan within its envelope (loss <= 5%, duplication, corruption, delay) every
+// scenario still terminates and commits a byte-identical simulation state —
+// faults may change how long recovery takes, never what the simulation
+// computes. Checked per GVT manager, since each has its own recovery story
+// (NIC token regeneration, sequenced host tokens, counted pGVT acks).
+// ---------------------------------------------------------------------------
+
+struct ChaosCase {
+  const char* name;
+  hw::FaultPlan plan;
+};
+
+class ChaosSignature : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSignature, CommittedStateMatchesFaultFreeRun) {
+  std::vector<ChaosCase> cases;
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.01;
+    cases.push_back({"drop1", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.02;
+    p.dup_rate = 0.02;
+    cases.push_back({"drop+dup", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.corrupt_rate = 0.02;
+    p.delay_rate = 0.05;
+    p.delay_max_us = 40.0;
+    cases.push_back({"corrupt+delay", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.05;
+    p.dup_rate = 0.01;
+    p.corrupt_rate = 0.01;
+    p.delay_rate = 0.02;
+    cases.push_back({"mixed5", p});
+  }
+
+  const warped::GvtMode modes[] = {warped::GvtMode::kNic, warped::GvtMode::kHostMattern,
+                                   warped::GvtMode::kPGvt};
+  for (const warped::GvtMode mode : modes) {
+    for (const bool cancel : {false, true}) {
+      harness::ExperimentConfig cfg;
+      cfg.model = harness::ModelKind::kRaid;
+      cfg.raid.total_requests = 600;
+      cfg.nodes = 4;
+      cfg.gvt_mode = mode;
+      cfg.early_cancel = cancel;
+      cfg.paranoia_checks = true;
+      const harness::ExperimentResult clean = harness::run_experiment(cfg);
+      ASSERT_TRUE(clean.completed);
+
+      std::int64_t recoveries = 0;
+      for (const ChaosCase& c : cases) {
+        harness::ExperimentConfig chaos = cfg;
+        chaos.fault = c.plan;
+        chaos.fault.seed = GetParam();
+        const harness::ExperimentResult r = harness::run_experiment(chaos);
+        const char* mode_name = mode == warped::GvtMode::kNic        ? "nic"
+                                : mode == warped::GvtMode::kHostMattern ? "mattern"
+                                                                        : "pgvt";
+        SCOPED_TRACE(::testing::Message() << mode_name << (cancel ? "+cancel" : "")
+                                          << " / " << c.name << " / seed "
+                                          << GetParam());
+        ASSERT_TRUE(r.completed) << "chaos run hit the simulated-time cap";
+        // Recovery may cost time, never correctness: identical commits.
+        EXPECT_EQ(r.signature, clean.signature);
+        EXPECT_EQ(r.committed_events, clean.committed_events);
+        EXPECT_TRUE(r.final_gvt.is_inf());
+        // Injection actually happened, and no loss became unrecoverable.
+        EXPECT_GT(r.fault_drops + r.fault_dups + r.fault_corrupts + r.fault_delays, 0);
+        EXPECT_EQ(r.retx_evicted, 0);
+        recoveries += r.retransmits + r.naks_sent + r.gvt_token_regens +
+                      r.rel_crc_discards + r.rel_dup_discards;
+      }
+      // Across the plans, this mode exercised the recovery machinery.
+      EXPECT_GT(recoveries, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, ChaosSignature, ::testing::Values(1, 2, 3));
 
 }  // namespace
 }  // namespace nicwarp
