@@ -25,10 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "micro.hpp"
 #include "scenarios.hpp"
 
 namespace {
 
+using nicwarp::bench::MicroBench;
+using nicwarp::bench::MicroResult;
 using nicwarp::bench::Scenario;
 using nicwarp::harness::ExperimentResult;
 
@@ -112,12 +115,35 @@ void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
   os << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.wall_seconds) << "}}";
 }
 
-void write_bench_json(std::ostream& os, const std::vector<ScenarioRun>& runs) {
+struct MicroRun {
+  const MicroBench* mb{nullptr};
+  MicroResult r;
+};
+
+// Micro benches share the scenarios array (and therefore the compare tool's
+// machinery): `ops` and `checksum` are bit-deterministic, wall_seconds is the
+// noisy payload the --wall-tolerance gate exists for.
+void write_micro_json(std::ostream& os, const MicroRun& run) {
+  os << "    {\"name\": \"" << run.mb->name << "\", \"group\": \"micro\",\n"
+     << "     \"deterministic\": {\"completed\": true, \"ops\": " << run.r.ops
+     << ", \"checksum\": " << run.r.checksum
+     << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.r.wall_seconds) << "}}";
+}
+
+void write_bench_json(std::ostream& os, const std::vector<ScenarioRun>& runs,
+                      const std::vector<MicroRun>& micro_runs) {
   os << "{\n  \"type\": \"nicwarp-bench\",\n  \"schema_version\": "
      << kBenchSchemaVersion << ",\n  \"seed\": 23,\n  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    if (i) os << ",\n";
-    write_scenario_json(os, runs[i]);
+  bool first = true;
+  for (const ScenarioRun& run : runs) {
+    if (!first) os << ",\n";
+    first = false;
+    write_scenario_json(os, run);
+  }
+  for (const MicroRun& run : micro_runs) {
+    if (!first) os << ",\n";
+    first = false;
+    write_micro_json(os, run);
   }
   struct rusage ru{};
   getrusage(RUSAGE_SELF, &ru);
@@ -172,11 +198,19 @@ int main(int argc, char** argv) {
       selected.push_back(&s);
     }
   }
+  const std::vector<MicroBench>& micro_all = nicwarp::bench::micro_benches();
+  std::vector<const MicroBench*> micro_selected;
+  for (const MicroBench& mb : micro_all) {
+    if (filter.empty() || mb.name.find(filter) != std::string::npos) {
+      micro_selected.push_back(&mb);
+    }
+  }
   if (list_only) {
     for (const Scenario* s : selected) std::printf("%s\n", s->name.c_str());
+    for (const MicroBench* mb : micro_selected) std::printf("%s\n", mb->name.c_str());
     return 0;
   }
-  if (selected.empty()) {
+  if (selected.empty() && micro_selected.empty()) {
     std::fprintf(stderr, "no scenarios match filter '%s'\n", filter.c_str());
     return 2;
   }
@@ -202,16 +236,39 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
+  std::vector<MicroRun> micro_runs;
+  micro_runs.reserve(micro_selected.size());
+  if (!micro_selected.empty()) {
+    // Frequency-governor warmup: the micro benches are sub-second, so on a
+    // cold-clocked core the first measurements read up to 2x slow and trip
+    // the wall gate. ~300ms of busy work ramps the core first.
+    volatile std::uint64_t sink = 0;
+    const auto w0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - w0 < std::chrono::milliseconds(300)) {
+      for (std::uint64_t i = 0; i < 100000; ++i) sink = sink + i * 2654435761ULL;
+    }
+  }
+  for (std::size_t i = 0; i < micro_selected.size(); ++i) {
+    const MicroBench* mb = micro_selected[i];
+    std::fprintf(stderr, "[%2zu/%zu] %s ...\n", i + 1, micro_selected.size(),
+                 mb->name.c_str());
+    MicroRun run;
+    run.mb = mb;
+    run.r = mb->run();
+    micro_runs.push_back(std::move(run));
+  }
+
   if (out_path.empty()) {
-    write_bench_json(std::cout, runs);
+    write_bench_json(std::cout, runs, micro_runs);
   } else {
     std::ofstream os(out_path);
     if (!os.good()) {
       std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
       return 2;
     }
-    write_bench_json(os, runs);
-    std::fprintf(stderr, "wrote %zu scenarios -> %s\n", runs.size(), out_path.c_str());
+    write_bench_json(os, runs, micro_runs);
+    std::fprintf(stderr, "wrote %zu scenarios -> %s\n",
+                 runs.size() + micro_runs.size(), out_path.c_str());
   }
   return failures > 0 ? 1 : 0;
 }

@@ -1,0 +1,372 @@
+#include "micro.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+#include "warped/lp.hpp"
+#include "warped/object.hpp"
+
+namespace nicwarp::bench {
+
+namespace {
+
+using nicwarp::SimTime;
+using nicwarp::VirtualTime;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Deterministic workload mixer (same constants as core splitmix usage).
+std::uint64_t mix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Engine churn: new scheduler vs the pre-optimization reference.
+// ---------------------------------------------------------------------------
+
+// Faithful copy of the scheduler this PR replaced: binary heap of (when,seq)
+// + id->std::function hash map, cancellation via lazy tombstones. Kept ONLY
+// as the baseline half of micro/engine/schedule_run_churn_legacy, so the
+// BENCH json always shows what the slot-indexed heap buys.
+class LegacyEngine {
+ public:
+  using Callback = std::function<void()>;
+  struct Handle {
+    std::uint64_t id{0};
+  };
+
+  SimTime now() const { return now_; }
+
+  Handle schedule(SimTime delay, Callback fn) {
+    const std::uint64_t id = next_seq_++;
+    heap_.push(HeapEntry{now_ + delay, id});
+    tasks_.emplace(id, std::move(fn));
+    return Handle{id};
+  }
+
+  bool cancel(Handle h) { return tasks_.erase(h.id) > 0; }
+
+  std::uint64_t run_until(SimTime deadline) {
+    std::uint64_t ran = 0;
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      auto it = tasks_.find(top.seq);
+      if (it == tasks_.end()) {  // cancelled
+        heap_.pop();
+        continue;
+      }
+      if (top.when > deadline) break;
+      heap_.pop();
+      Callback fn = std::move(it->second);
+      tasks_.erase(it);
+      now_ = top.when;
+      fn();
+      ++ran;
+    }
+    return ran;
+  }
+
+ private:
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    bool operator>(const HeapEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{1};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> tasks_;
+};
+
+// The churn workload, identical across engines: 64 self-rescheduling actors,
+// each activation folds the checksum, cancels one previously-scheduled
+// far-future "doomed" task, and schedules its successor plus a fresh doomed
+// task. This exercises exactly the schedule/cancel/pop-min cycle the kernel
+// and NIC firmware drive on every simulated packet. Actor captures are 24
+// bytes — representative of the kernel's host-task closures, and (on
+// purpose) past std::function's inline buffer.
+constexpr std::int64_t kTarget = 3000000;      // executed activations
+constexpr int kActors = 64;
+constexpr std::int64_t kDoomedAt = 1LL << 60;  // never reached by run_until
+
+template <typename E>
+MicroResult engine_churn() {
+  using Handle = decltype(std::declval<E&>().schedule(
+      SimTime{}, std::declval<typename E::Callback>()));
+
+  struct St {
+    E eng;
+    std::int64_t remaining{kTarget};
+    std::int64_t sum{0};
+    std::uint64_t rng{12345};
+    std::vector<Handle> doomed;
+  };
+  auto st = std::make_unique<St>();
+  st->doomed.reserve(kActors + 4);
+
+  struct Actor {
+    St* s;
+    std::uint64_t id;
+    std::uint64_t salt;
+    void operator()() {
+      s->sum += static_cast<std::int64_t>(id * 31 + (salt & 0xFF));
+      if (s->remaining-- <= 0) return;
+      if (!s->doomed.empty()) {
+        s->eng.cancel(s->doomed.back());
+        s->doomed.pop_back();
+      }
+      const std::uint64_t r = mix(s->rng);
+      s->eng.schedule(SimTime{static_cast<std::int64_t>(1 + r % 97)},
+                      Actor{s, id, r});
+      s->doomed.push_back(
+          s->eng.schedule(SimTime{kDoomedAt}, Actor{s, id ^ 0xDEAD, r}));
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int a = 0; a < kActors; ++a) {
+    st->eng.schedule(SimTime{1 + a}, Actor{st.get(), static_cast<std::uint64_t>(a), 0});
+  }
+  const std::uint64_t ran = st->eng.run_until(SimTime{kDoomedAt - 1});
+
+  MicroResult r;
+  r.wall_seconds = seconds_since(t0);
+  r.ops = static_cast<std::int64_t>(ran);
+  r.checksum = st->sum ^ st->eng.now().ns;
+  return r;
+}
+
+// Pure schedule+cancel-by-handle churn (no execution): fills the slot pool,
+// cancels from both ends, refills — the O(1)-cancel path in isolation.
+MicroResult engine_cancel_churn() {
+  constexpr int kRounds = 400;
+  constexpr int kBatch = 25000;
+  sim::Engine eng;
+  std::vector<sim::TaskHandle> handles;
+  handles.reserve(kBatch);
+  std::int64_t ops = 0;
+  std::int64_t alive = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(
+          eng.schedule(SimTime{1 + ((i * 7919) % 1000)}, [&alive] { ++alive; }));
+      ++ops;
+    }
+    // Cancel from both ends toward the middle; leave every 16th to run.
+    std::size_t lo = 0, hi = handles.size();
+    while (lo < hi) {
+      if (lo % 16 != 0 && eng.cancel(handles[lo])) ++ops;
+      ++lo;
+      if (lo >= hi) break;
+      --hi;
+      if (hi % 16 != 0 && eng.cancel(handles[hi])) ++ops;
+    }
+    ops += static_cast<std::int64_t>(eng.run_until(eng.now() + SimTime{2000}));
+  }
+
+  MicroResult r;
+  r.wall_seconds = seconds_since(t0);
+  r.ops = ops;
+  r.checksum = alive ^ eng.now().ns ^ static_cast<std::int64_t>(eng.executed());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalProcess churn.
+// ---------------------------------------------------------------------------
+
+struct MicroState : warped::CloneableState<MicroState> {
+  std::int64_t acc{0};
+};
+
+// `fanout` false: pure state update. true: every execution also sends one
+// event onward (ring topology), feeding the rollback bench's queues.
+class MicroObject final : public warped::SimulationObject {
+ public:
+  MicroObject(ObjectId id, ObjectId ring, bool fanout)
+      : SimulationObject(id, "m" + std::to_string(id), std::make_unique<MicroState>()),
+        ring_(ring),
+        fanout_(fanout) {}
+
+  void initialize(warped::ObjectContext&) override {}
+
+  void execute(warped::ObjectContext& ctx, const warped::EventMsg& ev) override {
+    auto& st = state_as<MicroState>();
+    st.acc += ev.data.empty() ? 1 : ev.data[0];
+    ctx.fold_signature(st.acc * 17 + ctx.now().t);
+    if (fanout_) {
+      ctx.send(ring_, ctx.now() + 3 + (st.acc & 7), {st.acc & 1023});
+    }
+  }
+
+ private:
+  ObjectId ring_;
+  bool fanout_;
+};
+
+warped::EventMsg external_event(ObjectId dst, std::int64_t recv,
+                                std::uint64_t uniq) {
+  warped::EventMsg ev;
+  ev.src_obj = 9999;
+  ev.dst_obj = dst;
+  ev.send_ts = VirtualTime{recv - 1};
+  ev.recv_ts = VirtualTime{recv};
+  ev.id = warped::make_event_id(warped::make_root_id(dst), 9999,
+                                static_cast<std::uint32_t>(uniq));
+  ev.data = {static_cast<std::int64_t>(uniq & 255)};
+  return ev;
+}
+
+// Insert/annihilate churn: batches of positives, half of which are killed
+// by antis while still pending (the indexed-annihilation fast path), the
+// rest executed.
+MicroResult lp_insert_annihilate() {
+  constexpr int kObjects = 32;
+  constexpr int kRounds = 150;
+  constexpr int kBatch = 2000;
+  StatsRegistry stats;
+  warped::LogicalProcess lp(0, stats, 42);
+  for (int o = 0; o < kObjects; ++o) {
+    lp.add_object(std::make_unique<MicroObject>(o, (o + 1) % kObjects, false));
+  }
+
+  std::int64_t ops = 0;
+  std::uint64_t uniq = 0;
+  std::int64_t base = 1;
+  std::uint64_t rng = 99;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<warped::EventMsg> batch;
+    batch.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      const std::uint64_t r = mix(rng);
+      batch.push_back(external_event(static_cast<ObjectId>(r % kObjects),
+                                     base + static_cast<std::int64_t>(r % 5000),
+                                     ++uniq));
+    }
+    for (const auto& ev : batch) {
+      lp.insert(ev);
+      ++ops;
+    }
+    // Annihilate every other one while it is still pending.
+    for (std::size_t i = 0; i < batch.size(); i += 2) {
+      lp.insert(batch[i].as_anti());
+      ++ops;
+    }
+    while (lp.has_ready_event()) {
+      lp.execute_next();
+      ++ops;
+    }
+    base += 5001;  // next round strictly in the future: no stragglers here
+  }
+
+  MicroResult r;
+  r.wall_seconds = seconds_since(t0);
+  r.ops = ops;
+  r.checksum = lp.signature_sum() ^
+               static_cast<std::int64_t>(lp.events_processed());
+  return r;
+}
+
+// Rollback churn: execute a ring workload, then land a straggler under the
+// processed horizon every round — rollback, anti generation, re-insertion,
+// and annihilation of the antis against their positives.
+MicroResult lp_rollback_churn() {
+  constexpr int kObjects = 16;
+  constexpr int kRounds = 400;
+  StatsRegistry stats;
+  warped::LogicalProcess lp(0, stats, 42, warped::RollbackScope::kObject);
+  for (int o = 0; o < kObjects; ++o) {
+    lp.add_object(std::make_unique<MicroObject>(o, (o + 1) % kObjects, true));
+  }
+
+  std::int64_t ops = 0;
+  std::uint64_t uniq = 0;
+  std::uint64_t rng = 7;
+
+  // Deliver a batch of messages (sends or antis) transitively: every insert
+  // can trigger an anti-rollback whose own antis must also land, or the
+  // bench would leak ghost positives between rounds.
+  std::deque<warped::EventMsg> inbox;
+  auto deliver_all = [&] {
+    while (!inbox.empty()) {
+      warped::EventMsg m = std::move(inbox.front());
+      inbox.pop_front();
+      auto res = lp.insert(std::move(m));
+      ++ops;
+      for (auto& a : res.antis) inbox.push_back(std::move(a));
+    }
+  };
+
+  // Seed each object, then keep the ring alive by reinserting sends.
+  std::int64_t horizon = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int o = 0; o < kObjects; ++o) {
+    lp.insert(external_event(o, horizon + o, ++uniq));
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Drain up to a bounded number of executions, routing sends back in.
+    for (int step = 0; step < 400 && lp.has_ready_event(); ++step) {
+      auto ex = lp.execute_next();
+      ++ops;
+      horizon = std::max(horizon, ex.ts.t);
+      for (auto& s : ex.sends) inbox.push_back(std::move(s));
+      for (auto& a : ex.antis) inbox.push_back(std::move(a));
+      deliver_all();
+    }
+    // Straggler: below the processed horizon, forcing a rollback whose
+    // antis we deliver right back (annihilation against pending positives).
+    const std::uint64_t r = mix(rng);
+    const std::int64_t ts = std::max<std::int64_t>(1, horizon - 40);
+    inbox.push_back(
+        external_event(static_cast<ObjectId>(r % kObjects), ts, ++uniq));
+    deliver_all();
+  }
+
+  MicroResult r;
+  r.wall_seconds = seconds_since(t0);
+  r.ops = ops;
+  r.checksum = lp.signature_sum() ^
+               static_cast<std::int64_t>(lp.events_processed()) ^
+               static_cast<std::int64_t>(lp.rollbacks() * 131);
+  return r;
+}
+
+}  // namespace
+
+const std::vector<MicroBench>& micro_benches() {
+  static const std::vector<MicroBench> kBenches = {
+      {"micro/engine/schedule_run_churn", [] { return engine_churn<sim::Engine>(); }},
+      {"micro/engine/schedule_run_churn_legacy",
+       [] { return engine_churn<LegacyEngine>(); }},
+      {"micro/engine/cancel_churn", engine_cancel_churn},
+      {"micro/lp/insert_annihilate", lp_insert_annihilate},
+      {"micro/lp/rollback_churn", lp_rollback_churn},
+  };
+  return kBenches;
+}
+
+}  // namespace nicwarp::bench

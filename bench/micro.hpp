@@ -1,0 +1,37 @@
+// Hot-path micro benchmarks for the `micro` bench group.
+//
+// These measure the discrete-event core directly — no testbed, no model —
+// so a regression in Engine::schedule/cancel/run or the LogicalProcess
+// pending-queue machinery shows up as a wall-clock jump on exactly the
+// operation that slowed down, not as noise inside an end-to-end scenario.
+// Each bench runs a fixed deterministic workload: `ops` and `checksum` gate
+// bit-exactly (tools/bench_compare.py --tolerance=0) while `wall_seconds`
+// gates loosely (--wall-tolerance).
+//
+// `micro/engine/schedule_run_churn_legacy` runs the same workload on a
+// faithful copy of the pre-optimization scheduler (std::priority_queue +
+// unordered_map + std::function with lazy tombstones), kept as a reference
+// so the speedup of the slot-indexed heap stays visible — and honest — in
+// every BENCH json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nicwarp::bench {
+
+struct MicroResult {
+  std::int64_t ops{0};       // deterministic: operations performed
+  std::int64_t checksum{0};  // deterministic: workload fingerprint
+  double wall_seconds{0.0};  // noisy: measured around the workload only
+};
+
+struct MicroBench {
+  std::string name;  // "micro/<subsystem>/<case>", filterable like scenarios
+  MicroResult (*run)();
+};
+
+const std::vector<MicroBench>& micro_benches();
+
+}  // namespace nicwarp::bench

@@ -205,6 +205,23 @@ std::vector<Scenario> all_scenarios() {
     }
   }
 
+  // --- micro: end-to-end companion to the micro/engine + micro/lp hot-path
+  // benches (bench/micro.cpp). PHOLD is pure event churn — schedule / cancel
+  // / rollback with a trivial model body — so its wall-clock tracks the DES
+  // core's overhead more directly than the paper-figure scenarios do. ---
+  {
+    ExperimentConfig cfg;
+    cfg.model = ModelKind::kPhold;
+    cfg.nodes = 8;
+    cfg.seed = 23;
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.phold.objects = 64;
+    cfg.phold.population = 4;
+    cfg.phold.horizon = 20000;
+    add(out, "micro", "phold/e2e", cfg);
+  }
+
   return out;
 }
 

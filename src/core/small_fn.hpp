@@ -1,0 +1,143 @@
+// Small-buffer-optimized move-only callable.
+//
+// The discrete-event hot path schedules millions of short-lived callbacks;
+// std::function heap-allocates for anything beyond a couple of captured
+// words, which made every Engine::schedule()/Server::submit() pay a malloc.
+// SmallFn stores the callable inline when it fits (and is nothrow-movable)
+// and only falls back to the heap for oversized captures, so the common
+// scheduling path allocates nothing.
+//
+// Differences from std::function, on purpose:
+//  * move-only (no copy, so move-only captures work and no double-ownership);
+//  * no target()/target_type() RTTI;
+//  * invoking an empty SmallFn is undefined (callers NW_CHECK or branch, as
+//    they already did for std::function).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nicwarp {
+
+template <typename Signature, std::size_t BufBytes = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t BufBytes>
+class SmallFn<R(Args...), BufBytes> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &InlineOps<D>::vt;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) = new D(std::forward<F>(f));
+      vt_ = &HeapOps<D>::vt;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, o.buf_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Moves the callable from src storage into (uninitialized) dst storage
+    // and leaves src destroyed/empty.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= BufBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  struct InlineOps {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      D* s = static_cast<D*>(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D*& ptr(void* p) { return *static_cast<D**>(p); }
+    static R invoke(void* p, Args&&... args) {
+      return (*ptr(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      *static_cast<D**>(dst) = *static_cast<D**>(src);
+    }
+    static void destroy(void* p) noexcept { delete ptr(p); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy};
+  };
+
+  const VTable* vt_{nullptr};
+  alignas(std::max_align_t) unsigned char buf_[BufBytes];
+};
+
+template <typename Sig, std::size_t N>
+bool operator==(const SmallFn<Sig, N>& f, std::nullptr_t) noexcept {
+  return !static_cast<bool>(f);
+}
+template <typename Sig, std::size_t N>
+bool operator!=(const SmallFn<Sig, N>& f, std::nullptr_t) noexcept {
+  return static_cast<bool>(f);
+}
+
+}  // namespace nicwarp

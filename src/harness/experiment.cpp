@@ -4,9 +4,11 @@
 #include <atomic>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "core/assert.hpp"
+#include "core/log.hpp"
 #include "firmware/combined_firmware.hpp"
 #include "warped/gvt_mattern.hpp"
 #include "warped/gvt_nic.hpp"
@@ -67,6 +69,16 @@ models::BuiltModel build_model(const ExperimentConfig& cfg) {
 }  // namespace
 
 Testbed build_testbed(const ExperimentConfig& cfg) {
+  // Validate by throwing, not NW_CHECK-aborting: sweeps (run_parallel) must
+  // be able to report one bad grid point without killing the whole process.
+  if (cfg.nodes == 0) {
+    throw std::invalid_argument("ExperimentConfig.nodes must be >= 1");
+  }
+  if ((cfg.model == ModelKind::kRaid && cfg.raid.total_requests <= 0) ||
+      (cfg.model == ModelKind::kPolice && cfg.police.stations <= 0) ||
+      (cfg.model == ModelKind::kPhold && cfg.phold.objects <= 0)) {
+    throw std::invalid_argument("ExperimentConfig model workload must be non-empty");
+  }
   Testbed tb;
   hw::CostModel cost = cfg.cost;
   // Chaos implies recovery: without the reliability sublayer a lossy fabric
@@ -256,11 +268,27 @@ std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& 
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= cfgs.size()) return;
-        results[i] = run_experiment(cfgs[i]);
+        // An exception escaping a worker thread would std::terminate the
+        // whole sweep; catch per-config and record a failed result instead.
+        try {
+          results[i] = run_experiment(cfgs[i]);
+        } catch (const std::exception& e) {
+          results[i] = ExperimentResult{};
+          results[i].error = e.what();
+        } catch (...) {
+          results[i] = ExperimentResult{};
+          results[i].error = "unknown exception";
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].failed()) {
+      NW_WARN("run_parallel: config %zu of %zu failed: %s", i, cfgs.size(),
+              results[i].error.c_str());
+    }
+  }
   return results;
 }
 

@@ -133,6 +133,11 @@ struct ExperimentResult {
   std::int64_t signature = 0;  // schedule-independent result fingerprint
   VirtualTime final_gvt{VirtualTime::zero()};
 
+  // Non-empty when run_parallel caught an exception from this config's run:
+  // the sweep survives, this row carries the reason instead of metrics.
+  std::string error;
+  bool failed() const { return !error.empty(); }
+
   // Counter snapshots taken at GVT cadence (empty unless cfg.metrics set).
   std::vector<TimeSample> series;
   // Profiler output (null unless cfg.profile is on). shared_ptr because
@@ -160,12 +165,20 @@ struct Testbed {
   bool run_to_completion(double max_sim_seconds);
 };
 
+// Throws std::invalid_argument when `cfg` cannot build a testbed (e.g. zero
+// nodes or a zero-object model) instead of misbehaving downstream.
 Testbed build_testbed(const ExperimentConfig& cfg);
 ExperimentResult extract_result(Testbed& tb, bool completed);
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
 // Runs independent experiments on a thread pool (each run is single-threaded
 // and deterministic; parallelism is across sweep points only).
+//
+// A config whose run throws does NOT kill the sweep (an escaped exception in
+// a worker thread would std::terminate the process): the exception is caught
+// per-config, logged with the failing config's index, and returned as a
+// failed ExperimentResult (result.failed() true, result.error = reason);
+// every other config still runs to completion.
 std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& cfgs,
                                            unsigned max_threads = 0);
 

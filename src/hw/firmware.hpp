@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/small_fn.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
@@ -65,7 +66,7 @@ class NicContext {
 
   // Schedules `fn` to run as a NIC-CPU job after `delay`; `fn` returns the
   // NIC-CPU cost of whatever it did.
-  virtual void schedule(SimTime delay, std::function<SimTime()> fn) = 0;
+  virtual void schedule(SimTime delay, SmallFn<SimTime(), 64> fn) = 0;
 };
 
 class Firmware {

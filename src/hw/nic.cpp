@@ -119,7 +119,7 @@ void Nic::deliver_to_host(Packet pkt) {
               });
 }
 
-void Nic::schedule(SimTime delay, std::function<SimTime()> fn) {
+void Nic::schedule(SimTime delay, SmallFn<SimTime(), 64> fn) {
   engine_.schedule(delay, [this, fn = std::move(fn)]() mutable {
     nic_cpu_.submit_dynamic(std::move(fn), nullptr);
   });

@@ -61,7 +61,7 @@ class Nic final : public NicContext {
   Packet drop_from_send_ring(std::size_t i) override;
   void emit(Packet pkt) override;
   void deliver_to_host(Packet pkt) override;
-  void schedule(SimTime delay, std::function<SimTime()> fn) override;
+  void schedule(SimTime delay, SmallFn<SimTime(), 64> fn) override;
 
   Firmware& firmware() { return *firmware_; }
   std::size_t slots_in_use() const { return slots_in_use_; }

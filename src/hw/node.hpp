@@ -52,7 +52,7 @@ class Node {
   void set_tx_ready_cb(std::function<void()> fn);
 
   // Convenience: submit host work.
-  void run_host_task(SimTime cost, std::function<void()> fn) {
+  void run_host_task(SimTime cost, sim::Server::CompletionFn fn) {
     host_cpu_.submit(cost, std::move(fn));
   }
 

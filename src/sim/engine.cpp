@@ -9,40 +9,117 @@ TaskHandle Engine::schedule(SimTime delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint32_t Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  NW_CHECK_MSG(slots_.size() < static_cast<std::size_t>(UINT32_MAX), "slot pool overflow");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.seq = 0;  // invalidates every outstanding handle to this slot
+  s.fn.reset();
+  free_slots_.push_back(idx);
+}
+
 TaskHandle Engine::schedule_at(SimTime when, Callback fn) {
   NW_CHECK_MSG(when >= now_, "scheduling into the past");
-  NW_CHECK(fn != nullptr);
+  NW_CHECK(static_cast<bool>(fn));
   const std::uint64_t id = next_seq_++;
-  heap_.push(HeapEntry{when, id});
-  tasks_.emplace(id, std::move(fn));
-  return TaskHandle{id};
+  // Handle validity relies on sequence numbers being unique forever; at one
+  // task per simulated nanosecond this would take ~585 years to trip, but a
+  // wrap must never silently resurrect a stale handle.
+  NW_CHECK_MSG(next_seq_ != 0, "sequence counter wrapped — handles would be reused");
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.seq = id;
+  s.fn = std::move(fn);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapNode{when, id, slot});
+  sift_up(heap_.size() - 1);
+  return TaskHandle{id, slot};
+}
+
+void Engine::sift_up(std::size_t i) {
+  HeapNode node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!node_before(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slots_[heap_[i].slot].heap_pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = node;
+  slots_[node.slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void Engine::sift_down(std::size_t i) {
+  HeapNode node = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && node_before(heap_[child + 1], heap_[child])) ++child;
+    if (!node_before(heap_[child], node)) break;
+    heap_[i] = heap_[child];
+    slots_[heap_[i].slot].heap_pos = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = node;
+  slots_[node.slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void Engine::heap_erase(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_.pop_back();
+  if (pos > 0 && node_before(heap_[pos], heap_[(pos - 1) / 2])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
 }
 
 bool Engine::cancel(TaskHandle h) {
-  return tasks_.erase(h.id) > 0;  // heap entry becomes a lazy tombstone
+  if (h.id == 0 || h.slot >= slots_.size()) return false;
+  Slot& s = slots_[h.slot];
+  if (s.seq != h.id) return false;  // already ran, cancelled, or slot recycled
+  heap_erase(s.heap_pos);
+  release_slot(h.slot);
+  return true;
 }
 
 std::uint64_t Engine::run() { return run_until(SimTime::max()); }
 
 std::uint64_t Engine::run_until(SimTime deadline) {
   std::uint64_t ran = 0;
-  stop_requested_ = false;
-  while (!heap_.empty() && !stop_requested_) {
-    const HeapEntry top = heap_.top();
-    auto it = tasks_.find(top.seq);
-    if (it == tasks_.end()) {  // cancelled
-      heap_.pop();
-      continue;
-    }
+  while (!heap_.empty()) {
+    if (stop_requested_) break;
+    const HeapNode top = heap_[0];
     if (top.when > deadline) break;
-    heap_.pop();
-    Callback fn = std::move(it->second);
-    tasks_.erase(it);
+    Callback fn = std::move(slots_[top.slot].fn);
+    heap_erase(0);
+    // Free the slot before invoking: a handle to the running task must
+    // already fail to cancel, exactly as if the task had completed.
+    release_slot(top.slot);
     now_ = top.when;
     fn();
     ++ran;
     ++executed_;
   }
+  // Any latched stop() — from inside a callback or between runs — has now
+  // been observed by this run; consume it so the next run proceeds.
+  stop_requested_ = false;
   return ran;
 }
 

@@ -8,27 +8,39 @@
 //
 // Single-threaded and deterministic: events at equal times fire in schedule
 // order (a monotonically increasing sequence number breaks ties).
+//
+// Hot-path design (see docs/PERF.md): tasks live in a pooled slot array and
+// an explicit slot-indexed binary heap. schedule() never heap-allocates on
+// the common path (callbacks are SmallFn with inline storage; slots and heap
+// nodes are recycled vector entries), cancel() removes the heap entry
+// immediately via the slot's stored heap position (no lazy tombstones), and
+// pop-min touches no hash table.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "core/small_fn.hpp"
 #include "core/types.hpp"
 
 namespace nicwarp::sim {
 
-// Opaque handle for cancelling a scheduled callback.
+// Opaque handle for cancelling a scheduled callback. `id` is the task's
+// unique sequence number (never reused — the engine asserts the 64-bit
+// counter cannot wrap); `slot` locates the task's pooled storage. A handle
+// whose task already ran or was cancelled simply fails to validate against
+// the slot's current sequence number, even after the slot is recycled.
 struct TaskHandle {
   std::uint64_t id{0};
+  std::uint32_t slot{0};
   bool valid() const { return id != 0; }
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  // 96 inline bytes cover every scheduling site on the hot path (the largest
+  // is Server's completion closure: this + cost + a 72-byte SmallFn).
+  using Callback = SmallFn<void(), 96>;
 
   SimTime now() const { return now_; }
 
@@ -48,29 +60,48 @@ class Engine {
   // still run) or the queue drains. Returns callbacks executed.
   std::uint64_t run_until(SimTime deadline);
 
-  // Requests that run()/run_until() return after the current callback.
+  // Requests that run()/run_until() return after the current callback. The
+  // request is latched: a stop() issued while no run is active halts the
+  // next run_until() before it executes anything, and is only cleared once
+  // a run has observed it.
   void stop() { stop_requested_ = true; }
   bool stopped() const { return stop_requested_; }
 
-  std::size_t pending() const { return tasks_.size(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct HeapEntry {
+  struct HeapNode {
     SimTime when;
     std::uint64_t seq;
-    bool operator>(const HeapEntry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
   };
+  struct Slot {
+    Callback fn;
+    std::uint64_t seq{0};  // 0 == free; equals the TaskHandle id while live
+    std::uint32_t heap_pos{0};
+  };
+
+  static bool node_before(const HeapNode& a, const HeapNode& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  // Removes the heap node at `pos` (swap-with-last + sift), keeping every
+  // slot's heap_pos in sync.
+  void heap_erase(std::size_t pos);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
   bool stop_requested_{false};
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> tasks_;  // absent == cancelled
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace nicwarp::sim

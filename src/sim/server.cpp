@@ -7,14 +7,13 @@ namespace nicwarp::sim {
 Server::Server(Engine& engine, std::string name, StatsRegistry* stats)
     : engine_(engine), name_(std::move(name)), stats_(stats) {}
 
-void Server::submit(SimTime cost, std::function<void()> on_complete) {
+void Server::submit(SimTime cost, CompletionFn on_complete) {
   NW_CHECK_MSG(cost.ns >= 0, "negative job cost");
   submit_dynamic([cost] { return cost; }, std::move(on_complete));
 }
 
-void Server::submit_dynamic(std::function<SimTime()> work,
-                            std::function<void()> on_complete) {
-  NW_CHECK(work != nullptr);
+void Server::submit_dynamic(WorkFn work, CompletionFn on_complete) {
+  NW_CHECK(static_cast<bool>(work));
   queue_.push_back(Job{std::move(work), std::move(on_complete)});
   if (!busy_) start_next();
 }

@@ -7,9 +7,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "core/small_fn.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "sim/engine.hpp"
@@ -18,17 +18,22 @@ namespace nicwarp::sim {
 
 class Server {
  public:
+  // Jobs are SmallFn so enqueueing a lambda that captures a few words (the
+  // overwhelmingly common case) never heap-allocates.
+  using WorkFn = SmallFn<SimTime(), 64>;
+  using CompletionFn = SmallFn<void(), 64>;
+
   // `name` keys the utilization counters in `stats` (may be null for tests).
   Server(Engine& engine, std::string name, StatsRegistry* stats = nullptr);
 
   // Enqueues a job that holds the server for `cost`, then runs on_complete.
-  void submit(SimTime cost, std::function<void()> on_complete);
+  void submit(SimTime cost, CompletionFn on_complete);
 
   // Enqueues a job whose cost is only known once it starts executing (e.g. a
   // firmware hook whose work depends on queue state at service time): `work`
   // runs when the server picks the job up and returns the time to occupy it;
   // `on_complete` runs when that time has elapsed.
-  void submit_dynamic(std::function<SimTime()> work, std::function<void()> on_complete);
+  void submit_dynamic(WorkFn work, CompletionFn on_complete);
 
   bool idle() const { return !busy_; }
   std::size_t queue_length() const { return queue_.size(); }
@@ -47,8 +52,8 @@ class Server {
   StatsRegistry* stats_;
 
   struct Job {
-    std::function<SimTime()> work;  // returns occupancy; runs at service start
-    std::function<void()> on_complete;
+    WorkFn work;  // returns occupancy; runs at service start
+    CompletionFn on_complete;
   };
   std::deque<Job> queue_;
   bool busy_{false};

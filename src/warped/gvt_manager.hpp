@@ -12,8 +12,7 @@
 
 #include <cstdint>
 
-#include <functional>
-
+#include "core/small_fn.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
@@ -46,11 +45,11 @@ class KernelApi {
 
   // Runs `fn` as a host-CPU task of the given cost (e.g. a dedicated
   // mailbox write when no outgoing message offered a piggyback ride).
-  virtual void run_host_task(SimTime cost, std::function<void()> fn) = 0;
+  virtual void run_host_task(SimTime cost, SmallFn<void(), 64> fn) = 0;
 
   // Schedules `fn` after `delay` (engine timer; use for token timeouts and
   // idle re-initiation). The callback runs outside host-task context.
-  virtual void schedule(SimTime delay, std::function<void()> fn) = 0;
+  virtual void schedule(SimTime delay, SmallFn<void(), 64> fn) = 0;
 
   // Reports a new GVT estimate; the kernel fossil-collects and terminates
   // when the estimate reaches +inf.

@@ -40,31 +40,61 @@ void MatternGvtManager::maybe_initiate() {
   forward(token, next_rank(), hw::PacketKind::kHostGvtToken);
 }
 
+MatternGvtManager::ColorCell& MatternGvtManager::cell(std::uint32_t epoch) {
+  if (epoch < color_base_) {
+    // Pruned color: the estimation that cared completed long ago; accept
+    // (and discard) the write.
+    scratch_ = ColorCell{};
+    return scratch_;
+  }
+  const std::size_t idx = epoch - color_base_;
+  if (idx >= colors_.size()) {
+    colors_.resize(idx + 1);
+    if (colors_.size() > color_peak_) {
+      color_peak_ = colors_.size();
+      // Gauge semantics on a counter: raise it to the new high-water mark.
+      auto& peak = api_->stats().counter("gvt.color_map_peak");
+      peak.add(static_cast<std::int64_t>(color_peak_) - peak.get());
+    }
+  }
+  return colors_[idx];
+}
+
+const MatternGvtManager::ColorCell& MatternGvtManager::cell_at(
+    std::uint32_t epoch) const {
+  static const ColorCell kZero{};
+  if (epoch < color_base_) return kZero;
+  const std::size_t idx = epoch - color_base_;
+  return idx < colors_.size() ? colors_[idx] : kZero;
+}
+
 void MatternGvtManager::stamp_outgoing(hw::PacketHeader& hdr) {
   if (hdr.kind != hw::PacketKind::kEvent) return;
   hdr.color_epoch = epoch_;
-  sent_[epoch_] += 1;
-  auto [it, fresh] = tmin_sent_.try_emplace(epoch_, VirtualTime::inf());
-  it->second = VirtualTime::min(it->second, hdr.recv_ts);
+  ColorCell& c = cell(epoch_);
+  c.sent += 1;
+  c.tmin_sent = VirtualTime::min(c.tmin_sent, hdr.recv_ts);
 }
 
 void MatternGvtManager::on_event_received(const hw::PacketHeader& hdr) {
-  received_[hdr.color_epoch] += 1;
+  cell(hdr.color_epoch).received += 1;
 }
 
 void MatternGvtManager::on_nic_drop(const hw::DropNotice& n) {
   // The packet never left this node; retract its "sent" contribution so the
-  // white count can drain. (Its timestamp stays folded into tmin_sent_,
+  // white count can drain. (Its timestamp stays folded into tmin_sent,
   // which is only conservative.)
-  sent_[n.color_epoch] -= 1;
+  cell(n.color_epoch).sent -= 1;
 }
 
 VirtualTime MatternGvtManager::red_min(std::uint32_t estimation_epoch) const {
   // "Red" for estimation E is every send colored >= E (later concurrent
-  // estimations only recolor upward).
+  // estimations only recolor upward). A flat sweep over the bounded color
+  // window, not a std::map walk.
   VirtualTime m = VirtualTime::inf();
-  for (auto it = tmin_sent_.lower_bound(estimation_epoch); it != tmin_sent_.end(); ++it) {
-    m = VirtualTime::min(m, it->second);
+  const std::uint32_t start = std::max(estimation_epoch, color_base_);
+  for (std::size_t i = start - color_base_; i < colors_.size(); ++i) {
+    m = VirtualTime::min(m, colors_[i].tmin_sent);
   }
   return m;
 }
@@ -74,13 +104,15 @@ void MatternGvtManager::contribute(hw::GvtFields& token) {
   NW_CHECK(e >= 1);
   if (epoch_ < e) epoch_ = e;  // the cut passes this LP now
 
-  // Incremental white-count contribution for THIS estimation.
-  Reported& rep = reported_[e];
-  const std::int64_t s = sent_[e - 1];
-  const std::int64_t r = received_[e - 1];
-  token.white_count += (s - rep.sent) - (r - rep.recv);
-  rep.sent = s;
-  rep.recv = r;
+  // Incremental white-count contribution for THIS estimation. Take the
+  // estimation cell first: cell() may grow the window, which would
+  // invalidate a previously-taken reference into it.
+  ColorCell& est = cell(e);
+  const std::int64_t s = cell_at(e - 1).sent;
+  const std::int64_t r = cell_at(e - 1).received;
+  token.white_count += (s - est.reported_sent) - (r - est.reported_recv);
+  est.reported_sent = s;
+  est.reported_recv = r;
 
   // Minima: each white's receipt is reported at a visit whose LVT sample
   // already reflects it (receives are counted and inserted in the same host
@@ -149,13 +181,18 @@ void MatternGvtManager::complete(std::uint32_t epoch, VirtualTime gvt_value) {
 void MatternGvtManager::prune_below(std::uint32_t epoch) {
   // Estimations more than max_outstanding behind can no longer be in flight;
   // their color counters are dead. (The root could prune exactly via its
-  // outstanding set, but non-roots need a bound too.)
+  // outstanding set, but non-roots need a bound too.) Sliding color_base_
+  // forward keeps the flat window bounded for the whole run — the
+  // gvt.color_map_peak stat records the widest it ever got.
   if (epoch < opts_.max_outstanding + 2) return;
-  const std::uint32_t floor = epoch - static_cast<std::uint32_t>(opts_.max_outstanding) - 2;
-  sent_.erase(sent_.begin(), sent_.lower_bound(floor));
-  received_.erase(received_.begin(), received_.lower_bound(floor));
-  tmin_sent_.erase(tmin_sent_.begin(), tmin_sent_.lower_bound(floor));
-  reported_.erase(reported_.begin(), reported_.lower_bound(floor));
+  const std::uint32_t floor =
+      epoch - static_cast<std::uint32_t>(opts_.max_outstanding) - 2;
+  if (floor <= color_base_) return;
+  const std::size_t drop =
+      std::min<std::size_t>(floor - color_base_, colors_.size());
+  colors_.erase(colors_.begin(), colors_.begin() + static_cast<std::ptrdiff_t>(drop));
+  color_base_ += static_cast<std::uint32_t>(drop);
+  if (colors_.empty()) color_base_ = floor;  // nothing retained: jump ahead
 }
 
 }  // namespace nicwarp::warped

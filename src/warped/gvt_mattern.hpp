@@ -14,8 +14,8 @@
 // the ~450k-round curve of Figure 5b.
 #pragma once
 
-#include <map>
 #include <set>
+#include <vector>
 
 #include "warped/gvt_manager.hpp"
 
@@ -53,20 +53,38 @@ class MatternGvtManager final : public GvtManager {
   VirtualTime red_min(std::uint32_t estimation_epoch) const;
   void prune_below(std::uint32_t epoch);
 
+  // All per-color state for one epoch, packed into one cache line's worth
+  // of fields instead of four node-based std::map entries. Colors are dense
+  // consecutive integers, so the collection is a flat vector indexed by
+  // (epoch - color_base_); prune_below slides color_base_ forward at round
+  // completion, keeping the window bounded by max_outstanding + 2.
+  struct ColorCell {
+    std::int64_t sent{0};
+    std::int64_t received{0};
+    VirtualTime tmin_sent{VirtualTime::inf()};
+    // Per-estimation incremental reporting: what this LP last told the
+    // token whose estimation epoch maps to this cell.
+    std::int64_t reported_sent{0};
+    std::int64_t reported_recv{0};
+  };
+
+  // Mutable access to epoch's cell, growing the window as colors advance.
+  ColorCell& cell(std::uint32_t epoch);
+  // Read-only access; pruned or never-touched epochs read as a zero cell.
+  const ColorCell& cell_at(std::uint32_t epoch) const;
+
   MatternOptions opts_;
 
   // Coloring state (current color = epoch_).
   std::uint32_t epoch_{0};
-  std::map<std::uint32_t, std::int64_t> sent_;      // by message color
-  std::map<std::uint32_t, std::int64_t> received_;  // by message color
-  std::map<std::uint32_t, VirtualTime> tmin_sent_;  // by message color
-
-  // Per-estimation incremental reporting: what this LP last told the token.
-  struct Reported {
-    std::int64_t sent{0};
-    std::int64_t recv{0};
-  };
-  std::map<std::uint32_t, Reported> reported_;
+  std::uint32_t color_base_{0};     // epoch of colors_[0]
+  std::vector<ColorCell> colors_;   // window [color_base_, color_base_+size)
+  std::size_t color_peak_{0};       // high-water window size (gvt.color_map_peak)
+  // Write sink for epochs already pruned (e.g. a packet whose color predates
+  // the retained window landing late): the write is sound to discard — no
+  // live estimation can read that color again — but callers still need an
+  // lvalue. Zeroed on every handout.
+  ColorCell scratch_;
 
   // Root-only state.
   std::set<std::uint32_t> outstanding_;  // estimation epochs in flight

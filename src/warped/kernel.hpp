@@ -73,10 +73,10 @@ class Kernel final : public KernelApi {
   }
   bool lp_idle() const override { return !lp_.has_ready_event() && comm_.staged() == 0; }
   void send_control(hw::Packet pkt) override;
-  void run_host_task(SimTime task_cost, std::function<void()> fn) override {
+  void run_host_task(SimTime task_cost, SmallFn<void(), 64> fn) override {
     node_.run_host_task(task_cost, std::move(fn));
   }
-  void schedule(SimTime delay, std::function<void()> fn) override {
+  void schedule(SimTime delay, SmallFn<void(), 64> fn) override {
     node_.engine().schedule(delay, std::move(fn));
   }
   void on_new_gvt(VirtualTime g) override;

@@ -118,17 +118,15 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
     }
     stats_.counter("tw.antis_received").add(1);
 
-    // 1. Annihilate against a pending positive.
-    for (auto it = rt.pending.begin(); it != rt.pending.end(); ++it) {
-      if (it->id == ev.id && !it->negative) {
-        rt.pending.erase(it);
-        // kLazy: the annihilated event will never re-execute; any outputs
-        // it had already put on the wire must be cancelled now.
-        flush_lazy_for_gen(rt, ev.id, res.antis);
-        res.annihilated = true;
-        stats_.counter("tw.annihilations").add(1);
-        return res;
-      }
+    // 1. Annihilate against a pending positive (indexed: one hash probe).
+    if (auto it = pending_find(rt, ev.id); it != rt.pending.end()) {
+      pending_erase(rt, it);
+      // kLazy: the annihilated event will never re-execute; any outputs
+      // it had already put on the wire must be cancelled now.
+      flush_lazy_for_gen(rt, ev.id, res.antis);
+      res.annihilated = true;
+      stats_.counter("tw.annihilations").add(1);
+      return res;
     }
     // 2. Positive already processed: roll back to just before it, then the
     // positive reappears in pending — annihilate it there.
@@ -144,16 +142,11 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
         }
         res.rollback = true;
         // The straggler positive is now the least pending event for this
-        // object; remove it.
-        bool erased = false;
-        for (auto it = rt.pending.begin(); it != rt.pending.end(); ++it) {
-          if (it->id == ev.id && !it->negative) {
-            rt.pending.erase(it);
-            erased = true;
-            break;
-          }
-        }
-        NW_CHECK_MSG(erased, "rolled-back positive missing from pending queue");
+        // object; remove it (indexed lookup, no scan).
+        auto it = pending_find(rt, ev.id);
+        NW_CHECK_MSG(it != rt.pending.end(),
+                     "rolled-back positive missing from pending queue");
+        pending_erase(rt, it);
         flush_lazy_for_gen(rt, ev.id, res.antis);
         res.annihilated = true;
         stats_.counter("tw.annihilations").add(1);
@@ -182,10 +175,8 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
   // Paranoia mode: a second live positive with the same id means the
   // drop/filter pairing broke somewhere upstream (see firmware/cancel).
   if (paranoia_) {
-    for (const auto& pend : rt.pending) {
-      NW_CHECK_MSG(!(pend.id == ev.id && !pend.negative),
-                   "duplicate positive (pending) — cancellation pairing broken");
-    }
+    NW_CHECK_MSG(pending_find(rt, ev.id) == rt.pending.end(),
+                 "duplicate positive (pending) — cancellation pairing broken");
     for (const auto& rec : rt.processed) {
       NW_CHECK_MSG(rec.ev.id != ev.id,
                    "duplicate positive (processed) — cancellation pairing broken");
@@ -205,8 +196,53 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
     stats_.counter("tw.straggler_rollbacks").add(1);
   }
 
-  rt.pending.insert(std::move(ev));
+  pending_insert(rt, std::move(ev));
   return res;
+}
+
+void LogicalProcess::pending_insert(ObjRt& rt, EventMsg ev) {
+  const EventId id = ev.id;
+  const auto it = rt.pending.insert(std::move(ev));
+  rt.pending_by_id.emplace(id, it);
+  ++pending_total_;
+  // Advertise when this insertion lowered the object's head below what the
+  // ready-heap already knows about (or nothing was advertised at all).
+  if (!rt.head_advertised) {
+    advertise_head(rt);
+  } else if (it == rt.pending.begin() &&
+             (it->recv_ts < rt.adv_ts ||
+              (it->recv_ts == rt.adv_ts && it->id < rt.adv_id))) {
+    advertise_head(rt);
+  }
+}
+
+void LogicalProcess::pending_erase(ObjRt& rt, PendingQueue::iterator it) {
+  // Only unmap if the index points at THIS node (a duplicate id — which
+  // paranoia mode rejects outright — must not strand the survivor's entry).
+  if (auto idx = rt.pending_by_id.find(it->id);
+      idx != rt.pending_by_id.end() && idx->second == it) {
+    rt.pending_by_id.erase(idx);
+  }
+  rt.pending.erase(it);
+  --pending_total_;
+  // A stale advertisement (head gone or grown) is fine: pops validate
+  // against the live head and re-advertise, so no repair is needed here.
+}
+
+LogicalProcess::PendingQueue::iterator LogicalProcess::pending_find(ObjRt& rt,
+                                                                    EventId id) {
+  const auto idx = rt.pending_by_id.find(id);
+  return idx == rt.pending_by_id.end() ? rt.pending.end() : idx->second;
+}
+
+void LogicalProcess::advertise_head(ObjRt& rt) {
+  if (rt.pending.empty()) return;
+  const EventMsg& head = *rt.pending.begin();
+  rt.head_advertised = true;
+  rt.adv_ts = head.recv_ts;
+  rt.adv_id = head.id;
+  ready_heap_.push_back(HeadEntry{head.recv_ts, head.dst_obj, head.id, &rt});
+  std::push_heap(ready_heap_.begin(), ready_heap_.end(), HeadLater{});
 }
 
 bool LogicalProcess::is_straggler(const ObjRt& rt, const EventMsg& ev) const {
@@ -275,7 +311,7 @@ std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
     ProcessedRecord& rec = rt.processed[i];
     if (undone_ids != nullptr) undone_ids->push_back(rec.ev.id);
     // Undone events go back to pending for re-execution.
-    rt.pending.insert(rec.ev);
+    pending_insert(rt, rec.ev);
     if (cancellation_ == CancellationMode::kAggressive) {
       // Aggressive cancellation: anti-message per output.
       for (const EventMsg& outp : rec.outputs) out.push_back(outp.as_anti());
@@ -327,12 +363,7 @@ void LogicalProcess::flush_lazy_for_gen(ObjRt& rt, EventId gen_id,
   });
 }
 
-bool LogicalProcess::has_ready_event() const {
-  for (const auto& [id, rt] : objs_) {
-    if (!rt.pending.empty()) return true;
-  }
-  return false;
-}
+bool LogicalProcess::has_ready_event() const { return pending_total_ > 0; }
 
 VirtualTime LogicalProcess::next_event_ts() const { return lvt(); }
 
@@ -352,19 +383,40 @@ VirtualTime LogicalProcess::lvt() const {
 }
 
 LogicalProcess::ExecResult LogicalProcess::execute_next() {
-  // Pick the globally least pending event under the canonical order.
+  // Pick the globally least pending event under the canonical order by
+  // popping ready-heap advertisements until one matches a live queue head.
+  // Every object with pending events keeps an advertisement at or below its
+  // head key in the heap (pending_insert maintains this), so the first
+  // validated entry IS the global minimum.
   ObjRt* best = nullptr;
-  for (auto& [id, rt] : objs_) {
-    if (rt.pending.empty()) continue;
-    if (best == nullptr || event_before(*rt.pending.begin(), *best->pending.begin())) {
-      best = &rt;
+  while (!ready_heap_.empty()) {
+    std::pop_heap(ready_heap_.begin(), ready_heap_.end(), HeadLater{});
+    const HeadEntry e = ready_heap_.back();
+    ready_heap_.pop_back();
+    ObjRt& rt = *e.rt;
+    // Superseded advertisement (a lower head was pushed later): discard.
+    if (!rt.head_advertised || e.recv_ts != rt.adv_ts || e.id != rt.adv_id) continue;
+    rt.head_advertised = false;
+    if (!rt.pending.empty()) {
+      const EventMsg& head = *rt.pending.begin();
+      if (head.recv_ts == e.recv_ts && head.id == e.id) {
+        best = &rt;
+        break;
+      }
+      // The advertised event was annihilated; re-advertise the real head
+      // and keep looking (lazy repair).
+      advertise_head(rt);
     }
   }
   ExecResult res;
-  if (best == nullptr) return res;
+  if (best == nullptr) {
+    NW_CHECK_MSG(pending_total_ == 0, "ready-heap lost a pending queue head");
+    return res;
+  }
 
   EventMsg ev = *best->pending.begin();
-  best->pending.erase(best->pending.begin());
+  pending_erase(*best, best->pending.begin());
+  advertise_head(*best);  // next head (if any) becomes this object's advert
 
   if (cancellation_ == CancellationMode::kLazy) {
     flush_lazy_before(*best, ev, res.antis);
@@ -476,11 +528,7 @@ std::int64_t LogicalProcess::signature_sum() const {
   return s;
 }
 
-std::size_t LogicalProcess::total_pending() const {
-  std::size_t n = 0;
-  for (const auto& [id, rt] : objs_) n += rt.pending.size();
-  return n;
-}
+std::size_t LogicalProcess::total_pending() const { return pending_total_; }
 
 std::size_t LogicalProcess::total_processed_records() const {
   std::size_t n = 0;

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -155,15 +156,27 @@ class LogicalProcess {
     EventMsg output;
     EventMsg gen;  // generating event (key fields only)
   };
+  using PendingQueue = std::multiset<EventMsg, EventOrder>;
+
   struct ObjRt {
     SimulationObject* obj{nullptr};
-    std::multiset<EventMsg, EventOrder> pending;
+    PendingQueue pending;
+    // Hot-path index: event id -> its node in `pending`, so anti-message
+    // annihilation is a hash probe instead of an O(pending) scan. Multiset
+    // iterators are node-stable, so entries survive unrelated mutations.
+    std::unordered_map<EventId, PendingQueue::iterator> pending_by_id;
     std::deque<ProcessedRecord> processed;  // ascending EventOrder
     std::multiset<EventMsg, EventOrder> orphan_antis;  // antis without positives
     std::vector<LazyRecord> lazy;  // kLazy: held outputs, ascending gen order
     std::uint64_t antis_processed{0};
     std::uint64_t exec_count{0};   // drives the state-saving period
     VirtualTime last_anti_ts{VirtualTime::zero()};
+    // Lazy ready-heap bookkeeping (see ready_heap_): the head key this
+    // object last pushed, if any. Only the entry matching (adv_ts, adv_id)
+    // is live; older entries for this object are discarded on pop.
+    bool head_advertised{false};
+    VirtualTime adv_ts{VirtualTime::zero()};
+    EventId adv_id{kInvalidEvent};
   };
 
   // Rolls `rt` back so every processed record at position >= pos is undone;
@@ -188,6 +201,17 @@ class LogicalProcess {
 
   ObjRt& runtime_for(ObjectId id);
 
+  // --- pending-queue maintenance (keeps pending_by_id, pending_total_ and
+  // the ready-heap advertisement in sync; ALL pending mutations go through
+  // these) ---
+  void pending_insert(ObjRt& rt, EventMsg ev);
+  void pending_erase(ObjRt& rt, PendingQueue::iterator it);
+  // Finds the pending positive with this id, pending.end() if absent.
+  PendingQueue::iterator pending_find(ObjRt& rt, EventId id);
+  // Pushes the object's current least pending event onto the ready-heap
+  // (no-op when pending is empty).
+  void advertise_head(ObjRt& rt);
+
   NodeId rank_;
   StatsRegistry& stats_;
   std::uint64_t seed_;
@@ -200,6 +224,29 @@ class LogicalProcess {
   VirtualTime lp_last_anti_ts_{VirtualTime::zero()};
   std::map<ObjectId, ObjRt> objs_;
   std::vector<std::unique_ptr<SimulationObject>> storage_;
+
+  // Lazy min-heap over per-object queue heads, ordered by the canonical
+  // EventOrder key of each object's least pending event. execute_next pops
+  // the global minimum in O(log #objects) instead of scanning every object.
+  // Entries are advertisements, not truth: insertions that lower an
+  // object's head push a fresh entry (superseding the old one), removals
+  // leave stale entries behind, and pops validate against the object's
+  // actual head, discarding or re-advertising as needed — "lazy repair".
+  struct HeadEntry {
+    VirtualTime recv_ts;
+    ObjectId dst_obj;
+    EventId id;
+    ObjRt* rt;
+  };
+  struct HeadLater {  // std::push_heap is a max-heap; invert to get a min-heap
+    bool operator()(const HeadEntry& a, const HeadEntry& b) const {
+      if (a.recv_ts != b.recv_ts) return a.recv_ts > b.recv_ts;
+      if (a.dst_obj != b.dst_obj) return a.dst_obj > b.dst_obj;
+      return a.id > b.id;
+    }
+  };
+  std::vector<HeadEntry> ready_heap_;
+  std::size_t pending_total_{0};  // sum of pending.size() across objects
 
   std::uint64_t events_processed_{0};
   std::uint64_t events_rolled_back_{0};

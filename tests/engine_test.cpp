@@ -1,0 +1,189 @@
+// Regression tests for the slot-indexed engine scheduler (O(1) cancel via
+// slot handles, no lazy tombstones) and the sweep runner's exception path:
+// the behaviours this PR's refactor is most likely to have disturbed.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sim/engine.hpp"
+
+namespace nicwarp::sim {
+namespace {
+
+// --- cancellation during callbacks -----------------------------------------
+
+TEST(EngineSlotHeap, CallbackCancelsSiblingAtSameTime) {
+  Engine e;
+  bool sibling_ran = false;
+  bool later_ran = false;
+  TaskHandle sibling;
+  TaskHandle later;
+  e.schedule(SimTime::from_ns(10), [&] {
+    EXPECT_TRUE(e.cancel(sibling)) << "same-time sibling is still pending";
+    EXPECT_TRUE(e.cancel(later));
+  });
+  sibling = e.schedule(SimTime::from_ns(10), [&] { sibling_ran = true; });
+  later = e.schedule(SimTime::from_ns(20), [&] { later_ran = true; });
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_FALSE(sibling_ran);
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineSlotHeap, CancellingTheRunningTaskFails) {
+  // The running task's slot is released before its callback is invoked, so a
+  // handle to "self" behaves exactly like a handle to a completed task.
+  Engine e;
+  TaskHandle self;
+  bool self_cancel = true;
+  self = e.schedule(SimTime::from_ns(5), [&] { self_cancel = e.cancel(self); });
+  e.run();
+  EXPECT_FALSE(self_cancel);
+}
+
+// --- schedule-at-now ordering ----------------------------------------------
+
+TEST(EngineSlotHeap, ZeroDelayFromCallbackRunsSameTimeInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(SimTime::from_ns(5), [&] {
+    order.push_back(1);
+    e.schedule(SimTime::zero(), [&] { order.push_back(3); });
+    e.schedule_at(e.now(), [&] { order.push_back(4); });
+    order.push_back(2);
+  });
+  e.schedule(SimTime::from_ns(5), [&] { order.push_back(5); });
+  // The nested zero-delay tasks carry later sequence numbers than the
+  // pre-scheduled same-time task, so they run after it.
+  EXPECT_EQ(e.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 5, 3, 4}));
+  EXPECT_EQ(e.now().ns, 5);
+}
+
+// --- handle invalidation across slot reuse ---------------------------------
+
+TEST(EngineSlotHeap, StaleHandleCannotCancelSlotSuccessor) {
+  Engine e;
+  bool survivor_ran = false;
+  TaskHandle old_h = e.schedule(SimTime::from_ns(10), [] {});
+  EXPECT_TRUE(e.cancel(old_h));
+  // The freed slot is recycled for the next task (LIFO free list)...
+  TaskHandle new_h = e.schedule(SimTime::from_ns(10), [&] { survivor_ran = true; });
+  EXPECT_EQ(new_h.slot, old_h.slot);
+  EXPECT_NE(new_h.id, old_h.id);
+  // ...yet the stale handle must not reach through to the new occupant.
+  EXPECT_FALSE(e.cancel(old_h));
+  e.run();
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_FALSE(e.cancel(new_h)) << "already ran";
+}
+
+TEST(EngineSlotHeap, HeavyCancelChurnKeepsHeapConsistent) {
+  Engine e;
+  std::vector<TaskHandle> hs;
+  std::vector<std::int64_t> fired;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t ts = 1 + (i * 7919) % 503;
+    hs.push_back(e.schedule(SimTime::from_ns(ts), [&fired, ts] { fired.push_back(ts); }));
+  }
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < hs.size(); i += 3) cancelled += e.cancel(hs[i]) ? 1 : 0;
+  EXPECT_EQ(cancelled, 334u);
+  EXPECT_EQ(e.run(), 1000u - 334u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]) << "pop order must stay non-decreasing";
+  }
+}
+
+// --- stop latch -------------------------------------------------------------
+
+TEST(EngineSlotHeap, StopFromCallbackHaltsRunThenDrains) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(SimTime::from_ns(1), [&] { order.push_back(1); });
+  e.schedule(SimTime::from_ns(2), [&] {
+    order.push_back(2);
+    e.stop();
+  });
+  e.schedule(SimTime::from_ns(3), [&] { order.push_back(3); });
+  EXPECT_EQ(e.run(), 2u);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_FALSE(e.stopped()) << "the halted run consumes the latch";
+  // The next run proceeds normally and drains the remainder.
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineSlotHeap, StopWhileIdleLatchesForNextRun) {
+  Engine e;
+  bool ran = false;
+  e.stop();  // issued between runs: must halt the NEXT run before any work
+  e.schedule(SimTime::from_ns(1), [&] { ran = true; });
+  EXPECT_EQ(e.run_until(SimTime::from_ns(100)), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.run_until(SimTime::from_ns(100)), 1u);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace nicwarp::sim
+
+// ---------------------------------------------------------------------------
+// Sweep-runner crash fixes: a throwing config must fail its own row, not the
+// process (an exception escaping a pool thread would std::terminate).
+// ---------------------------------------------------------------------------
+
+namespace nicwarp::harness {
+namespace {
+
+ExperimentConfig tiny_phold() {
+  ExperimentConfig cfg;
+  cfg.model = ModelKind::kPhold;
+  cfg.nodes = 2;
+  cfg.phold.objects = 8;
+  cfg.phold.population = 1;
+  cfg.phold.horizon = 200;
+  return cfg;
+}
+
+TEST(BuildTestbedValidation, RejectsZeroNodes) {
+  ExperimentConfig cfg = tiny_phold();
+  cfg.nodes = 0;
+  EXPECT_THROW(build_testbed(cfg), std::invalid_argument);
+}
+
+TEST(BuildTestbedValidation, RejectsEmptyWorkload) {
+  ExperimentConfig cfg = tiny_phold();
+  cfg.phold.objects = 0;
+  EXPECT_THROW(build_testbed(cfg), std::invalid_argument);
+}
+
+TEST(RunParallelFailure, BadConfigFailsItsRowOnly) {
+  ExperimentConfig bad = tiny_phold();
+  bad.nodes = 0;
+  const std::vector<ExperimentConfig> cfgs = {bad, tiny_phold()};
+  const std::vector<ExperimentResult> rs = run_parallel(cfgs, 2);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs[0].failed());
+  EXPECT_NE(rs[0].error.find("nodes"), std::string::npos) << rs[0].error;
+  EXPECT_EQ(rs[0].committed_events, 0);
+  EXPECT_FALSE(rs[1].failed());
+  EXPECT_TRUE(rs[1].completed) << "the healthy config still runs to completion";
+  EXPECT_GT(rs[1].committed_events, 0);
+}
+
+TEST(RunParallelFailure, AllConfigsFailingStillReturns) {
+  ExperimentConfig bad = tiny_phold();
+  bad.phold.objects = 0;
+  const std::vector<ExperimentResult> rs = run_parallel({bad, bad, bad}, 3);
+  ASSERT_EQ(rs.size(), 3u);
+  for (const ExperimentResult& r : rs) {
+    EXPECT_TRUE(r.failed());
+    EXPECT_FALSE(r.completed);
+  }
+}
+
+}  // namespace
+}  // namespace nicwarp::harness

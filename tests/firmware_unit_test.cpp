@@ -33,7 +33,7 @@ class FakeNicContext final : public hw::NicContext {
   }
   void emit(hw::Packet pkt) override { emitted.push_back(std::move(pkt)); }
   void deliver_to_host(hw::Packet pkt) override { delivered.push_back(std::move(pkt)); }
-  void schedule(SimTime delay, std::function<SimTime()> fn) override {
+  void schedule(SimTime delay, SmallFn<SimTime(), 64> fn) override {
     timers.push_back({now_ + delay, std::move(fn)});
   }
 
@@ -60,7 +60,7 @@ class FakeNicContext final : public hw::NicContext {
   std::deque<hw::Packet> ring_;
   std::vector<hw::Packet> emitted;
   std::vector<hw::Packet> delivered;
-  std::vector<std::pair<SimTime, std::function<SimTime()>>> timers;
+  std::vector<std::pair<SimTime, SmallFn<SimTime(), 64>>> timers;
   hw::CostModel cost_;
   hw::Mailbox mailbox_;
   StatsRegistry stats_;

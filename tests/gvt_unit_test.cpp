@@ -26,8 +26,8 @@ class FakeKernelApi final : public KernelApi {
   std::int64_t events_processed() const override { return events_; }
   bool lp_idle() const override { return idle_; }
   void send_control(hw::Packet pkt) override { sent.push_back(std::move(pkt)); }
-  void run_host_task(SimTime, std::function<void()> fn) override { fn(); }
-  void schedule(SimTime delay, std::function<void()> fn) override {
+  void run_host_task(SimTime, SmallFn<void(), 64> fn) override { fn(); }
+  void schedule(SimTime delay, SmallFn<void(), 64> fn) override {
     timers.push_back({now_ + delay, std::move(fn)});
   }
   void on_new_gvt(VirtualTime g) override { published.push_back(g); }
@@ -43,7 +43,7 @@ class FakeKernelApi final : public KernelApi {
 
   std::vector<hw::Packet> sent;
   std::vector<VirtualTime> published;
-  std::vector<std::pair<SimTime, std::function<void()>>> timers;
+  std::vector<std::pair<SimTime, SmallFn<void(), 64>>> timers;
   hw::CostModel cost_;
   hw::Mailbox mailbox_;
   StatsRegistry stats_;
@@ -284,6 +284,42 @@ TEST(MatternUnit, IdlePollInitiatesForTermination) {
   mgr.on_control(tok);
   ASSERT_FALSE(api.published.empty());
   EXPECT_TRUE(api.published.back().is_inf()) << "all idle: GVT reaches +inf";
+}
+
+TEST(MatternUnit, ColorWindowStaysBoundedOverManyEstimations) {
+  // The per-color counters are a flat epoch-indexed window pruned when an
+  // estimation completes; without pruning a long run's memory grows with
+  // epoch count. Drive hundreds of full estimations and check the
+  // gvt.color_map_peak gauge never exceeds the architectural bound.
+  FakeKernelApi api(0, 2);
+  MatternOptions opts;
+  opts.period = 1;
+  opts.max_outstanding = 4;
+  MatternGvtManager mgr(opts);
+  mgr.attach(api);
+  mgr.start();
+
+  api.local_min_ = VirtualTime{10};
+  for (int round = 1; round <= 300; ++round) {
+    // Some colored traffic in every epoch, so cells really materialize.
+    hw::PacketHeader out = event_hdr(VirtualTime{10 + round});
+    mgr.stamp_outgoing(out);
+    hw::PacketHeader in = event_hdr(VirtualTime{10 + round});
+    in.color_epoch = out.color_epoch;
+    mgr.on_event_received(in);
+
+    api.events_ = round;
+    mgr.on_event_processed();  // initiate
+    ASSERT_EQ(api.sent.size(), 1u);
+    mgr.on_control(api.pop_sent());  // return to root: complete + broadcast
+    ASSERT_EQ(api.sent.size(), 1u);
+    api.sent.clear();  // drop the broadcast to the (absent) peer
+  }
+  EXPECT_EQ(api.stats_.value("gvt.estimations"), 300);
+  const std::int64_t peak = api.stats_.value("gvt.color_map_peak");
+  EXPECT_GT(peak, 0);
+  EXPECT_LE(peak, static_cast<std::int64_t>(opts.max_outstanding) + 4)
+      << "color window must not grow with total epochs";
 }
 
 // ---------------------------------------------------------------------------

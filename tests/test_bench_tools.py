@@ -69,7 +69,11 @@ def main():
         check(reserialized == doc, "JSON round-trip is lossless")
 
         # 2a. the fresh run matches the checked-in baseline bit-exactly.
-        r = run([sys.executable, COMPARE, BASELINE, out])
+        # Wall time is NOT gated here: this test runs under `ctest -j` on a
+        # saturated machine, where smoke wall times routinely blow any sane
+        # band. The controlled wall-clock gates live in CI's sequential
+        # bench steps (smoke at 10x, micro at 1.5x).
+        r = run([sys.executable, COMPARE, BASELINE, out, "--wall-tolerance=1000"])
         check(r.returncode == 0,
               f"bench_compare vs baseline (rc={r.returncode})\n{r.stdout}{r.stderr}")
 
@@ -83,7 +87,8 @@ def main():
         check("committed_events" in r.stdout, "failure names the regressed metric")
 
         # 2c. ...and a tolerance wide enough to cover it passes again.
-        r = run([sys.executable, COMPARE, BASELINE, bad, "--tolerance=0.01"])
+        r = run([sys.executable, COMPARE, BASELINE, bad,
+                 "--tolerance=0.01", "--wall-tolerance=1000"])
         check(r.returncode == 0, "tolerance band suppresses the small diff")
 
         # 3. manifest sync: generated schema == checked-in schema.
