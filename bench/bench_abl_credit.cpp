@@ -32,6 +32,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < stations.size(); ++i) {
     const auto& with = results[2 * i];
     const auto& without = results[2 * i + 1];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(stations[i]))},
+            {&with, &without})) {
+      continue;
+    }
     const double penalty =
         100.0 * (without.sim_seconds - with.sim_seconds) / with.sim_seconds;
     t.add_row({harness::Table::num(static_cast<std::int64_t>(stations[i])),

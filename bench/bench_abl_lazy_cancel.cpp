@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < 2; ++i) {
     const auto& agg = results[2 * i];
     const auto& lazy = results[2 * i + 1];
+    if (bench::add_error_rows(t, {names[i]}, {&agg, &lazy})) {
+      continue;
+    }
     t.add_row({names[i], harness::Table::num(agg.sim_seconds, 4),
                harness::Table::num(lazy.sim_seconds, 4),
                harness::Table::num(agg.antis_generated),

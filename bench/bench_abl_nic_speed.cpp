@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < nic_us.size(); ++i) {
     const auto& base = results[2 * i];
     const auto& opt = results[2 * i + 1];
+    if (bench::add_error_rows(t, {harness::Table::num(nic_us[i], 2)},
+                              {&base, &opt})) {
+      continue;
+    }
     const double impr = 100.0 * (base.sim_seconds - opt.sim_seconds) / base.sim_seconds;
     const double share = opt.antis_generated > 0
                              ? 100.0 * static_cast<double>(opt.dropped_by_nic) /

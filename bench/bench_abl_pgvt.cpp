@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
     const auto& mat = results[3 * i];
     const auto& pg = results[3 * i + 1];
     const auto& nic = results[3 * i + 2];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(periods[i]))},
+            {&mat, &pg, &nic})) {
+      continue;
+    }
     t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
                harness::Table::num(mat.sim_seconds, 4),
                harness::Table::num(pg.sim_seconds, 4),

@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& with = results[2 * i];
     const auto& without = results[2 * i + 1];
+    if (bench::add_error_rows(t, {points[i].name}, {&with, &without})) {
+      continue;
+    }
     const double penalty =
         100.0 * (without.sim_seconds - with.sim_seconds) / with.sim_seconds;
     t.add_row({points[i].name, harness::Table::num(with.sim_seconds, 4),

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < periods.size(); ++i) {
     const auto& raid = results[i];
     const auto& police = results[periods.size() + i];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(periods[i]))},
+            {&raid, &police})) {
+      continue;
+    }
     const bool stable = raid.signature == results[0].signature &&
                         police.signature == results[periods.size()].signature;
     t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),

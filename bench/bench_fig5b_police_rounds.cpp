@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < periods.size(); ++i) {
     const auto& host = results[2 * i];
     const auto& nic = results[2 * i + 1];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(periods[i]))},
+            {&host, &nic})) {
+      continue;
+    }
     t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
                harness::Table::num(host.gvt_rounds), harness::Table::num(nic.gvt_rounds),
                harness::Table::num(host.gvt_estimations),

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& off = results[2 * i];
     const auto& on = results[2 * i + 1];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(requests[i]))},
+            {&off, &on})) {
+      continue;
+    }
     const double impr = 100.0 * (off.sim_seconds - on.sim_seconds) / off.sim_seconds;
     t.add_row({harness::Table::num(static_cast<std::int64_t>(requests[i])),
                harness::Table::num(off.sim_seconds, 4),

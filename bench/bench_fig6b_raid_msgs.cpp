@@ -28,6 +28,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& off = results[2 * i];
     const auto& on = results[2 * i + 1];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(requests[i]))},
+            {&off, &on})) {
+      continue;
+    }
     const double red =
         100.0 * static_cast<double>(off.wire_packets - on.wire_packets) /
         static_cast<double>(off.wire_packets);

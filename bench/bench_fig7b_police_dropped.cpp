@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
                 "antis filtered", "% dropped"});
   for (std::size_t i = 0; i < stations.size(); ++i) {
     const auto& r = results[i];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(stations[i]))}, {&r})) {
+      continue;
+    }
     const double pct = r.antis_generated > 0
                            ? 100.0 * static_cast<double>(r.dropped_by_nic) /
                                  static_cast<double>(r.antis_generated)

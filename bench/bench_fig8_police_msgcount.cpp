@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < stations.size(); ++i) {
     const auto& off = results[2 * i];
     const auto& on = results[2 * i + 1];
+    if (bench::add_error_rows(
+            t, {harness::Table::num(static_cast<std::int64_t>(stations[i]))},
+            {&off, &on})) {
+      continue;
+    }
     const std::int64_t moff = off.event_msgs_generated + off.antis_generated;
     const std::int64_t mon = on.event_msgs_generated + on.antis_generated;
     const double red =

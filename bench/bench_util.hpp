@@ -28,16 +28,42 @@ inline std::vector<harness::ExperimentResult> run_sweep(
   std::fprintf(stderr, "[bench] running %zu experiments...\n", cfgs.size());
   auto results = harness::run_parallel(cfgs);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!results[i].completed) {
+    if (results[i].failed()) {
+      std::fprintf(stderr, "[bench] WARNING: point %zu failed: %s\n", i,
+                   results[i].error.c_str());
+    } else if (!results[i].completed) {
       std::fprintf(stderr, "[bench] WARNING: point %zu hit the simulated-time cap\n", i);
     }
   }
   return results;
 }
 
+// When any of the sweep points backing one table row failed, adds an error
+// row (label cells + combined reasons in the trailing "error" column) and
+// returns true so the caller skips its metric row — a failed run carries no
+// metrics, and folding its zero-initialized counters into a figure would
+// silently corrupt the reproduction.
+inline bool add_error_rows(harness::Table& t, std::vector<std::string> label_cells,
+                           std::initializer_list<const harness::ExperimentResult*> rs) {
+  std::string err;
+  for (const harness::ExperimentResult* r : rs) {
+    if (!r->failed()) continue;
+    if (!err.empty()) err += "; ";
+    err += r->error;
+  }
+  if (err.empty()) return false;
+  t.add_error_row(std::move(label_cells), err);
+  return true;
+}
+
 // Registers one google-benchmark entry per sweep point that reports the
 // already-measured simulated seconds (manual time) and key counters.
+// Failed points are skipped: their counters are meaningless zeros.
 inline void register_point(const std::string& name, const harness::ExperimentResult& r) {
+  if (r.failed()) {
+    std::fprintf(stderr, "[bench] skipping %s: %s\n", name.c_str(), r.error.c_str());
+    return;
+  }
   benchmark::RegisterBenchmark(name.c_str(),
                                [r](benchmark::State& state) {
                                  for (auto _ : state) {

@@ -358,14 +358,19 @@ MicroResult lp_rollback_churn() {
 }  // namespace
 
 const std::vector<MicroBench>& micro_benches() {
-  static const std::vector<MicroBench> kBenches = {
-      {"micro/engine/schedule_run_churn", [] { return engine_churn<sim::Engine>(); }},
-      {"micro/engine/schedule_run_churn_legacy",
-       [] { return engine_churn<LegacyEngine>(); }},
-      {"micro/engine/cancel_churn", engine_cancel_churn},
-      {"micro/lp/insert_annihilate", lp_insert_annihilate},
-      {"micro/lp/rollback_churn", lp_rollback_churn},
-  };
+  static const std::vector<MicroBench> kBenches = [] {
+    std::vector<MicroBench> v = {
+        {"micro/engine/schedule_run_churn", [] { return engine_churn<sim::Engine>(); }},
+        {"micro/engine/schedule_run_churn_legacy",
+         [] { return engine_churn<LegacyEngine>(); }},
+        {"micro/engine/cancel_churn", engine_cancel_churn},
+        {"micro/lp/insert_annihilate", lp_insert_annihilate},
+        {"micro/lp/rollback_churn", lp_rollback_churn},
+    };
+    const auto& comm = micro_comm_benches();
+    v.insert(v.end(), comm.begin(), comm.end());
+    return v;
+  }();
   return kBenches;
 }
 

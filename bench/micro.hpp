@@ -34,4 +34,9 @@ struct MicroBench {
 
 const std::vector<MicroBench>& micro_benches();
 
+// Comm/NIC datapath kernels (micro_comm.cpp): pooled datapath vs faithful
+// pre-pool `_legacy` twins over identical deterministic schedules. Folded
+// into micro_benches() after the engine/LP group.
+const std::vector<MicroBench>& micro_comm_benches();
+
 }  // namespace nicwarp::bench

@@ -1,0 +1,392 @@
+// Comm/NIC datapath micro benchmarks for the `micro` bench group.
+//
+// Two workloads distilled from the host-comm and NIC-reliability hot loops,
+// each run twice over the same deterministic schedule:
+//
+//  * micro/comm_credit_churn   — credit-windowed send/stage/drain across 8
+//    channels, the shape HostComm drives per application message;
+//  * micro/retx_churn          — retransmit-ring store/ack-retire/go-back-N
+//    plus sorted void-list maintenance, the shape the NIC reliability
+//    sublayer drives per wire packet.
+//
+// The `_legacy` twins run the identical schedule on faithful copies of the
+// pre-pool containers (std::deque<Packet> queues, unordered_map channels,
+// a heap allocation per NIC hop — what accept_from_host's shared hook state
+// used to cost), so every BENCH json keeps showing what the PacketPool +
+// FlatRing datapath buys. Both twins produce bit-identical `ops`/`checksum`
+// by construction; only `wall_seconds` (and allocator traffic) differ.
+#include "micro.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/flat_ring.hpp"
+#include "core/types.hpp"
+#include "hw/packet.hpp"
+#include "hw/packet_pool.hpp"
+
+namespace nicwarp::bench {
+
+namespace {
+
+using hw::Packet;
+using hw::PacketPool;
+using hw::PacketRef;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::uint64_t mix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void fill_packet(Packet& p, int dst, std::uint64_t seq, std::uint64_t r) {
+  p.hdr.kind = hw::PacketKind::kEvent;
+  p.hdr.dst = static_cast<NodeId>(dst);
+  p.hdr.bip_seq = seq;
+  p.hdr.size_bytes = 64;
+  // Payload past SSO territory so the legacy path pays a real heap
+  // allocation per packet construction/copy, like the models do.
+  p.app.assign({static_cast<std::int64_t>(r & 0xFFFF),
+                static_cast<std::int64_t>((r >> 16) & 0xFFFF),
+                static_cast<std::int64_t>((r >> 32) & 0xFFFF),
+                static_cast<std::int64_t>(seq)});
+}
+
+std::int64_t payload_fold(const Packet& p) {
+  std::int64_t f = static_cast<std::int64_t>(p.hdr.bip_seq);
+  for (std::int64_t v : p.app) f = f * 31 + v;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Credit churn: HostComm's send path shape.
+// ---------------------------------------------------------------------------
+
+// Pooled datapath: flat channel vector, PacketRefs through FlatRings, one
+// shared slab. Mirrors HostComm + Nic queue structure post-pool.
+struct PooledCommPath {
+  struct Ch {
+    std::int64_t credits{0};
+    FlatRing<PacketRef> staged;
+    FlatRing<PacketRef> wire;
+  };
+  PacketPool pool;
+  std::vector<Ch> ch;
+
+  PooledCommPath(int nodes, std::int64_t window) : ch(static_cast<std::size_t>(nodes)) {
+    for (auto& c : ch) c.credits = window;
+  }
+  Ch& channel(int dst) { return ch[static_cast<std::size_t>(dst)]; }
+
+  PacketRef make(int dst, std::uint64_t seq, std::uint64_t r) {
+    PacketRef ref = pool.acquire();
+    fill_packet(pool.get(ref), dst, seq, r);
+    return ref;
+  }
+  void transmit(Ch& c, PacketRef h) { c.wire.push_back(h); }
+  void stage(Ch& c, PacketRef h) { c.staged.push_back(h); }
+  bool wire_empty(const Ch& c) const { return c.wire.empty(); }
+  bool has_staged(const Ch& c) const { return !c.staged.empty(); }
+  void transmit_staged(Ch& c) { c.wire.push_back(c.staged.pop_front()); }
+  std::int64_t deliver(Ch& c) {
+    const PacketRef ref = c.wire.pop_front();
+    const std::int64_t f = payload_fold(pool.get(ref));
+    pool.release(ref);
+    return f;
+  }
+};
+
+// Faithful copy of the pre-pool containers: channels behind a hash map,
+// value-typed Packets through deques, and one heap allocation per wire hop
+// (the NIC DMA hook used to pin the packet in a shared_ptr pair while the
+// bus transfer was in flight).
+struct LegacyCommPath {
+  struct Ch {
+    std::int64_t credits{0};
+    std::deque<Packet> staged;
+    std::deque<Packet> wire;
+  };
+  std::unordered_map<int, Ch> ch_map;
+  std::int64_t window;
+
+  LegacyCommPath(int /*nodes*/, std::int64_t w) : window(w) {}
+  Ch& channel(int dst) {
+    auto it = ch_map.find(dst);
+    if (it == ch_map.end()) {
+      it = ch_map.emplace(dst, Ch{}).first;
+      it->second.credits = window;
+    }
+    return it->second;
+  }
+
+  Packet make(int dst, std::uint64_t seq, std::uint64_t r) {
+    Packet p;
+    fill_packet(p, dst, seq, r);
+    return p;
+  }
+  void transmit(Ch& c, Packet h) {
+    auto hook = std::make_shared<std::pair<Packet, int>>(std::move(h), 0);
+    c.wire.push_back(std::move(hook->first));
+  }
+  void stage(Ch& c, Packet h) { c.staged.push_back(std::move(h)); }
+  bool wire_empty(const Ch& c) const { return c.wire.empty(); }
+  bool has_staged(const Ch& c) const { return !c.staged.empty(); }
+  void transmit_staged(Ch& c) {
+    transmit(c, std::move(c.staged.front()));
+    c.staged.pop_front();
+  }
+  std::int64_t deliver(Ch& c) {
+    const std::int64_t f = payload_fold(c.wire.front());
+    c.wire.pop_front();
+    return f;
+  }
+};
+
+template <typename Path>
+MicroResult comm_credit_churn() {
+  constexpr int kNodes = 8;
+  constexpr std::int64_t kWindow = 16;
+  constexpr std::int64_t kSends = 700000;
+  Path path(kNodes, kWindow);
+  std::uint64_t rng = 2026;
+  std::int64_t ops = 0;
+  std::int64_t sum = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < kSends; ++i) {
+    const std::uint64_t r = mix(rng);
+    const int dst = static_cast<int>(r % kNodes);
+    auto& c = path.channel(dst);
+    auto h = path.make(dst, static_cast<std::uint64_t>(i + 1), r);
+    if (c.credits > 0) {
+      --c.credits;
+      path.transmit(c, std::move(h));
+    } else {
+      path.stage(c, std::move(h));
+    }
+    ++ops;
+    if ((r >> 8) % 4 == 0) {  // receiver turn: drain one channel, return credits
+      auto& c2 = path.channel(static_cast<int>((r >> 16) % kNodes));
+      std::int64_t returned = 0;
+      while (!path.wire_empty(c2)) {
+        sum += path.deliver(c2);
+        ++ops;
+        ++returned;
+      }
+      c2.credits += returned;
+      while (c2.credits > 0 && path.has_staged(c2)) {
+        --c2.credits;
+        path.transmit_staged(c2);
+        ++ops;
+      }
+    }
+  }
+  // Final drain so the checksum covers every packet sent.
+  for (int d = 0; d < kNodes; ++d) {
+    auto& c = path.channel(d);
+    for (;;) {
+      while (!path.wire_empty(c)) {
+        sum += path.deliver(c);
+        ++ops;
+        ++c.credits;
+      }
+      if (c.credits > 0 && path.has_staged(c)) {
+        --c.credits;
+        path.transmit_staged(c);
+        ++ops;
+      } else {
+        break;
+      }
+    }
+  }
+
+  MicroResult res;
+  res.wall_seconds = seconds_since(t0);
+  res.ops = ops;
+  res.checksum = sum;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Retx churn: the NIC reliability sublayer's per-packet shape.
+// ---------------------------------------------------------------------------
+
+// Pooled: retransmit ring of PacketRefs (stored copies via pool.clone reuse
+// slot payload capacity), sorted void list in a FlatRing.
+struct PooledRetxPath {
+  PacketPool pool;
+  FlatRing<PacketRef> ring;
+  FlatRing<std::uint64_t> voided;
+  std::uint64_t voids_retired{0};
+
+  PacketRef make(std::uint64_t seq, std::uint64_t r) {
+    PacketRef ref = pool.acquire();
+    fill_packet(pool.get(ref), 1, seq, r);
+    return ref;
+  }
+  std::uint64_t seq_of(PacketRef h) const { return pool.get(h).hdr.bip_seq; }
+  std::size_t ring_size() const { return ring.size(); }
+  void store(PacketRef h) { ring.push_back(pool.clone(h)); }
+  void evict_oldest() { pool.release(ring.pop_front()); }
+  void drop(PacketRef h) { pool.release(h); }
+  std::int64_t wire_free(PacketRef h) {
+    const std::int64_t f = payload_fold(pool.get(h));
+    pool.release(h);
+    return f;
+  }
+  std::uint64_t front_seq() const { return pool.get(ring.front()).hdr.bip_seq; }
+  void retire_front() { pool.release(ring.pop_front()); }
+  std::int64_t go_back_n() {
+    std::int64_t f = 0;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const PacketRef clone = pool.clone(ring.at(i));
+      Packet& p = pool.get(clone);
+      ++p.hdr.retx_count;
+      f += payload_fold(p) + p.hdr.retx_count;
+      pool.release(clone);  // retransmitted copy leaves the wire
+    }
+    return f;
+  }
+  void record_void(std::uint64_t seq) {
+    std::size_t lo = 0;
+    std::size_t hi = voided.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (voided.at(mid) < seq) lo = mid + 1;
+      else hi = mid;
+    }
+    voided.insert_at(lo, seq);
+  }
+  std::uint64_t void_cum(std::uint64_t seq) {
+    while (!voided.empty() && voided.front() < seq - 64) {
+      voided.pop_front();
+      ++voids_retired;
+    }
+    std::uint64_t n = voids_retired;
+    for (std::size_t i = 0; i < voided.size() && voided.at(i) < seq; ++i) ++n;
+    return n;
+  }
+};
+
+// Faithful copy of the pre-pool reliability containers: value-typed Packets
+// in deques, every stored/retransmitted copy a fresh heap-backed vector.
+struct LegacyRetxPath {
+  std::deque<Packet> ring;
+  std::deque<std::uint64_t> voided;
+  std::uint64_t voids_retired{0};
+
+  Packet make(std::uint64_t seq, std::uint64_t r) {
+    Packet p;
+    fill_packet(p, 1, seq, r);
+    return p;
+  }
+  std::uint64_t seq_of(const Packet& h) const { return h.hdr.bip_seq; }
+  std::size_t ring_size() const { return ring.size(); }
+  void store(const Packet& h) { ring.push_back(h); }
+  void evict_oldest() { ring.pop_front(); }
+  void drop(Packet&&) {}
+  std::int64_t wire_free(Packet&& h) {
+    // The old DMA hook pinned every outgoing packet in shared state for the
+    // bus-transfer completion — one control-block allocation per departure.
+    auto hook = std::make_shared<std::pair<Packet, int>>(std::move(h), 0);
+    return payload_fold(hook->first);
+  }
+  std::uint64_t front_seq() const { return ring.front().hdr.bip_seq; }
+  void retire_front() { ring.pop_front(); }
+  std::int64_t go_back_n() {
+    std::int64_t f = 0;
+    for (const Packet& stored : ring) {
+      Packet clone = stored;
+      ++clone.hdr.retx_count;
+      f += payload_fold(clone) + clone.hdr.retx_count;
+    }
+    return f;
+  }
+  void record_void(std::uint64_t seq) {
+    voided.insert(std::lower_bound(voided.begin(), voided.end(), seq), seq);
+  }
+  std::uint64_t void_cum(std::uint64_t seq) {
+    while (!voided.empty() && voided.front() < seq - 64) {
+      voided.pop_front();
+      ++voids_retired;
+    }
+    std::uint64_t n = voids_retired;
+    for (std::uint64_t v : voided) {
+      if (v < seq) ++n;
+      else break;
+    }
+    return n;
+  }
+};
+
+template <typename Path>
+MicroResult retx_churn() {
+  constexpr std::int64_t kSends = 400000;
+  constexpr std::size_t kRingCap = 64;
+  Path path;
+  std::uint64_t rng = 77;
+  std::int64_t ops = 0;
+  std::int64_t sum = 0;
+  std::uint64_t acked = 1;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < kSends; ++i) {
+    const std::uint64_t r = mix(rng);
+    const auto seq = static_cast<std::uint64_t>(i + 1);
+    auto h = path.make(seq, r);
+    sum += static_cast<std::int64_t>(path.void_cum(seq));
+    if (r % 32 == 0) {  // early cancellation: voided in place, never on the wire
+      path.record_void(seq);
+      path.drop(std::move(h));
+      ++ops;
+      continue;
+    }
+    if (path.ring_size() >= kRingCap) path.evict_oldest();
+    path.store(h);                      // stored retransmit copy
+    sum += path.wire_free(std::move(h));  // original departs the wire
+    ++ops;
+    if ((r >> 8) % 8 == 0) {  // cumulative ack from the peer
+      acked = std::min(seq, acked + 1 + (r >> 16) % 8);
+      while (path.ring_size() > 0 && path.front_seq() < acked) {
+        path.retire_front();
+        ++ops;
+      }
+    }
+    if ((r >> 24) % 128 == 0) {  // NAK: go-back-N over the live ring
+      sum += path.go_back_n();
+      ops += static_cast<std::int64_t>(path.ring_size());
+    }
+  }
+
+  MicroResult res;
+  res.wall_seconds = seconds_since(t0);
+  res.ops = ops;
+  res.checksum = sum;
+  return res;
+}
+
+}  // namespace
+
+const std::vector<MicroBench>& micro_comm_benches() {
+  static const std::vector<MicroBench> kBenches = {
+      {"micro/comm_credit_churn", comm_credit_churn<PooledCommPath>},
+      {"micro/comm_credit_churn_legacy", comm_credit_churn<LegacyCommPath>},
+      {"micro/retx_churn", retx_churn<PooledRetxPath>},
+      {"micro/retx_churn_legacy", retx_churn<LegacyRetxPath>},
+  };
+  return kBenches;
+}
+
+}  // namespace nicwarp::bench

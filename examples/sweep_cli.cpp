@@ -146,7 +146,21 @@ int main(int argc, char** argv) {
   cfg.profile.enabled = p.get_bool("profile", false);
 
   std::printf("config: %s\n", joined.c_str());
-  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  harness::ExperimentResult r;
+  try {
+    r = harness::run_experiment(cfg);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  } catch (...) {
+    r.error = "unknown exception";
+  }
+  if (r.failed()) {
+    // Same contract as the sweep tables: a failed run reports its reason
+    // instead of zero-valued metrics that look like a (very wrong) result.
+    std::printf("%s\n", r.to_string().c_str());
+    std::printf("  error          : %s\n", r.error.c_str());
+    return 1;
+  }
   std::printf("%s\n", r.to_string().c_str());
   std::printf("  sim time       : %.6f s%s\n", r.sim_seconds,
               r.completed ? "" : "  (HIT CAP — incomplete)");

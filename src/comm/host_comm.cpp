@@ -12,9 +12,32 @@ HostComm::HostComm(hw::Node& node, CommOptions opts)
       opts_(opts),
       stats_(node.stats()),
       trace_(node.trace()),
+      pool_(node.pool()),
       window_(node.cost().mpi_credit_window) {
-  node_.set_raw_rx([this](hw::Packet pkt) { on_raw_rx(std::move(pkt)); });
+  tx_.resize(node.world_size());
+  rx_.resize(node.world_size());
+  node_.set_raw_rx([this](hw::PacketRef ref) { on_raw_rx(ref); });
   node_.set_tx_ready_cb([this] { pump_nic_queue(); });
+}
+
+HostComm::ChannelTx& HostComm::tx_at(NodeId dst) {
+  NW_CHECK(dst < tx_.size());
+  ChannelTx& ch = tx_[dst];
+  if (!ch.touched) {
+    ch.touched = true;
+    tx_order_.push_back(dst);
+  }
+  return ch;
+}
+
+HostComm::ChannelRx& HostComm::rx_at(NodeId src) {
+  NW_CHECK(src < rx_.size());
+  ChannelRx& ch = rx_[src];
+  if (!ch.touched) {
+    ch.touched = true;
+    rx_order_.push_back(src);
+  }
+  return ch;
 }
 
 bool HostComm::is_sequenced(const hw::Packet& pkt) const {
@@ -43,7 +66,12 @@ bool HostComm::is_sequenced(const hw::Packet& pkt) const {
 void HostComm::send(hw::Packet pkt) {
   NW_CHECK_MSG(pkt.hdr.dst != node_.id(), "local delivery must bypass HostComm");
   pkt.hdr.src = node_.id();
-  auto& ch = tx_[pkt.hdr.dst];
+  send_ref(pool_.acquire(std::move(pkt)));
+}
+
+void HostComm::send_ref(hw::PacketRef ref) {
+  hw::Packet& pkt = pool_.get(ref);
+  ChannelTx& ch = tx_at(pkt.hdr.dst);
   if (!ch.opened) {  // first contact with this peer: the window opens full
     ch.opened = true;
     ch.credits = window_;
@@ -59,7 +87,7 @@ void HostComm::send(hw::Packet pkt) {
                        pkt.hdr.dst, pkt.hdr.event_id,
                        static_cast<std::uint64_t>(ch.credit_waiting.size() + 1), 0});
       }
-      ch.credit_waiting.push_back(std::move(pkt));
+      ch.credit_waiting.push_back(ref);
       if (ch.stall_since == SimTime::max()) ch.stall_since = node_.engine().now();
       stats_.counter("comm.credit_stalls").add(1);
       check_stalls();
@@ -68,40 +96,38 @@ void HostComm::send(hw::Packet pkt) {
     --ch.credits;
     ++ch.consumed_total;
   }
-  dispatch(std::move(pkt));
+  dispatch(ref);
 }
 
-void HostComm::dispatch(hw::Packet&& pkt) {
-  auto& ch = tx_[pkt.hdr.dst];
+void HostComm::dispatch(hw::PacketRef ref) {
+  hw::Packet& pkt = pool_.get(ref);
+  ChannelTx& ch = tx_at(pkt.hdr.dst);
   if (is_sequenced(pkt)) pkt.hdr.bip_seq = ch.next_seq++;
   // NOTE: credit returns deliberately do NOT piggyback on event packets --
   // the cancellation firmware may drop those in place, and credits riding a
   // dropped packet would leak irrecoverably. Returns travel only on
   // dedicated kCreditUpdate packets, which the NIC never drops.
   if (node_.nic_tx_ready() && nic_waiting_.empty()) {
-    node_.dma_to_nic(std::move(pkt));
+    node_.dma_to_nic(ref);
   } else {
-    nic_waiting_.push_back(std::move(pkt));
+    nic_waiting_.push_back(ref);
     stats_.counter("comm.nic_backpressure").add(1);
   }
 }
 
 void HostComm::pump_nic_queue() {
   while (!nic_waiting_.empty() && node_.nic_tx_ready()) {
-    hw::Packet pkt = std::move(nic_waiting_.front());
-    nic_waiting_.pop_front();
-    node_.dma_to_nic(std::move(pkt));
+    node_.dma_to_nic(nic_waiting_.pop_front());
   }
 }
 
 void HostComm::pump_credit_queue(NodeId dst) {
-  auto& ch = tx_[dst];
+  ChannelTx& ch = tx_at(dst);
   while (!ch.credit_waiting.empty() && ch.credits > 0) {
-    hw::Packet pkt = std::move(ch.credit_waiting.front());
-    ch.credit_waiting.pop_front();
+    const hw::PacketRef ref = ch.credit_waiting.pop_front();
     --ch.credits;
     ++ch.consumed_total;
-    dispatch(std::move(pkt));
+    dispatch(ref);
   }
   if (ch.credit_waiting.empty()) {
     ch.stall_since = SimTime::max();
@@ -113,7 +139,7 @@ void HostComm::pump_credit_queue(NodeId dst) {
 
 void HostComm::grant_credits(NodeId src, std::int64_t n) {
   if (n <= 0) return;
-  auto& ch = tx_[src];
+  ChannelTx& ch = tx_at(src);
   if (!ch.opened) {
     ch.opened = true;
     ch.credits = window_;  // peer contacted us first; open our window lazily
@@ -137,7 +163,7 @@ void HostComm::grant_credits(NodeId src, std::int64_t n) {
 }
 
 void HostComm::send_credit_update(NodeId src) {
-  auto& rxch = rx_[src];
+  ChannelRx& rxch = rx_at(src);
   if (rxch.credits_owed <= 0) return;
   hw::Packet cr;
   cr.hdr.kind = hw::PacketKind::kCreditUpdate;
@@ -158,7 +184,7 @@ void HostComm::send_credit_update(NodeId src) {
 void HostComm::maybe_return_credits(NodeId src) {
   // Without reverse traffic to piggyback on, return credits explicitly once
   // half the window has accumulated; a timer covers the quiescent tail.
-  if (rx_[src].credits_owed >= window_ / 2) {
+  if (rx_at(src).credits_owed >= window_ / 2) {
     send_credit_update(src);
   } else {
     arm_credit_timer();
@@ -171,8 +197,11 @@ void HostComm::arm_credit_timer() {
   node_.engine().schedule(SimTime::from_us(opts_.credit_return_timeout_us), [this] {
     credit_timer_armed_ = false;
     bool more = false;
-    for (auto& [src, ch] : rx_) {
-      if (ch.credits_owed > 0) {
+    // Newest-activated channel first — see the activation-order note in the
+    // header; the emission order here is observable in traces and timing.
+    for (std::size_t i = rx_order_.size(); i > 0; --i) {
+      const NodeId src = rx_order_[i - 1];
+      if (rx_[src].credits_owed > 0) {
         send_credit_update(src);
         more = true;
       }
@@ -181,14 +210,17 @@ void HostComm::arm_credit_timer() {
   });
 }
 
-void HostComm::on_raw_rx(hw::Packet pkt) {
-  const NodeId src = pkt.hdr.src;
+void HostComm::on_raw_rx(hw::PacketRef ref) {
+  const NodeId src = pool_.get(ref).hdr.src;
   // 1. Credits returned to us (piggybacked on anything).
-  if (pkt.hdr.credits_pb > 0) grant_credits(src, pkt.hdr.credits_pb);
+  if (pool_.get(ref).hdr.credits_pb > 0) {
+    grant_credits(src, pool_.get(ref).hdr.credits_pb);
+  }
 
+  const hw::Packet& pkt = pool_.get(ref);
   // 2. BIP sequencing / drop detection.
   if (is_sequenced(pkt) && pkt.hdr.bip_seq != 0) {
-    auto& rxch = rx_[src];
+    ChannelRx& rxch = rx_at(src);
     NW_CHECK_MSG(pkt.hdr.bip_seq >= rxch.expected_seq,
                  "BIP sequence moved backwards on a FIFO fabric");
     const std::uint64_t gap = pkt.hdr.bip_seq - rxch.expected_seq;
@@ -209,16 +241,20 @@ void HostComm::on_raw_rx(hw::Packet pkt) {
 
   // 3. Credit consumption accounting for event traffic.
   if (pkt.hdr.kind == hw::PacketKind::kEvent) {
-    rx_[src].credits_owed += 1;
-    rx_[src].accepted_total += 1;
+    ChannelRx& rxch = rx_at(src);
+    rxch.credits_owed += 1;
+    rxch.accepted_total += 1;
     maybe_return_credits(src);
   }
 
   // 4. Pure credit packets are consumed here.
-  if (pkt.hdr.kind == hw::PacketKind::kCreditUpdate) return;
+  if (pkt.hdr.kind == hw::PacketKind::kCreditUpdate) {
+    pool_.release(ref);
+    return;
+  }
 
   NW_CHECK_MSG(deliver_ != nullptr, "no deliver handler installed");
-  deliver_(std::move(pkt));
+  deliver_(pool_.take(ref));
 }
 
 void HostComm::check_stalls() {
@@ -231,7 +267,11 @@ void HostComm::check_stalls() {
   node_.engine().schedule(SimTime::from_us(opts_.credit_timeout_us), [this] {
     stall_probe_scheduled_ = false;
     bool still_stalled = false;
-    for (auto& [dst, ch] : tx_) {
+    // Newest-activated channel first (predecessor map order); resync order
+    // across channels is observable through host-task timing.
+    for (std::size_t i = tx_order_.size(); i > 0; --i) {
+      const NodeId dst = tx_order_[i - 1];
+      ChannelTx& ch = tx_[dst];
       if (!ch.credit_waiting.empty() &&
           node_.engine().now() - ch.stall_since >=
               SimTime::from_us(opts_.credit_timeout_us) &&
@@ -272,17 +312,17 @@ void HostComm::check_stalls() {
 
 void HostComm::check_invariants(const HostComm& sender, const HostComm& receiver) {
   const NodeId dst = receiver.node_.id();
-  const auto txit = sender.tx_.find(dst);
-  if (txit == sender.tx_.end() || !txit->second.opened) return;
-  const ChannelTx& tx = txit->second;
+  if (dst >= sender.tx_.size()) return;
+  const ChannelTx& tx = sender.tx_[dst];
+  if (!tx.touched || !tx.opened) return;
   if (tx.resynced) return;  // the emergency path mints credits by design
 
   std::int64_t accepted = 0, owed = 0, returned = 0;
-  const auto rxit = receiver.rx_.find(sender.node_.id());
-  if (rxit != receiver.rx_.end()) {
-    accepted = rxit->second.accepted_total;
-    owed = rxit->second.credits_owed;
-    returned = rxit->second.returned_total;
+  const NodeId src = sender.node_.id();
+  if (src < receiver.rx_.size() && receiver.rx_[src].touched) {
+    accepted = receiver.rx_[src].accepted_total;
+    owed = receiver.rx_[src].credits_owed;
+    returned = receiver.rx_[src].returned_total;
   }
   const std::int64_t in_flight = tx.consumed_total - tx.refunded_total - accepted;
   const std::int64_t returning = returned - tx.granted_total;
@@ -298,7 +338,7 @@ void HostComm::check_invariants(const HostComm& sender, const HostComm& receiver
 
 void HostComm::refund_credits(NodeId dst, std::int64_t n) {
   if (!opts_.credit_repair || n <= 0) return;
-  auto& ch = tx_[dst];
+  ChannelTx& ch = tx_at(dst);
   ch.credits += n;
   ch.refunded_total += n;
   if (ch.credits > window_) {
@@ -317,14 +357,16 @@ void HostComm::refund_credits(NodeId dst, std::int64_t n) {
 }
 
 void HostComm::dump_state() const {
-  for (const auto& [dst, ch] : tx_) {
+  for (const NodeId dst : tx_order_) {
+    const ChannelTx& ch = tx_[dst];
     std::fprintf(stderr,
                  "  node%u->%u credits=%lld staged=%zu consumed=%lld granted=%lld refunded=%lld\n",
                  node_.id(), dst, (long long)ch.credits, ch.credit_waiting.size(),
                  (long long)ch.consumed_total, (long long)ch.granted_total,
                  (long long)ch.refunded_total);
   }
-  for (const auto& [src, ch] : rx_) {
+  for (const NodeId src : rx_order_) {
+    const ChannelRx& ch = rx_[src];
     std::fprintf(stderr, "  node%u<-%u expected_seq=%llu owed=%lld returned=%lld\n",
                  node_.id(), src, (unsigned long long)ch.expected_seq,
                  (long long)ch.credits_owed, (long long)ch.returned_total);
@@ -334,25 +376,27 @@ void HostComm::dump_state() const {
 
 std::size_t HostComm::staged() const {
   std::size_t n = nic_waiting_.size();
-  for (const auto& [dst, ch] : tx_) n += ch.credit_waiting.size();
+  for (const NodeId dst : tx_order_) n += tx_[dst].credit_waiting.size();
   return n;
 }
 
 VirtualTime HostComm::min_staged_event_ts() const {
   VirtualTime m = VirtualTime::inf();
-  auto fold = [&m](const hw::Packet& p) {
+  auto fold = [&m, this](hw::PacketRef ref) {
+    const hw::Packet& p = pool_.get(ref);
     if (p.hdr.kind == hw::PacketKind::kEvent) m = VirtualTime::min(m, p.hdr.recv_ts);
   };
-  for (const auto& p : nic_waiting_) fold(p);
-  for (const auto& [dst, ch] : tx_) {
-    for (const auto& p : ch.credit_waiting) fold(p);
+  for (std::size_t i = 0; i < nic_waiting_.size(); ++i) fold(nic_waiting_.at(i));
+  for (const NodeId dst : tx_order_) {
+    const FlatRing<hw::PacketRef>& q = tx_[dst].credit_waiting;
+    for (std::size_t i = 0; i < q.size(); ++i) fold(q.at(i));
   }
   return m;
 }
 
 std::int64_t HostComm::credits_for(NodeId dst) const {
-  auto it = tx_.find(dst);
-  return it == tx_.end() ? window_ : it->second.credits;
+  if (dst >= tx_.size() || !tx_[dst].touched) return window_;
+  return tx_[dst].credits;
 }
 
 }  // namespace nicwarp::comm

@@ -13,20 +13,28 @@
 //    packets' credits so the sender's window does not leak shut;
 //  * staging for NIC send-ring backpressure.
 //
+// Channel state is flat per-node vectors (node count is fixed at testbed
+// build) and staged packets are PacketRefs into the cluster's shared pool,
+// so the send path performs no hashing and no per-packet allocation.
+// Channels additionally record first-touch activation order: the periodic
+// sweeps (credit-return timer, stall prober) walk it newest-first, which is
+// the iteration order the previous unordered_map gave them — credit-update
+// emission order, and therefore every downstream byte, is unchanged.
+//
 // All calls happen in host-CPU task context; the *caller* charges the
 // per-message host CPU cost (the kernel's dynamic task costing does this).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_ring.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "hw/node.hpp"
 #include "hw/packet.hpp"
+#include "hw/packet_pool.hpp"
 
 namespace nicwarp::comm {
 
@@ -93,6 +101,7 @@ class HostComm {
 
  private:
   struct ChannelTx {  // per destination
+    bool touched{false};  // channel state ever created (was: map entry exists)
     bool opened{false};
     std::int64_t credits{0};
     std::int64_t consumed_total{0};
@@ -100,7 +109,7 @@ class HostComm {
     std::int64_t refunded_total{0};
     std::int64_t clamped_total{0};  // credits destroyed by window clamps
     std::uint64_t next_seq{1};
-    std::deque<hw::Packet> credit_waiting;
+    FlatRing<hw::PacketRef> credit_waiting;
     SimTime stall_since{SimTime::max()};
     // Emergency resync bookkeeping (bounded-retry recovery path).
     std::int64_t resync_attempts{0};
@@ -108,14 +117,21 @@ class HostComm {
     SimTime next_resync_ok{SimTime::zero()};
   };
   struct ChannelRx {  // per source
+    bool touched{false};
     std::uint64_t expected_seq{1};
     std::int64_t credits_owed{0};  // consumed but not yet returned
     std::int64_t returned_total{0};
     std::int64_t accepted_total{0};  // event packets that cleared the stack
   };
 
-  void on_raw_rx(hw::Packet pkt);
-  void dispatch(hw::Packet&& pkt);    // stamp seq/credits and go to the NIC
+  // Channel accessors at every site the old code did `tx_[id]` / `rx_[id]`:
+  // first touch appends to the activation-order list.
+  ChannelTx& tx_at(NodeId dst);
+  ChannelRx& rx_at(NodeId src);
+
+  void on_raw_rx(hw::PacketRef ref);
+  void send_ref(hw::PacketRef ref);   // credit-check a pooled packet
+  void dispatch(hw::PacketRef ref);   // stamp seq/credits and go to the NIC
   void pump_nic_queue();
   void pump_credit_queue(NodeId dst);
   void maybe_return_credits(NodeId src);
@@ -129,10 +145,15 @@ class HostComm {
   CommOptions opts_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
+  hw::PacketPool& pool_;
   std::int64_t window_;
-  std::unordered_map<NodeId, ChannelTx> tx_;
-  std::unordered_map<NodeId, ChannelRx> rx_;
-  std::deque<hw::Packet> nic_waiting_;  // credit already consumed, NIC busy
+  std::vector<ChannelTx> tx_;  // indexed by destination node
+  std::vector<ChannelRx> rx_;  // indexed by source node
+  // First-touch activation order; periodic sweeps iterate these newest-first
+  // (the predecessor unordered_map's iteration order for distinct buckets).
+  std::vector<NodeId> tx_order_;
+  std::vector<NodeId> rx_order_;
+  FlatRing<hw::PacketRef> nic_waiting_;  // credit already consumed, NIC busy
   std::function<void(hw::Packet)> deliver_;
   bool stall_probe_scheduled_{false};
   bool credit_timer_armed_{false};

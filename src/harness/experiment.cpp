@@ -294,6 +294,10 @@ std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& 
 
 std::string ExperimentResult::to_string() const {
   std::ostringstream os;
+  if (failed()) {
+    os << "FAILED error=\"" << error << "\"";
+    return os.str();
+  }
   os << "sim_seconds=" << sim_seconds << " committed=" << committed_events
      << " processed=" << events_processed << " rollbacks=" << rollbacks
      << " wire_packets=" << wire_packets << " dropped_by_nic=" << dropped_by_nic

@@ -23,6 +23,16 @@ std::string Table::pct(double v, int precision) {
   return os.str();
 }
 
+void Table::add_error_row(std::vector<std::string> label_cells, const std::string& error) {
+  if (!has_error_col_) {
+    header_.push_back("error");
+    has_error_col_ = true;
+  }
+  while (label_cells.size() + 1 < header_.size()) label_cells.push_back("-");
+  label_cells.push_back(error.empty() ? "unknown failure" : error);
+  rows_.push_back(std::move(label_cells));
+}
+
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(header_.size(), 0);
   auto widen = [&widths](const std::vector<std::string>& cells) {

@@ -6,18 +6,19 @@ namespace nicwarp::hw {
 
 Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
                  std::uint64_t seed, const FaultPlan& faults)
-    : cost_(cost), seed_(seed), network_(engine_, stats_, cost_, num_nodes, &trace_) {
+    : cost_(cost), seed_(seed),
+      network_(engine_, stats_, cost_, pool_, num_nodes, &trace_) {
   NW_CHECK(num_nodes >= 1);
   if (faults.enabled()) network_.set_fault_plan(faults);
   nodes_.reserve(num_nodes);
   rngs_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(engine_, stats_, cost_, i, num_nodes,
-                                            network_, firmware(i), &trace_));
+                                            network_, pool_, firmware(i), &trace_));
     rngs_.push_back(std::make_unique<Rng>(seed, "node" + std::to_string(i)));
   }
   network_.set_sink(
-      [this](NodeId dst, Packet pkt) { nodes_.at(dst)->nic().receive_from_net(std::move(pkt)); });
+      [this](NodeId dst, PacketRef ref) { nodes_.at(dst)->nic().receive_from_net(ref); });
 }
 
 SimTime Cluster::run(SimTime max_time) {

@@ -28,6 +28,9 @@ class Cluster {
   // Cluster-wide trace recorder; disabled (mask 0) until configure()d.
   TraceRecorder& trace() { return trace_; }
   const CostModel& cost() const { return cost_; }
+  // Shared packet slab for the whole datapath (comm staging, NIC rings,
+  // packets on the wire).
+  PacketPool& pool() { return pool_; }
   std::uint32_t size() const { return static_cast<std::uint32_t>(nodes_.size()); }
   Node& node(NodeId id) { return *nodes_.at(id); }
   Network& network() { return network_; }
@@ -44,6 +47,7 @@ class Cluster {
   sim::Engine engine_;
   StatsRegistry stats_;
   TraceRecorder trace_;  // must outlive network_ and nodes_
+  PacketPool pool_;      // must outlive network_ and nodes_
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Rng>> rngs_;

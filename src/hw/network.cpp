@@ -5,11 +5,12 @@
 namespace nicwarp::hw {
 
 Network::Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-                 std::uint32_t num_nodes, TraceRecorder* trace)
+                 PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace)
     : engine_(engine),
       stats_(stats),
       trace_(trace ? *trace : TraceRecorder::null_recorder()),
-      cost_(cost) {
+      cost_(cost),
+      pool_(pool) {
   links_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     links_.push_back(
@@ -27,40 +28,40 @@ void Network::set_fault_plan(const FaultPlan& plan) {
   }
 }
 
-void Network::transmit(NodeId src, Packet pkt, std::function<void()> on_link_free) {
+void Network::transmit(NodeId src, PacketRef ref, std::function<void()> on_link_free) {
   NW_CHECK(src < links_.size());
-  NW_CHECK_MSG(pkt.hdr.dst < links_.size(), "packet to unknown node");
-  NW_CHECK_MSG(pkt.hdr.dst != src, "network loopback not modelled; local sends bypass the NIC");
-  const SimTime serialize = cost_.wire_time(pkt.hdr.size_bytes);
+  const PacketHeader& hdr = pool_.get(ref).hdr;
+  NW_CHECK_MSG(hdr.dst < links_.size(), "packet to unknown node");
+  NW_CHECK_MSG(hdr.dst != src, "network loopback not modelled; local sends bypass the NIC");
+  const SimTime serialize = cost_.wire_time(hdr.size_bytes);
   links_[src]->submit(
-      serialize,
-      [this, src, pkt = std::move(pkt), done = std::move(on_link_free)]() mutable {
+      serialize, [this, src, ref, done = std::move(on_link_free)]() mutable {
+        const PacketHeader& h = pool_.get(ref).hdr;
         stats_.counter("net.packets").add(1);
-        stats_.counter("net.bytes").add(pkt.hdr.size_bytes);
-        if (pkt.hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
-          trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kMsg,
-                         TracePoint::kWireDepart, pkt.hdr.negative, src, pkt.hdr.dst,
-                         pkt.hdr.event_id, pkt.hdr.size_bytes, 0});
+        stats_.counter("net.bytes").add(h.size_bytes);
+        if (h.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+          trace_.record({engine_.now(), h.recv_ts, TraceCat::kMsg,
+                         TracePoint::kWireDepart, h.negative, src, h.dst,
+                         h.event_id, h.size_bytes, 0});
         }
         if (done) done();
         if (fault_.enabled()) {
-          deliver_with_faults(src, std::move(pkt));
+          deliver_with_faults(src, ref);
         } else {
-          schedule_delivery(std::move(pkt), SimTime::zero());
+          schedule_delivery(ref, SimTime::zero());
         }
       });
 }
 
-void Network::schedule_delivery(Packet pkt, SimTime extra) {
-  const NodeId dst = pkt.hdr.dst;
-  engine_.schedule(cost_.us(cost_.link_latency_us) + extra,
-                   [this, dst, p = std::move(pkt)]() mutable {
-                     ++delivered_;
-                     sink_(dst, std::move(p));
-                   });
+void Network::schedule_delivery(PacketRef ref, SimTime extra) {
+  const NodeId dst = pool_.get(ref).hdr.dst;
+  engine_.schedule(cost_.us(cost_.link_latency_us) + extra, [this, dst, ref] {
+    ++delivered_;
+    sink_(dst, ref);
+  });
 }
 
-void Network::deliver_with_faults(NodeId src, Packet pkt) {
+void Network::deliver_with_faults(NodeId src, PacketRef ref) {
   Rng& rng = fault_rngs_[src];
   // A FIXED number of draws per packet, consumed unconditionally, so the
   // fault schedule of packet N never depends on which faults hit packets
@@ -72,6 +73,7 @@ void Network::deliver_with_faults(NodeId src, Packet pkt) {
   const double u_delay_amt = rng.next_double();
   const double u_dup_delay = rng.next_double();
 
+  Packet& pkt = pool_.get(ref);
   const auto fault_trace = [&](TracePoint point, std::uint64_t a) {
     if (trace_.enabled(TraceCat::kFault)) {
       trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kFault, point,
@@ -82,6 +84,7 @@ void Network::deliver_with_faults(NodeId src, Packet pkt) {
   if (u_drop < fault_.drop_rate) {
     stats_.counter("net.fault_drops").add(1);
     fault_trace(TracePoint::kFaultDrop, pkt.hdr.bip_seq);
+    pool_.release(ref);
     return;  // the fabric ate it; recovery is the NIC's problem
   }
   if (u_corrupt < fault_.corrupt_rate) {
@@ -99,12 +102,11 @@ void Network::deliver_with_faults(NodeId src, Packet pkt) {
   if (u_dup < fault_.dup_rate) {
     stats_.counter("net.fault_dups").add(1);
     fault_trace(TracePoint::kFaultDup, pkt.hdr.bip_seq);
-    Packet copy = pkt;
-    schedule_delivery(std::move(copy),
+    schedule_delivery(pool_.clone(ref),
                       extra + SimTime::from_ns(static_cast<std::int64_t>(
                                   u_dup_delay * fault_.delay_max_us * 1e3)));
   }
-  schedule_delivery(std::move(pkt), extra);
+  schedule_delivery(ref, extra);
 }
 
 }  // namespace nicwarp::hw

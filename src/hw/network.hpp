@@ -3,6 +3,10 @@
 // latency. Links are FIFO, so packets between a node pair arrive in
 // transmission order — the property BIP sequence numbers rely on to turn a
 // receive-side gap into proof of an intentional NIC drop.
+//
+// Packets in flight live in the shared PacketPool; the fabric moves 8-byte
+// PacketRefs. Ownership of a ref passes to the fabric at transmit() and to
+// the sink at delivery; a fabric drop releases the slot here.
 #pragma once
 
 #include <functional>
@@ -15,7 +19,7 @@
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/fault.hpp"
-#include "hw/packet.hpp"
+#include "hw/packet_pool.hpp"
 #include "sim/engine.hpp"
 #include "sim/server.hpp"
 
@@ -23,11 +27,11 @@ namespace nicwarp::hw {
 
 class Network {
  public:
-  using Sink = std::function<void(NodeId dst, Packet pkt)>;
+  using Sink = std::function<void(NodeId dst, PacketRef ref)>;
 
   // `trace` may be null (tests); records then go to a never-enabled sink.
   Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-          std::uint32_t num_nodes, TraceRecorder* trace = nullptr);
+          PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace = nullptr);
 
   // Routes packets that complete wire traversal; set once by the Cluster.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
@@ -39,11 +43,11 @@ class Network {
   void set_fault_plan(const FaultPlan& plan);
   const FaultPlan& fault_plan() const { return fault_; }
 
-  // Transmits `pkt` from `src`'s injection link. `on_link_free` fires when
-  // the link has finished serializing the packet (the NIC may then start the
-  // next send-ring entry); delivery at the destination happens `link_latency`
-  // later.
-  void transmit(NodeId src, Packet pkt, std::function<void()> on_link_free);
+  // Transmits the pooled packet from `src`'s injection link, taking ownership
+  // of the ref. `on_link_free` fires when the link has finished serializing
+  // the packet (the NIC may then start the next send-ring entry); delivery at
+  // the destination happens `link_latency` later.
+  void transmit(NodeId src, PacketRef ref, std::function<void()> on_link_free);
 
   std::uint64_t packets_delivered() const { return delivered_; }
 
@@ -52,14 +56,15 @@ class Network {
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   const CostModel& cost_;
+  PacketPool& pool_;
   std::vector<std::unique_ptr<sim::Server>> links_;
   Sink sink_;
   std::uint64_t delivered_{0};
 
   // Applies the fault plan to one serialized packet; schedules 0, 1, or 2
   // deliveries. Called from the link-completion path when fault_.enabled().
-  void deliver_with_faults(NodeId src, Packet pkt);
-  void schedule_delivery(Packet pkt, SimTime extra);
+  void deliver_with_faults(NodeId src, PacketRef ref);
+  void schedule_delivery(PacketRef ref, SimTime extra);
 
   FaultPlan fault_{};
   std::vector<Rng> fault_rngs_;  // one per injection link

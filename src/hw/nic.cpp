@@ -8,7 +8,7 @@
 namespace nicwarp::hw {
 
 Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-         std::uint32_t world_size, Network& network, sim::Server& bus,
+         std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
          std::unique_ptr<Firmware> firmware, TraceRecorder* trace)
     : engine_(engine),
       stats_(stats),
@@ -18,8 +18,10 @@ Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeI
       world_size_(world_size),
       network_(network),
       bus_(bus),
+      pool_(pool),
       firmware_(std::move(firmware)),
-      nic_cpu_(engine, "nic" + std::to_string(id) + ".cpu", &stats) {
+      nic_cpu_(engine, "nic" + std::to_string(id) + ".cpu", &stats),
+      send_ring_(static_cast<std::size_t>(cost.nic_send_ring_slots)) {
   NW_CHECK(firmware_ != nullptr);
   rel_tx_.resize(world_size_);
   rel_rx_.resize(world_size_);
@@ -35,25 +37,23 @@ void Nic::reserve_tx_slot() {
   ++slots_in_use_;
 }
 
-void Nic::accept_from_host(Packet pkt) {
-  auto state = std::make_shared<std::pair<Packet, Firmware::Action>>(
-      std::move(pkt), Firmware::Action::kForward);
+void Nic::accept_from_host(PacketRef ref) {
   nic_cpu_.submit_dynamic(
-      [this, state] {
-        const Firmware::HookResult r = firmware_->on_host_tx(state->first);
-        state->second = r.action;
+      [this, ref] {
+        const Firmware::HookResult r = firmware_->on_host_tx(pool_.get(ref));
+        pending_action_ = r.action;
         return r.cost;
       },
-      [this, state] {
-        const PacketHeader& hdr = state->first.hdr;
-        switch (state->second) {
+      [this, ref] {
+        const PacketHeader& hdr = pool_.get(ref).hdr;
+        switch (pending_action_) {
           case Firmware::Action::kForward:
             if (hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
               trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
                              TracePoint::kNicStage, hdr.negative, id_, hdr.dst,
                              hdr.event_id, send_ring_.size(), 0});
             }
-            send_ring_.push_back(std::move(state->first));
+            NW_CHECK(send_ring_.try_push(ref));  // slots_in_use_ bounds the ring
             pump_tx();
             break;
           case Firmware::Action::kDrop:
@@ -65,6 +65,7 @@ void Nic::accept_from_host(Packet pkt) {
             }
             // The packet never reaches the wire; its slot frees immediately.
             rel_record_void(hdr.dst, hdr.bip_seq);
+            pool_.release(ref);
             NW_CHECK(slots_in_use_ > 0);
             --slots_in_use_;
             if (tx_slot_freed_) tx_slot_freed_();
@@ -74,19 +75,16 @@ void Nic::accept_from_host(Packet pkt) {
 }
 
 const Packet& Nic::send_ring_at(std::size_t i) const {
-  NW_CHECK(i < send_ring_.size());
-  return send_ring_[i];
+  return pool_.get(send_ring_.at(i));
 }
 
 Packet& Nic::send_ring_mutable_at(std::size_t i) {
-  NW_CHECK(i < send_ring_.size());
-  return send_ring_[i];
+  return pool_.get(send_ring_.at(i));
 }
 
 Packet Nic::drop_from_send_ring(std::size_t i) {
-  NW_CHECK(i < send_ring_.size());
-  Packet out = std::move(send_ring_[i]);
-  send_ring_.erase(send_ring_.begin() + static_cast<std::ptrdiff_t>(i));
+  const PacketRef ref = send_ring_.remove_at(i);
+  Packet out = pool_.take(ref);
   rel_record_void(out.hdr.dst, out.hdr.bip_seq);
   NW_CHECK(slots_in_use_ > 0);
   --slots_in_use_;
@@ -106,17 +104,20 @@ void Nic::emit(Packet pkt) {
   // NIC forwards GVT information "whenever it gets a chance".
   pkt.hdr.src = id_;
   pkt.hdr.bip_seq = 0;  // unsequenced: never part of the BIP host stream
-  ctrl_queue_.push_back(std::move(pkt));
+  ctrl_queue_.push_back(pool_.acquire(std::move(pkt)));
   stats_.counter("nic.emitted").add(1);
   pump_tx();
 }
 
 void Nic::deliver_to_host(Packet pkt) {
-  bus_.submit(cost_.bus_transfer(pkt.hdr.size_bytes),
-              [this, p = std::move(pkt)]() mutable {
-                NW_CHECK(host_deliver_ != nullptr);
-                host_deliver_(std::move(p));
-              });
+  deliver_ref_to_host(pool_.acquire(std::move(pkt)));
+}
+
+void Nic::deliver_ref_to_host(PacketRef ref) {
+  bus_.submit(cost_.bus_transfer(pool_.get(ref).hdr.size_bytes), [this, ref] {
+    NW_CHECK(host_deliver_ != nullptr);
+    host_deliver_(ref);
+  });
 }
 
 void Nic::schedule(SimTime delay, SmallFn<SimTime(), 64> fn) {
@@ -134,39 +135,37 @@ void Nic::pump_tx() {
   if (!from_retx && !from_ctrl && send_ring_.empty()) return;
   tx_busy_ = true;
 
-  auto pkt = std::make_shared<Packet>();
+  PacketRef ref;
   if (from_retx) {
-    *pkt = std::move(retx_queue_.front());
-    retx_queue_.pop_front();
+    ref = retx_queue_.pop_front();
   } else if (from_ctrl) {
-    *pkt = std::move(ctrl_queue_.front());
-    ctrl_queue_.pop_front();
+    ref = ctrl_queue_.pop_front();
   } else {
-    *pkt = std::move(send_ring_.front());
-    send_ring_.pop_front();
+    ref = send_ring_.pop();
   }
 
-  if (pkt->hdr.event_id == traced_event() && pkt->hdr.kind == PacketKind::kEvent) {
+  const PacketHeader& hdr = pool_.get(ref).hdr;
+  if (hdr.event_id == traced_event() && hdr.kind == PacketKind::kEvent) {
     std::fprintf(stderr, "[trace %llu] WIRE-TX nic=%u neg=%d t=%lld\n",
-                 (unsigned long long)pkt->hdr.event_id, id_, pkt->hdr.negative ? 1 : 0,
+                 (unsigned long long)hdr.event_id, id_, hdr.negative ? 1 : 0,
                  (long long)engine_.now().ns);
   }
-  if (pkt->hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
-    trace_.record({engine_.now(), pkt->hdr.recv_ts, TraceCat::kMsg,
-                   TracePoint::kWireTx, pkt->hdr.negative, id_, pkt->hdr.dst,
-                   pkt->hdr.event_id, from_retx ? 2u : (from_ctrl ? 1u : 0u), 0});
+  if (hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+    trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
+                   TracePoint::kWireTx, hdr.negative, id_, hdr.dst,
+                   hdr.event_id, from_retx ? 2u : (from_ctrl ? 1u : 0u), 0});
   }
   nic_cpu_.submit_dynamic(
-      [this, pkt, from_retx] {
+      [this, ref, from_retx] {
         // A replay is a stored-copy DMA out of SRAM; the firmware hooks
         // already ran (and counted) the original, so they must not run again.
         if (from_retx) return cost_.us(cost_.nic_retx_us);
-        return firmware_->on_wire_tx(*pkt);
+        return firmware_->on_wire_tx(pool_.get(ref));
       },
-      [this, pkt, from_ctrl, from_retx] {
+      [this, ref, from_ctrl, from_retx] {
         const bool host_pkt = !from_ctrl && !from_retx;
-        if (cost_.rel_enabled) rel_stamp_outgoing(*pkt, host_pkt);
-        network_.transmit(id_, std::move(*pkt), [this, host_pkt] {
+        if (cost_.rel_enabled) rel_stamp_outgoing(ref, host_pkt);
+        network_.transmit(id_, ref, [this, host_pkt] {
           tx_busy_ = false;
           if (host_pkt) {
             // The SRAM buffer is recycled once the link drained the packet.
@@ -179,36 +178,40 @@ void Nic::pump_tx() {
       });
 }
 
-void Nic::receive_from_net(Packet pkt) {
-  if (pkt.hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
-    trace_.record({engine_.now(), pkt.hdr.recv_ts, TraceCat::kMsg,
-                   TracePoint::kNicRx, pkt.hdr.negative, id_, pkt.hdr.src,
-                   pkt.hdr.event_id, 0, 0});
+void Nic::receive_from_net(PacketRef ref) {
+  {
+    const PacketHeader& hdr = pool_.get(ref).hdr;
+    if (hdr.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
+      trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
+                     TracePoint::kNicRx, hdr.negative, id_, hdr.src,
+                     hdr.event_id, 0, 0});
+    }
   }
-  auto state = std::make_shared<std::pair<Packet, Firmware::Action>>(
-      std::move(pkt), Firmware::Action::kForward);
   nic_cpu_.submit_dynamic(
-      [this, state] {
+      [this, ref] {
+        Packet& pkt = pool_.get(ref);
         if (cost_.rel_enabled) {
           SimTime rel_cost = SimTime::zero();
-          if (!rel_rx_process(state->first, rel_cost)) {
-            state->second = Firmware::Action::kConsume;
+          if (!rel_rx_process(pkt, rel_cost)) {
+            pending_action_ = Firmware::Action::kConsume;
             return rel_cost;
           }
-          const Firmware::HookResult r = firmware_->on_net_rx(state->first);
-          state->second = r.action;
+          const Firmware::HookResult r = firmware_->on_net_rx(pkt);
+          pending_action_ = r.action;
           return r.cost + rel_cost;
         }
-        const Firmware::HookResult r = firmware_->on_net_rx(state->first);
-        state->second = r.action;
+        const Firmware::HookResult r = firmware_->on_net_rx(pkt);
+        pending_action_ = r.action;
         return r.cost;
       },
-      [this, state] {
-        if (state->second == Firmware::Action::kForward) {
-          deliver_to_host(std::move(state->first));
+      [this, ref] {
+        if (pending_action_ == Firmware::Action::kForward) {
+          deliver_ref_to_host(ref);
+        } else {
+          // kDrop / kConsume: the packet dies on the NIC, saving the bus
+          // crossing and the host receive path entirely.
+          pool_.release(ref);
         }
-        // kDrop / kConsume: the packet dies on the NIC, saving the bus
-        // crossing and the host receive path entirely.
       });
 }
 
@@ -216,20 +219,37 @@ void Nic::receive_from_net(Packet pkt) {
 // Reliability sublayer.
 // ---------------------------------------------------------------------------
 
+namespace {
+// First logical index in `v` (sorted ascending) whose value is >= seq.
+std::size_t ring_lower_bound(const FlatRing<std::uint64_t>& v, std::uint64_t seq) {
+  std::size_t lo = 0;
+  std::size_t hi = v.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (v.at(mid) < seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
 void Nic::rel_record_void(NodeId dst, std::uint64_t seq) {
   if (!cost_.rel_enabled || seq == 0) return;
   // Ring scans can void a higher seq before a lower one (anti/positive
   // pairing is not FIFO within the window), so keep the set sorted.
   auto& v = rel_tx_[dst].voided;
-  v.insert(std::lower_bound(v.begin(), v.end(), seq), seq);
+  v.insert_at(ring_lower_bound(v, seq), seq);
 }
 
 void Nic::rel_on_ack(NodeId from, std::uint64_t ack) {
   if (ack == 0) return;
   RelTx& tx = rel_tx_[from];
   bool progress = false;
-  while (!tx.ring.empty() && tx.ring.front().hdr.bip_seq < ack) {
-    tx.ring.pop_front();
+  while (!tx.ring.empty() && pool_.get(tx.ring.front()).hdr.bip_seq < ack) {
+    pool_.release(tx.ring.pop_front());
     progress = true;
   }
   // Voids below the ack floor can never be consulted again (future packets
@@ -252,9 +272,11 @@ void Nic::rel_go_back_n(NodeId dst, bool force) {
     return;
   }
   tx.last_retx = engine_.now();
-  for (Packet& stored : tx.ring) {
-    ++stored.hdr.retx_count;
-    Packet copy = stored;
+  for (std::size_t i = 0; i < tx.ring.size(); ++i) {
+    const PacketRef stored = tx.ring.at(i);
+    ++pool_.get(stored).hdr.retx_count;
+    const PacketRef copy_ref = pool_.clone(stored);
+    Packet& copy = pool_.get(copy_ref);
     copy.hdr.rel_ack_pb = rel_rx_[dst].expected_seq;
     copy.hdr.crc = header_crc(copy);
     stats_.counter("nic.retransmits").add(1);
@@ -263,7 +285,7 @@ void Nic::rel_go_back_n(NodeId dst, bool force) {
                      TracePoint::kRelRetransmit, copy.hdr.negative, id_, dst,
                      copy.hdr.event_id, copy.hdr.bip_seq, copy.hdr.retx_count});
     }
-    retx_queue_.push_back(std::move(copy));
+    retx_queue_.push_back(copy_ref);
   }
   pump_tx();
 }
@@ -355,7 +377,8 @@ void Nic::rel_send_status(NodeId to) {
   emit(std::move(nak));  // rel_ack_pb is stamped with expected_seq at pump
 }
 
-void Nic::rel_stamp_outgoing(Packet& pkt, bool first_departure) {
+void Nic::rel_stamp_outgoing(PacketRef ref, bool first_departure) {
+  Packet& pkt = pool_.get(ref);
   const NodeId dst = pkt.hdr.dst;
   if (first_departure && pkt.hdr.bip_seq != 0) {
     RelTx& tx = rel_tx_[dst];
@@ -363,20 +386,19 @@ void Nic::rel_stamp_outgoing(Packet& pkt, bool first_departure) {
     // seq is already recorded; later ring voids all carry higher seqs.
     pkt.hdr.void_cum =
         tx.voids_retired +
-        static_cast<std::uint64_t>(std::lower_bound(tx.voided.begin(),
-                                                    tx.voided.end(),
-                                                    pkt.hdr.bip_seq) -
-                                   tx.voided.begin());
+        static_cast<std::uint64_t>(ring_lower_bound(tx.voided, pkt.hdr.bip_seq));
     if (tx.ring.size() >=
         static_cast<std::size_t>(cost_.nic_retx_ring_slots)) {
       // SRAM pressure: drop the oldest stored copy. Recovery then depends on
       // it already having been delivered; chaos tests assert this never
       // fires at the default sizing.
-      tx.ring.pop_front();
+      pool_.release(tx.ring.pop_front());
       stats_.counter("nic.retx_evicted").add(1);
     }
     if (tx.ring.empty()) tx.last_event = engine_.now();
-    tx.ring.push_back(pkt);
+    // Stored copy is taken before the ack/crc stamp (a replay re-stamps both
+    // at its own departure), exactly like the legacy deque path.
+    tx.ring.push_back(pool_.clone(ref));
     arm_rel_timer();
   }
   pkt.hdr.rel_ack_pb = rel_rx_[dst].expected_seq;

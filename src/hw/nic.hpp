@@ -4,18 +4,26 @@
 // bounded send ring in SRAM (the staging window early cancellation scans),
 // the host/NIC shared mailbox, and DMA access to the node's I/O bus. All
 // traffic in both directions flows through the installed Firmware.
+//
+// Every staged or in-flight packet lives in the cluster's shared PacketPool;
+// the send ring, control queue, retransmit queue, and the reliability
+// layer's stored-copy rings are all rings of 8-byte PacketRefs. The
+// firmware-facing NicContext interface stays value/reference-typed — refs
+// are acquired and released at those boundaries.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "core/flat_ring.hpp"
+#include "core/ring_buffer.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/firmware.hpp"
 #include "hw/mailbox.hpp"
 #include "hw/network.hpp"
+#include "hw/packet_pool.hpp"
 #include "sim/engine.hpp"
 #include "sim/server.hpp"
 
@@ -26,7 +34,7 @@ class Nic final : public NicContext {
   // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace` may
   // be null (tests); records then go to a never-enabled sink.
   Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-      std::uint32_t world_size, Network& network, sim::Server& bus,
+      std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
       std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr);
 
   // ----- host-facing interface (called from Node / comm layer) -----
@@ -35,17 +43,19 @@ class Nic final : public NicContext {
   bool tx_slot_available() const;
   // Reserves a slot; precondition tx_slot_available().
   void reserve_tx_slot();
-  // Hands a packet to the NIC (DMA already accounted by the caller); runs
-  // the on_host_tx hook and stages or discards the packet.
-  void accept_from_host(Packet pkt);
+  // Hands a pooled packet to the NIC (DMA already accounted by the caller);
+  // runs the on_host_tx hook and stages or discards the packet.
+  void accept_from_host(PacketRef ref);
 
   // Called with every packet that completed rx DMA to the host. Set by Node.
-  void set_host_deliver(std::function<void(Packet)> fn) { host_deliver_ = std::move(fn); }
+  void set_host_deliver(std::function<void(PacketRef)> fn) {
+    host_deliver_ = std::move(fn);
+  }
   // Invoked whenever a reserved slot is released (drop or wire completion).
   void set_tx_slot_freed(std::function<void()> fn) { tx_slot_freed_ = std::move(fn); }
 
   // ----- network-facing interface (called by the Cluster's sink) -----
-  void receive_from_net(Packet pkt);
+  void receive_from_net(PacketRef ref);
 
   // ----- NicContext (firmware services) -----
   NodeId node_id() const override { return id_; }
@@ -68,6 +78,7 @@ class Nic final : public NicContext {
 
  private:
   void pump_tx();
+  void deliver_ref_to_host(PacketRef ref);
 
   // ----- reliability sublayer (active only when cost().rel_enabled) -----
   // Sits below the firmware hooks: a received packet passes CRC verification
@@ -84,10 +95,10 @@ class Nic final : public NicContext {
   // receiver can then distinguish an intentional gap (gap == void delta:
   // accept) from fabric loss (gap > void delta: NAK + go-back-N replay).
   struct RelTx {
-    std::deque<Packet> ring;           // unacked sequenced packets, seq order
-    std::deque<std::uint64_t> voided;  // intentionally voided seqs, sorted
-    std::uint64_t voids_retired{0};    // voided seqs pruned below the ack floor
-    std::int64_t backoff{1};           // RTO multiplier (exponential, capped)
+    FlatRing<PacketRef> ring;        // unacked sequenced packets, seq order
+    FlatRing<std::uint64_t> voided;  // intentionally voided seqs, sorted
+    std::uint64_t voids_retired{0};  // voided seqs pruned below the ack floor
+    std::int64_t backoff{1};         // RTO multiplier (exponential, capped)
     SimTime last_event{SimTime::zero()};  // last ack progress / retransmit
     SimTime last_retx{SimTime::zero()};
   };
@@ -108,8 +119,8 @@ class Nic final : public NicContext {
   bool rel_rx_process(Packet& pkt, SimTime& cost);
   // Rate-limited kNak carrying our expected_seq for the channel to -> us.
   void rel_send_status(NodeId to);
-  // Stamps void_cum (+ ring copy) on first departures, then ack + CRC.
-  void rel_stamp_outgoing(Packet& pkt, bool first_departure);
+  // Stamps void_cum (+ stored ring copy) on first departures, then ack + CRC.
+  void rel_stamp_outgoing(PacketRef ref, bool first_departure);
   void arm_rel_timer();
   void rel_check_timeouts();
 
@@ -121,21 +132,26 @@ class Nic final : public NicContext {
   std::uint32_t world_size_;
   Network& network_;
   sim::Server& bus_;
+  PacketPool& pool_;
   std::unique_ptr<Firmware> firmware_;
   sim::Server nic_cpu_;
 
   Mailbox mailbox_;
-  std::deque<Packet> send_ring_;  // host event traffic, FIFO
-  std::deque<Packet> ctrl_queue_; // NIC-generated control traffic (priority)
-  std::deque<Packet> retx_queue_; // reliability replays (top wire priority)
-  std::size_t slots_in_use_{0};   // reserved + staged + on-wire host packets
+  RingBuffer<PacketRef> send_ring_;   // host event traffic, FIFO, bounded SRAM
+  FlatRing<PacketRef> ctrl_queue_;    // NIC-generated control traffic (priority)
+  FlatRing<PacketRef> retx_queue_;    // reliability replays (top wire priority)
+  std::size_t slots_in_use_{0};       // reserved + staged + on-wire host packets
   bool tx_busy_{false};
+  // Hook verdict carried from a nic_cpu_ job's work fn to its completion fn.
+  // Safe as a single member: the FIFO server strictly pairs them (the next
+  // job's work only starts inside the previous completion).
+  Firmware::Action pending_action_{Firmware::Action::kForward};
 
   std::vector<RelTx> rel_tx_;  // indexed by destination node
   std::vector<RelRx> rel_rx_;  // indexed by source node
   bool rel_timer_armed_{false};
 
-  std::function<void(Packet)> host_deliver_;
+  std::function<void(PacketRef)> host_deliver_;
   std::function<void()> tx_slot_freed_;
 };
 

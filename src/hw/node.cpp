@@ -5,31 +5,33 @@
 namespace nicwarp::hw {
 
 Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-           std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware,
-           TraceRecorder* trace)
+           std::uint32_t world_size, Network& network, PacketPool& pool,
+           std::unique_ptr<Firmware> firmware, TraceRecorder* trace)
     : engine_(engine),
       stats_(stats),
       cost_(cost),
       id_(id),
+      world_size_(world_size),
+      pool_(pool),
       host_cpu_(engine, "host" + std::to_string(id) + ".cpu", &stats),
       bus_(engine, "bus" + std::to_string(id), &stats) {
   nic_ = std::make_unique<Nic>(engine, stats, cost, id, world_size, network, bus_,
-                               std::move(firmware), trace);
-  nic_->set_host_deliver([this](Packet pkt) {
+                               pool, std::move(firmware), trace);
+  nic_->set_host_deliver([this](PacketRef ref) {
     // The packet landed in host memory; charge the host receive path
     // (interrupt + protocol stack) before the comm layer sees it.
-    host_cpu_.submit(host_recv_cost(pkt), [this, p = std::move(pkt)]() mutable {
+    host_cpu_.submit(host_recv_cost(pool_.get(ref)), [this, ref] {
       NW_CHECK_MSG(raw_rx_ != nullptr, "no raw rx handler installed");
-      raw_rx_(std::move(p));
+      raw_rx_(ref);
     });
   });
 }
 
-void Node::dma_to_nic(Packet pkt) {
+void Node::dma_to_nic(PacketRef ref) {
   nic_->reserve_tx_slot();
   stats_.counter("host.tx_packets").add(1);
-  bus_.submit(cost_.bus_transfer(pkt.hdr.size_bytes),
-              [this, p = std::move(pkt)]() mutable { nic_->accept_from_host(std::move(p)); });
+  bus_.submit(cost_.bus_transfer(pool_.get(ref).hdr.size_bytes),
+              [this, ref] { nic_->accept_from_host(ref); });
 }
 
 void Node::set_tx_ready_cb(std::function<void()> fn) {

@@ -21,10 +21,11 @@ class Node {
  public:
   // `trace` may be null (tests); records then go to a never-enabled sink.
   Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
-       std::uint32_t world_size, Network& network, std::unique_ptr<Firmware> firmware,
-       TraceRecorder* trace = nullptr);
+       std::uint32_t world_size, Network& network, PacketPool& pool,
+       std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr);
 
   NodeId id() const { return id_; }
+  std::uint32_t world_size() const { return world_size_; }
   sim::Server& host_cpu() { return host_cpu_; }
   sim::Server& bus() { return bus_; }
   Nic& nic() { return *nic_; }
@@ -33,20 +34,23 @@ class Node {
   sim::Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }
   TraceRecorder& trace() { return nic_->trace(); }
+  PacketPool& pool() { return pool_; }
 
   // --- raw packet interface for the comm layer (host-task context) ---
 
   // True if the NIC can accept one more host packet.
   bool nic_tx_ready() const { return nic_->tx_slot_available(); }
 
-  // DMAs a packet to the NIC. Precondition: nic_tx_ready(). The host-CPU
-  // cost of building the message is the *caller's* to charge; this only
-  // models the bus transfer and NIC-side handling.
-  void dma_to_nic(Packet pkt);
+  // DMAs a pooled packet to the NIC. Precondition: nic_tx_ready(). The
+  // host-CPU cost of building the message is the *caller's* to charge; this
+  // only models the bus transfer and NIC-side handling.
+  void dma_to_nic(PacketRef ref);
+  // Value-typed convenience (tests, models): acquires a pool slot first.
+  void dma_to_nic(Packet pkt) { dma_to_nic(pool_.acquire(std::move(pkt))); }
 
   // Handler invoked (inside a host CPU task, after the modelled receive
-  // cost) for every packet that reaches the host.
-  void set_raw_rx(std::function<void(Packet)> fn) { raw_rx_ = std::move(fn); }
+  // cost) for every packet that reaches the host. The handler owns the ref.
+  void set_raw_rx(std::function<void(PacketRef)> fn) { raw_rx_ = std::move(fn); }
 
   // Invoked whenever the NIC frees a tx slot (backpressure release).
   void set_tx_ready_cb(std::function<void()> fn);
@@ -64,10 +68,12 @@ class Node {
   StatsRegistry& stats_;
   const CostModel& cost_;
   NodeId id_;
+  std::uint32_t world_size_;
+  PacketPool& pool_;
   sim::Server host_cpu_;
   sim::Server bus_;
   std::unique_ptr<Nic> nic_;
-  std::function<void(Packet)> raw_rx_;
+  std::function<void(PacketRef)> raw_rx_;
 };
 
 }  // namespace nicwarp::hw

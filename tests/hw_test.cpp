@@ -66,21 +66,31 @@ TEST(CostModelTest, DefaultsAreLANai4Calibrated) {
 
 class NetworkFixture : public ::testing::Test {
  protected:
-  NetworkFixture() : cost_(test_cost()), net_(engine_, stats_, cost_, 3) {}
+  NetworkFixture() : cost_(test_cost()), net_(engine_, stats_, cost_, pool_, 3) {}
+  // Sugar over the pooled interfaces: tests think in value-typed Packets.
+  void transmit(NodeId src, Packet pkt, std::function<void()> on_link_free) {
+    net_.transmit(src, pool_.acquire(std::move(pkt)), std::move(on_link_free));
+  }
+  void set_sink(std::function<void(NodeId, Packet)> fn) {
+    net_.set_sink([this, fn = std::move(fn)](NodeId dst, PacketRef ref) {
+      fn(dst, pool_.take(ref));
+    });
+  }
   sim::Engine engine_;
   StatsRegistry stats_;
   CostModel cost_;
+  PacketPool pool_;
   Network net_;
 };
 
 TEST_F(NetworkFixture, DeliversWithSerializationPlusLatency) {
   std::int64_t delivered_at = -1;
-  net_.set_sink([&](NodeId dst, Packet p) {
+  set_sink([&](NodeId dst, Packet p) {
     EXPECT_EQ(dst, 1u);
     EXPECT_EQ(p.hdr.size_bytes, 100u);
     delivered_at = engine_.now().ns;
   });
-  net_.transmit(0, make_event_packet(1), nullptr);
+  transmit(0, make_event_packet(1), nullptr);
   engine_.run();
   // 100 B at 100 MB/s = 1000 ns serialize + 2000 ns latency.
   EXPECT_EQ(delivered_at, 3000);
@@ -88,9 +98,9 @@ TEST_F(NetworkFixture, DeliversWithSerializationPlusLatency) {
 
 TEST_F(NetworkFixture, PerSourceLinkSerializes) {
   std::vector<std::int64_t> deliveries;
-  net_.set_sink([&](NodeId, Packet) { deliveries.push_back(engine_.now().ns); });
-  net_.transmit(0, make_event_packet(1), nullptr);
-  net_.transmit(0, make_event_packet(2), nullptr);
+  set_sink([&](NodeId, Packet) { deliveries.push_back(engine_.now().ns); });
+  transmit(0, make_event_packet(1), nullptr);
+  transmit(0, make_event_packet(2), nullptr);
   engine_.run();
   ASSERT_EQ(deliveries.size(), 2u);
   EXPECT_EQ(deliveries[0], 3000);
@@ -99,9 +109,9 @@ TEST_F(NetworkFixture, PerSourceLinkSerializes) {
 
 TEST_F(NetworkFixture, DistinctSourcesDoNotContend) {
   std::vector<std::int64_t> deliveries;
-  net_.set_sink([&](NodeId, Packet) { deliveries.push_back(engine_.now().ns); });
-  net_.transmit(0, make_event_packet(2), nullptr);
-  net_.transmit(1, make_event_packet(2), nullptr);
+  set_sink([&](NodeId, Packet) { deliveries.push_back(engine_.now().ns); });
+  transmit(0, make_event_packet(2), nullptr);
+  transmit(1, make_event_packet(2), nullptr);
   engine_.run();
   ASSERT_EQ(deliveries.size(), 2u);
   EXPECT_EQ(deliveries[0], 3000);
@@ -110,19 +120,19 @@ TEST_F(NetworkFixture, DistinctSourcesDoNotContend) {
 
 TEST_F(NetworkFixture, LinkFreeCallbackFiresAtSerializeEnd) {
   std::int64_t freed_at = -1;
-  net_.set_sink([](NodeId, Packet) {});
-  net_.transmit(0, make_event_packet(1), [&] { freed_at = engine_.now().ns; });
+  set_sink([](NodeId, Packet) {});
+  transmit(0, make_event_packet(1), [&] { freed_at = engine_.now().ns; });
   engine_.run();
   EXPECT_EQ(freed_at, 1000);  // before the latency portion
 }
 
 TEST_F(NetworkFixture, ChannelFifoPreserved) {
   std::vector<int> order;
-  net_.set_sink([&](NodeId, Packet p) { order.push_back(static_cast<int>(p.app[0])); });
+  set_sink([&](NodeId, Packet p) { order.push_back(static_cast<int>(p.app[0])); });
   for (int i = 0; i < 5; ++i) {
     Packet p = make_event_packet(1, 64);
     p.app = {i};
-    net_.transmit(0, std::move(p), nullptr);
+    transmit(0, std::move(p), nullptr);
   }
   engine_.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -145,8 +155,9 @@ class ClusterFixture : public ::testing::Test {
 
 TEST_F(ClusterFixture, HostToHostPacketDelivery) {
   std::vector<Packet> received;
-  cluster_.node(1).set_raw_rx([&](Packet p) { received.push_back(std::move(p)); });
-  cluster_.node(0).set_raw_rx([](Packet) { FAIL() << "wrong node"; });
+  cluster_.node(1).set_raw_rx(
+      [&](PacketRef ref) { received.push_back(cluster_.pool().take(ref)); });
+  cluster_.node(0).set_raw_rx([](PacketRef) { FAIL() << "wrong node"; });
 
   Packet p = make_event_packet(1);
   p.hdr.src = 0;
@@ -170,7 +181,7 @@ TEST_F(ClusterFixture, SendRingBackpressure) {
 }
 
 TEST_F(ClusterFixture, SlotFreedAfterWireDrain) {
-  cluster_.node(1).set_raw_rx([](Packet) {});
+  cluster_.node(1).set_raw_rx([&](PacketRef ref) { cluster_.pool().release(ref); });
   int freed = 0;
   cluster_.node(0).set_tx_ready_cb([&] { ++freed; });
   cluster_.node(0).dma_to_nic(make_event_packet(1));
@@ -215,7 +226,10 @@ TEST(NicFirmwareTest, HostTxDropFreesSlotAndSendsNothing) {
   Cluster cluster(test_cost(), 2,
                   [](NodeId) { return std::make_unique<DropAllFirmware>(); }, 1);
   bool received = false;
-  cluster.node(1).set_raw_rx([&](Packet) { received = true; });
+  cluster.node(1).set_raw_rx([&](PacketRef ref) {
+    cluster.pool().release(ref);
+    received = true;
+  });
   int freed = 0;
   cluster.node(0).set_tx_ready_cb([&] { ++freed; });
   cluster.node(0).dma_to_nic(make_event_packet(1));
@@ -235,7 +249,10 @@ TEST(NicFirmwareTest, NetRxConsumeSavesBusAndHost) {
   Cluster cluster(test_cost(), 2,
                   [](NodeId) { return std::make_unique<ConsumeRxFirmware>(); }, 1);
   bool received = false;
-  cluster.node(1).set_raw_rx([&](Packet) { received = true; });
+  cluster.node(1).set_raw_rx([&](PacketRef ref) {
+    cluster.pool().release(ref);
+    received = true;
+  });
   cluster.node(0).dma_to_nic(make_event_packet(1));
   cluster.run();
   EXPECT_FALSE(received);
@@ -272,7 +289,8 @@ class EmitterFirmware : public BaselineFirmware {
 TEST(NicFirmwareTest, EmittedControlTrafficFlowsNicToNic) {
   Cluster cluster(test_cost(), 2,
                   [](NodeId) { return std::make_unique<EmitterFirmware>(); }, 1);
-  cluster.node(1).set_raw_rx([](Packet) { FAIL() << "token must be consumed on the NIC"; });
+  cluster.node(1).set_raw_rx(
+      [](PacketRef) { FAIL() << "token must be consumed on the NIC"; });
   cluster.run();
   EXPECT_EQ(cluster.stats().value("test.tokens_seen"), 1);
   EXPECT_EQ(cluster.stats().value("nic.emitted"), 1);

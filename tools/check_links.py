@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Verifies, using only the standard library, that every relative link in the
+checked Markdown files points at a file that exists, and that every anchor
+(`#fragment`, standalone or after a path) resolves to a heading in the
+target file. External links (http/https/mailto) are not fetched.
+
+Usage:
+    python3 tools/check_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks the default documentation set: `docs/`,
+`README.md`, and `ROADMAP.md` relative to the repo root (the directory
+containing this script's parent). Exits 1 with one line per dead link.
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target) — excludes images' leading '!' capture-wise
+# (an image's target is checked the same way, which is what we want).
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODESPAN_RE = re.compile(r"`[^`]*`")
+
+
+def strip_fenced_blocks(lines):
+    """Yields (lineno, line) for lines outside fenced code blocks."""
+    in_fence = False
+    fence = None
+    for i, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line.strip())
+        if m:
+            if not in_fence:
+                in_fence, fence = True, m.group(1)
+            elif line.strip().startswith(fence):
+                in_fence, fence = False, None
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def github_slug(heading, seen):
+    """GitHub-style anchor slug, with -N suffixes for duplicates."""
+    # Drop inline code/link markup, then non-word chars (keep spaces/hyphens).
+    text = CODESPAN_RE.sub(lambda m: m.group(0)[1:-1], heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path, cache):
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    seen = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    for _, line in strip_fenced_blocks(lines):
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+        # Explicit HTML anchors also count.
+        for am in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", line):
+            anchors.add(am.group(1))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in strip_fenced_blocks(lines):
+        # Links inside inline code spans are examples, not references.
+        scrubbed = CODESPAN_RE.sub("", line)
+        for m in LINK_RE.finditer(scrubbed):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, chrome:, ...
+            ref, _, frag = target.partition("#")
+            if ref:
+                dest = os.path.normpath(os.path.join(base, ref))
+                if not os.path.exists(dest):
+                    errors.append(f"{path}:{lineno}: dead link: {target}")
+                    continue
+            else:
+                dest = os.path.abspath(path)
+            if frag and dest.endswith(".md"):
+                if frag not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{path}:{lineno}: dangling anchor: {target}")
+    return errors
+
+
+def collect(arg):
+    if os.path.isdir(arg):
+        out = []
+        for root, _, names in os.walk(arg):
+            out.extend(os.path.join(root, n) for n in names if n.endswith(".md"))
+        return sorted(out)
+    return [arg]
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = argv[1:] or [
+        os.path.join(repo_root, "docs"),
+        os.path.join(repo_root, "README.md"),
+        os.path.join(repo_root, "ROADMAP.md"),
+    ]
+    files = [f for t in targets for f in collect(t)]
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    anchor_cache = {}
+    errors = []
+    for f in files:
+        errors.extend(check_file(f, anchor_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} file(s), {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
