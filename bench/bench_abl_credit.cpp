@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Ablation A2 — early cancellation with/without credit repair");

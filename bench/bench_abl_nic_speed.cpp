@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     opt.early_cancel = true;
     cfgs.push_back(opt);
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Ablation A3 — NIC processor speed sweep (POLICE, both optimizations)");

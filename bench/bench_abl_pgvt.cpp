@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Ablation A4 — Mattern vs pGVT vs NIC GVT (RAID)");

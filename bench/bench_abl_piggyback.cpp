@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Ablation A1 — NIC GVT with and without piggybacking (period 10)");

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Fig. 5a — POLICE performance with NIC GVT (simulated seconds)");

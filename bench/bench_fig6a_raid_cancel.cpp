@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
       cfgs.push_back(cfg);
     }
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Fig. 6a — RAID performance with NIC direct cancellation");

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
     cfg.early_cancel = true;
     cfgs.push_back(cfg);
   }
+  bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
   harness::Table t("Fig. 7b — percentage of cancelled messages dropped by the NIC");

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/latency.hpp"
 #include "micro.hpp"
 #include "scenarios.hpp"
 
@@ -35,7 +36,9 @@ using nicwarp::bench::MicroResult;
 using nicwarp::bench::Scenario;
 using nicwarp::harness::ExperimentResult;
 
-constexpr int kBenchSchemaVersion = 1;
+// v2: tail-latency summaries (lat_* objects) joined the deterministic block
+// and every scenario reports them (all-zero when recording is off).
+constexpr int kBenchSchemaVersion = 2;
 
 // Same stable double formatting as the profiler's JSON export.
 std::string fmt(double v) {
@@ -111,6 +114,16 @@ void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
        << ", \"cascade_roots\": " << p.cascades.roots
        << ", \"cascade_max_depth\": " << p.cascades.max_depth
        << ", \"nic_drops_attributed\": " << p.cascades.nic_drops_attributed;
+  }
+  // Tail-latency summaries. Every sample is simulated time, so bucket
+  // counts, min/max, and interpolated quantiles are all byte-deterministic
+  // and gate at --tolerance=0 like the commit metrics. All-zero (count 0)
+  // when the scenario runs with recording off.
+  os << ", \"latency_enabled\": " << (r.latency.enabled ? "true" : "false");
+  const auto& lat_names = nicwarp::LatencyReport::metric_names();
+  for (std::size_t i = 0; i < lat_names.size(); ++i) {
+    os << ", \"lat_" << lat_names[i] << "\": ";
+    r.latency.metric(i).to_json(os);
   }
   os << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.wall_seconds) << "}}";
 }

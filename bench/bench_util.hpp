@@ -22,6 +22,29 @@
 
 namespace nicwarp::bench {
 
+// Turns on tail-latency histogram recording for every sweep point. Purely
+// observational: signatures and all sim-derived metrics are unchanged.
+inline void enable_latency(std::vector<harness::ExperimentConfig>& cfgs) {
+  for (auto& cfg : cfgs) cfg.latency.enabled = true;
+}
+
+// Shared tail-latency table: register_point appends one row per successful
+// sweep point whose run recorded latency; finish() prints it when non-empty.
+inline harness::Table& latency_table() {
+  static harness::Table t = [] {
+    harness::Table lt("Tail latency (modeled us) — message delivery / event commit");
+    lt.set_header({"point", "msg p50", "msg p99", "msg p99.9", "commit p50",
+                   "commit p99", "commit p99.9"});
+    return lt;
+  }();
+  return t;
+}
+
+inline std::size_t& latency_rows() {
+  static std::size_t n = 0;
+  return n;
+}
+
 // Runs all configs in parallel and returns the results in order.
 inline std::vector<harness::ExperimentResult> run_sweep(
     const std::vector<harness::ExperimentConfig>& cfgs) {
@@ -80,9 +103,24 @@ inline void register_point(const std::string& name, const harness::ExperimentRes
                                      static_cast<double>(r.gvt_rounds);
                                  state.counters["nic_drops"] =
                                      static_cast<double>(r.dropped_by_nic);
+                                 if (r.latency.enabled) {
+                                   state.counters["msg_p99_us"] = r.latency.delivery_us.p99;
+                                   state.counters["msg_p999_us"] =
+                                       r.latency.delivery_us.p999;
+                                   state.counters["commit_p99_us"] = r.latency.commit_us.p99;
+                                 }
                                })
       ->UseManualTime()
       ->Iterations(1);
+  if (r.latency.enabled) {
+    latency_table().add_row({name, harness::Table::num(r.latency.delivery_us.p50, 2),
+                             harness::Table::num(r.latency.delivery_us.p99, 2),
+                             harness::Table::num(r.latency.delivery_us.p999, 2),
+                             harness::Table::num(r.latency.commit_us.p50, 2),
+                             harness::Table::num(r.latency.commit_us.p99, 2),
+                             harness::Table::num(r.latency.commit_us.p999, 2)});
+    ++latency_rows();
+  }
 }
 
 inline int finish(harness::Table& table, int argc, char** argv) {
@@ -92,6 +130,10 @@ inline int finish(harness::Table& table, int argc, char** argv) {
   std::printf("\n");
   table.print();
   std::printf("\nCSV:\n%s\n", table.to_csv().c_str());
+  if (latency_rows() > 0) {
+    latency_table().print();
+    std::printf("\nCSV:\n%s\n", latency_table().to_csv().c_str());
+  }
   return 0;
 }
 

@@ -190,6 +190,40 @@ std::vector<Scenario> all_scenarios() {
     add(out, "chaos", "mattern/raid_loss:2%", cfg);
   }
 
+  // --- fig_tail: tail amplification vs fault rate, per GVT manager and
+  // cancellation mode. The only scenario group with latency recording on:
+  // every point reports deterministic p50/p99/p99.9 delivery and commit
+  // latencies, and the loss:0 point of each variant is the normalization
+  // base for the amplification chart (tools/plot_figures.py). ---
+  for (auto mode : {warped::GvtMode::kHostMattern, warped::GvtMode::kNic}) {
+    for (double loss : {0.0, 0.005, 0.01}) {
+      ExperimentConfig cfg = cancel_preset(ModelKind::kRaid);
+      cfg.gvt_mode = mode;
+      cfg.raid.total_requests = 3000;
+      cfg.early_cancel = mode == warped::GvtMode::kNic;
+      cfg.fault.drop_rate = loss;
+      cfg.fault.seed = 11;
+      cfg.latency.enabled = true;
+      const char* v = mode == warped::GvtMode::kNic ? "nicgvt_cancel" : "mattern";
+      const char* l = loss == 0.0 ? "0%" : (loss < 0.0075 ? "0.5%" : "1%");
+      add(out, "fig_tail", std::string(v) + "/loss:" + l, cfg);
+    }
+  }
+  for (double loss : {0.0, 0.01}) {
+    // Lazy cancellation leg: held outputs lengthen the commit tail when a
+    // lossy fabric forces replays.
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.raid.total_requests = 3000;
+    cfg.cancellation = warped::CancellationMode::kLazy;
+    cfg.fault.drop_rate = loss;
+    cfg.fault.seed = 11;
+    cfg.latency.enabled = true;
+    add(out, "fig_tail",
+        std::string("nicgvt_lazy/loss:") + (loss == 0.0 ? "0%" : "1%"), cfg);
+  }
+
   // --- abl_lazy (A6): aggressive vs lazy cancellation ---
   for (ModelKind m : {ModelKind::kRaid, ModelKind::kPolice}) {
     for (auto mode : {warped::CancellationMode::kAggressive,

@@ -144,6 +144,8 @@ int main(int argc, char** argv) {
   cfg.metrics.sample_virtual_dt = p.get_i64("metrics_vdt", 0);
   cfg.profile.json_out = p.get_str("profile_out", "");
   cfg.profile.enabled = p.get_bool("profile", false);
+  cfg.latency.json_out = p.get_str("latency_out", "");
+  cfg.latency.enabled = p.get_bool("latency", false);
 
   std::printf("config: %s\n", joined.c_str());
   harness::ExperimentResult r;
@@ -211,6 +213,17 @@ int main(int argc, char** argv) {
     if (!cfg.profile.json_out.empty())
       std::printf(" -> %s", cfg.profile.json_out.c_str());
     std::printf("\n");
+  }
+  if (cfg.latency.on()) {
+    std::printf("  msg latency    : n=%lld p50=%.2f p99=%.2f p99.9=%.2f us",
+                (long long)r.latency.delivery_us.count, r.latency.delivery_us.p50,
+                r.latency.delivery_us.p99, r.latency.delivery_us.p999);
+    if (!cfg.latency.json_out.empty())
+      std::printf(" -> %s", cfg.latency.json_out.c_str());
+    std::printf("\n");
+    std::printf("  commit latency : n=%lld p50=%.2f p99=%.2f p99.9=%.2f us\n",
+                (long long)r.latency.commit_us.count, r.latency.commit_us.p50,
+                r.latency.commit_us.p99, r.latency.commit_us.p999);
   }
   return r.completed ? 0 : 1;
 }

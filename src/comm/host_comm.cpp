@@ -12,6 +12,7 @@ HostComm::HostComm(hw::Node& node, CommOptions opts)
       opts_(opts),
       stats_(node.stats()),
       trace_(node.trace()),
+      latency_(node.latency()),
       pool_(node.pool()),
       window_(node.cost().mpi_credit_window) {
   tx_.resize(node.world_size());
@@ -66,6 +67,11 @@ bool HostComm::is_sequenced(const hw::Packet& pkt) const {
 void HostComm::send(hw::Packet pkt) {
   NW_CHECK_MSG(pkt.hdr.dst != node_.id(), "local delivery must bypass HostComm");
   pkt.hdr.src = node_.id();
+  // Latency pipeline origin: stamped before any staging/backpressure so the
+  // delivery histogram includes credit-stall and NIC-queue time.
+  if (pkt.hdr.kind == hw::PacketKind::kEvent && latency_.enabled()) {
+    pkt.hdr.sent_at = node_.engine().now();
+  }
   send_ref(pool_.acquire(std::move(pkt)));
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/flat_ring.hpp"
+#include "core/latency.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "hw/node.hpp"
@@ -145,6 +146,7 @@ class HostComm {
   CommOptions opts_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
+  LatencyRecorder& latency_;
   hw::PacketPool& pool_;
   std::int64_t window_;
   std::vector<ChannelTx> tx_;  // indexed by destination node

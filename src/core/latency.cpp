@@ -1,0 +1,132 @@
+#include "core/latency.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+namespace {
+
+// Matches the BENCH writer's number formatting so the same value prints the
+// same bytes wherever it appears.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyRecorder::latency_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    static constexpr double kMul[] = {1.0, 1.5, 2.0, 3.0, 5.0, 7.5};
+    for (double decade = 0.01; decade <= 1e9; decade *= 10.0) {
+      for (double m : kMul) b.push_back(decade * m);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+LatencyRecorder::LatencyRecorder()
+    : delivery_vt_(latency_bounds()),
+      delivery_us_(latency_bounds()),
+      nic_wire_us_(latency_bounds()),
+      commit_vt_(latency_bounds()),
+      commit_us_(latency_bounds()) {}
+
+LatencyRecorder& LatencyRecorder::null_recorder() {
+  static LatencyRecorder r;
+  return r;
+}
+
+void LatencyRecorder::clear() {
+  delivery_vt_.reset();
+  delivery_us_.reset();
+  nic_wire_us_.reset();
+  commit_vt_.reset();
+  commit_us_.reset();
+}
+
+LatencyStats LatencyStats::from(const Histogram& h) {
+  LatencyStats s;
+  s.count = h.count();
+  s.min = h.min();
+  s.mean = h.mean();
+  s.max = h.max();
+  s.p50 = h.quantile(0.50);
+  s.p99 = h.quantile(0.99);
+  s.p999 = h.quantile(0.999);
+  const auto& buckets = h.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) s.buckets.emplace_back(static_cast<std::int32_t>(i), buckets[i]);
+  }
+  return s;
+}
+
+LatencyReport LatencyRecorder::report() const {
+  LatencyReport r;
+  r.enabled = enabled_;
+  r.delivery_vt = LatencyStats::from(delivery_vt_);
+  r.delivery_us = LatencyStats::from(delivery_us_);
+  r.nic_wire_us = LatencyStats::from(nic_wire_us_);
+  r.commit_vt = LatencyStats::from(commit_vt_);
+  r.commit_us = LatencyStats::from(commit_us_);
+  return r;
+}
+
+void LatencyStats::to_json(std::ostream& os) const {
+  os << "{\"count\": " << count << ", \"min\": " << fmt(min) << ", \"mean\": " << fmt(mean)
+     << ", \"max\": " << fmt(max) << ", \"p50\": " << fmt(p50) << ", \"p99\": " << fmt(p99)
+     << ", \"p999\": " << fmt(p999) << ", \"buckets\": [";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i) os << ", ";
+    os << "[" << buckets[i].first << ", " << buckets[i].second << "]";
+  }
+  os << "]}";
+}
+
+const std::vector<const char*>& LatencyReport::metric_names() {
+  static const std::vector<const char*> names = {
+      "delivery_vt", "delivery_us", "nic_wire_us", "commit_vt", "commit_us"};
+  return names;
+}
+
+const LatencyStats& LatencyReport::metric(std::size_t i) const {
+  switch (i) {
+    case 0: return delivery_vt;
+    case 1: return delivery_us;
+    case 2: return nic_wire_us;
+    case 3: return commit_vt;
+    case 4: return commit_us;
+    default: break;
+  }
+  NW_CHECK(false);
+  return delivery_vt;
+}
+
+void LatencyReport::to_json(std::ostream& os) const {
+  os << "{\n"
+     << "  \"type\": \"latency_report\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"enabled\": " << (enabled ? "true" : "false") << ",\n"
+     << "  \"bounds\": [";
+  const auto& bounds = LatencyRecorder::latency_bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i) os << ", ";
+    os << fmt(bounds[i]);
+  }
+  os << "],\n";
+  const auto& names = metric_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << "  \"" << names[i] << "\": ";
+    metric(i).to_json(os);
+    os << (i + 1 < names.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+}  // namespace nicwarp

@@ -1,0 +1,104 @@
+// Tail-latency observability: deterministic log-bucketed latency histograms.
+//
+// A LatencyRecorder is owned by hw::Cluster (like the TraceRecorder) and
+// shared by every layer via defaulted constructor pointers.  Hot paths guard
+// every sample behind `if (latency.enabled())` — the same predicted-false
+// branch idiom as tracing — so a disabled recorder costs one well-predicted
+// branch and nothing else.
+//
+// All recorded times are *simulated* times (virtual-time ticks or modeled
+// NIC/link cost microseconds from the DES engine clock), never wall clock,
+// so every histogram bucket count, min, max, and interpolated quantile is
+// byte-identical across reruns of the same seed.  That is what lets the
+// BENCH regression gate diff p99.9 at --tolerance=0.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace nicwarp {
+
+// Deterministic summary of one latency histogram: exact min/mean/max,
+// interpolated p50/p99/p99.9, and the sparse non-zero buckets.
+struct LatencyStats {
+  std::int64_t count{0};
+  double min{0.0};
+  double mean{0.0};
+  double max{0.0};
+  double p50{0.0};
+  double p99{0.0};
+  double p999{0.0};
+  // Sparse (bucket_index, count) pairs over LatencyRecorder::latency_bounds()
+  // (index bounds.size() = overflow). Only non-zero buckets are kept.
+  std::vector<std::pair<std::int32_t, std::int64_t>> buckets;
+
+  static LatencyStats from(const Histogram& h);
+
+  // One compact {...} object on a single line, doubles formatted %.9g.
+  void to_json(std::ostream& os) const;
+};
+
+// The five pipeline histograms, summarized. Field order here is the JSON
+// field order everywhere (BENCH deterministic block, --latency-out report).
+struct LatencyReport {
+  bool enabled{false};
+  LatencyStats delivery_vt;  // msg: send_ts -> recv_ts, virtual-time ticks
+  LatencyStats delivery_us;  // msg: host send -> remote kernel insert, modeled us
+  LatencyStats nic_wire_us;  // msg: host send -> remote NIC rx, modeled us
+  LatencyStats commit_vt;    // event: recv_ts -> committing GVT, ticks
+  LatencyStats commit_us;    // event: execution -> fossil-collected, modeled us
+
+  // Names in field order, shared with the trace-schema manifest and tools.
+  static const std::vector<const char*>& metric_names();
+  const LatencyStats& metric(std::size_t i) const;
+
+  // Standalone {"type": "latency_report", ...} document (--latency-out).
+  void to_json(std::ostream& os) const;
+};
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Call sites gate on enabled() *before* computing the sample; these only
+  // fold it into the histograms.
+  void record_delivery(std::int64_t vt_ticks, double us) {
+    delivery_vt_.record(static_cast<double>(vt_ticks));
+    delivery_us_.record(us);
+  }
+  void record_nic_wire(double us) { nic_wire_us_.record(us); }
+  void record_commit(std::int64_t vt_ticks, double us) {
+    commit_vt_.record(static_cast<double>(vt_ticks));
+    commit_us_.record(us);
+  }
+
+  LatencyReport report() const;
+
+  // Zeroes all histograms in place; enabled flag is kept.
+  void clear();
+
+  // HDR-style bounds: per-decade multipliers {1, 1.5, 2, 3, 5, 7.5} from
+  // 0.01 up through 1e9 — fine enough near the median, wide enough that the
+  // overflow bucket never fires for modeled times.
+  static const std::vector<double>& latency_bounds();
+
+  // Shared disabled instance for construction paths without a cluster.
+  static LatencyRecorder& null_recorder();
+
+ private:
+  bool enabled_{false};
+  Histogram delivery_vt_;
+  Histogram delivery_us_;
+  Histogram nic_wire_us_;
+  Histogram commit_vt_;
+  Histogram commit_us_;
+};
+
+}  // namespace nicwarp

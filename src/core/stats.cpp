@@ -25,6 +25,7 @@ Histogram::Histogram(std::vector<double> bucket_bounds)
 void Histogram::record(double sample) {
   auto it = std::upper_bound(bounds_.begin(), bounds_.end(), sample);
   buckets_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  min_ = count_ ? std::min(min_, sample) : sample;
   ++count_;
   sum_ += sample;
   max_ = std::max(max_, sample);
@@ -33,13 +34,25 @@ void Histogram::record(double sample) {
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   NW_CHECK(q >= 0.0 && q <= 1.0);
-  const auto target = static_cast<std::int64_t>(q * static_cast<double>(count_ - 1));
-  std::int64_t seen = 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Fractional rank over count samples (0-based): rank t sits between the
+  // floor(t)-th and floor(t)+1-th order statistics.
+  const double t = q * static_cast<double>(count_ - 1);
+  std::int64_t before = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen > target) {
-      return i < bounds_.size() ? bounds_[i] : max_;
+    const std::int64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (static_cast<double>(before + n) > t) {
+      // Bucket edges, clamped to the exactly-tracked sample range so an
+      // interpolated value never leaves [min, max].
+      double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+      double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+      if (hi < lo) hi = lo;
+      const double frac = (t - static_cast<double>(before)) / static_cast<double>(n);
+      return lo + (hi - lo) * frac;
     }
+    before += n;
   }
   return max_;
 }
@@ -48,6 +61,7 @@ void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
+  min_ = 0.0;
   max_ = 0.0;
 }
 

@@ -24,7 +24,8 @@ class Counter {
   std::int64_t value_{0};
 };
 
-// Fixed-bucket histogram over non-negative samples; tracks mean/max exactly.
+// Fixed-bucket histogram over non-negative samples; tracks min/mean/max
+// exactly.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bucket_bounds = default_bounds());
@@ -33,12 +34,17 @@ class Histogram {
 
   std::int64_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
   double max() const { return max_; }
   double sum() const { return sum_; }
 
-  // Approximate quantile from bucket boundaries (upper bound of the bucket
-  // containing the q-th sample).
+  // Approximate quantile: the fractional rank q*(count-1) is located in its
+  // bucket and linearly interpolated between the bucket edges, clamped to
+  // the exact [min, max] observed. q=0 returns min, q=1 returns max.
   double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
 
   // Zeroes all samples; bucket bounds are kept.
   void reset();
@@ -50,6 +56,7 @@ class Histogram {
   std::vector<std::int64_t> buckets_;  // bounds_.size() + 1 (overflow bucket)
   std::int64_t count_{0};
   double sum_{0.0};
+  double min_{0.0};
   double max_{0.0};
 };
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "core/latency.hpp"
 
 namespace nicwarp {
 
@@ -142,7 +143,19 @@ void export_trace_schema(std::ostream& os) {
     first = false;
   }
   os << "],\n  \"terminal_drops\": [\"" << trace_point_name(TracePoint::kNicDropTx)
-     << "\", \"" << trace_point_name(TracePoint::kNicDropRing) << "\"]\n}\n";
+     << "\", \"" << trace_point_name(TracePoint::kNicDropRing) << "\"],\n";
+  // Shape of the {"type": "latency_report"} documents (--latency-out) and of
+  // the lat_* objects in BENCH deterministic blocks, kept in sync with
+  // core/latency.cpp through LatencyReport itself.
+  os << "  \"latency\": {\n    \"report_type\": \"latency_report\",\n"
+     << "    \"metrics\": [";
+  first = true;
+  for (const char* name : LatencyReport::metric_names()) {
+    os << (first ? "" : ", ") << '"' << name << '"';
+    first = false;
+  }
+  os << "],\n    \"fields\": [\"count\", \"min\", \"mean\", \"max\", \"p50\", "
+        "\"p99\", \"p999\", \"buckets\"]\n  }\n}\n";
 }
 
 void TraceRecorder::configure(std::uint32_t category_mask, std::size_t capacity) {

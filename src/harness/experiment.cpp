@@ -91,6 +91,9 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
     tb.cluster->trace().configure(parse_trace_categories(cfg.trace.categories),
                                   cfg.trace.capacity);
   }
+  if (cfg.latency.on()) {
+    tb.cluster->latency().set_enabled(true);
+  }
   if (cfg.metrics.enabled()) {
     TimeSeriesSampler::Options sopts;
     sopts.every_gvt_rounds = cfg.metrics.sample_every_gvt_rounds > 0
@@ -207,6 +210,7 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   }
   r.trace_records = tb.cluster->trace().total_recorded();
   r.trace_overwritten = tb.cluster->trace().overwritten();
+  r.latency = tb.cluster->latency().report();
 
   if (tb.profiler != nullptr && !tb.kernels.empty()) {
     profile::ProfileCollector::FinishParams fp;
@@ -241,6 +245,10 @@ void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb,
   if (r.profile != nullptr && !cfg.profile.json_out.empty()) {
     auto os = open(cfg.profile.json_out);
     r.profile->to_json(os);
+  }
+  if (!cfg.latency.json_out.empty()) {
+    auto os = open(cfg.latency.json_out);
+    r.latency.to_json(os);
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/host_comm.hpp"
+#include "core/latency.hpp"
 #include "core/timeseries.hpp"
 #include "core/trace.hpp"
 #include "hw/cluster.hpp"
@@ -53,6 +54,16 @@ struct ProfileConfig {
   bool on() const { return enabled || !json_out.empty(); }
 };
 
+// Tail-latency histogram knobs (core/latency). On when `enabled` is set or a
+// JSON output path is given. All samples are simulated times, so the
+// resulting histograms are byte-identical across reruns of the same seed.
+struct LatencyConfig {
+  bool enabled = false;
+  std::string json_out;  // write the {"type":"latency_report"} JSON here
+
+  bool on() const { return enabled || !json_out.empty(); }
+};
+
 struct ExperimentConfig {
   ModelKind model = ModelKind::kRaid;
   models::RaidParams raid;
@@ -83,6 +94,7 @@ struct ExperimentConfig {
   TraceConfig trace;      // observability: structured event traces
   MetricsConfig metrics;  // observability: GVT-cadence counter samples
   ProfileConfig profile;  // observability: cascade / critical-path profiler
+  LatencyConfig latency;  // observability: tail-latency histograms
 };
 
 struct ExperimentResult {
@@ -146,6 +158,9 @@ struct ExperimentResult {
   // Trace-recorder accounting (zero unless cfg.trace.categories set).
   std::uint64_t trace_records = 0;
   std::uint64_t trace_overwritten = 0;
+  // Tail-latency summary (all-zero unless cfg.latency is on). Fully
+  // deterministic: counts, min/max, and interpolated quantiles alike.
+  LatencyReport latency;
 
   std::string to_string() const;
 };

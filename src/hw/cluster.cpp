@@ -14,7 +14,8 @@ Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory&
   rngs_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(engine_, stats_, cost_, i, num_nodes,
-                                            network_, pool_, firmware(i), &trace_));
+                                            network_, pool_, firmware(i), &trace_,
+                                            &latency_));
     rngs_.push_back(std::make_unique<Rng>(seed, "node" + std::to_string(i)));
   }
   network_.set_sink(

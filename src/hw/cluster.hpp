@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/latency.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -27,6 +28,8 @@ class Cluster {
   StatsRegistry& stats() { return stats_; }
   // Cluster-wide trace recorder; disabled (mask 0) until configure()d.
   TraceRecorder& trace() { return trace_; }
+  // Cluster-wide latency recorder; disabled until set_enabled(true).
+  LatencyRecorder& latency() { return latency_; }
   const CostModel& cost() const { return cost_; }
   // Shared packet slab for the whole datapath (comm staging, NIC rings,
   // packets on the wire).
@@ -46,8 +49,9 @@ class Cluster {
   std::uint64_t seed_;
   sim::Engine engine_;
   StatsRegistry stats_;
-  TraceRecorder trace_;  // must outlive network_ and nodes_
-  PacketPool pool_;      // must outlive network_ and nodes_
+  TraceRecorder trace_;      // must outlive network_ and nodes_
+  LatencyRecorder latency_;  // must outlive network_ and nodes_
+  PacketPool pool_;          // must outlive network_ and nodes_
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Rng>> rngs_;

@@ -9,10 +9,12 @@ namespace nicwarp::hw {
 
 Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
          std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
-         std::unique_ptr<Firmware> firmware, TraceRecorder* trace)
+         std::unique_ptr<Firmware> firmware, TraceRecorder* trace,
+         LatencyRecorder* latency)
     : engine_(engine),
       stats_(stats),
       trace_(trace ? *trace : TraceRecorder::null_recorder()),
+      latency_(latency ? *latency : LatencyRecorder::null_recorder()),
       cost_(cost),
       id_(id),
       world_size_(world_size),
@@ -185,6 +187,12 @@ void Nic::receive_from_net(PacketRef ref) {
       trace_.record({engine_.now(), hdr.recv_ts, TraceCat::kMsg,
                      TracePoint::kNicRx, hdr.negative, id_, hdr.src,
                      hdr.event_id, 0, 0});
+    }
+    // NIC/link leg of the delivery pipeline: host send -> remote NIC rx.
+    // Counts every arriving copy (fault duplicates and replays included) —
+    // under chaos that inflation *is* the tail signal.
+    if (hdr.kind == PacketKind::kEvent && latency_.enabled() && hdr.sent_at.ns > 0) {
+      latency_.record_nic_wire((engine_.now() - hdr.sent_at).micros());
     }
   }
   nic_cpu_.submit_dynamic(

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/flat_ring.hpp"
+#include "core/latency.hpp"
 #include "core/ring_buffer.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
@@ -31,11 +32,12 @@ namespace nicwarp::hw {
 
 class Nic final : public NicContext {
  public:
-  // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace` may
-  // be null (tests); records then go to a never-enabled sink.
+  // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace` and
+  // `latency` may be null (tests); records then go to never-enabled sinks.
   Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
       std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
-      std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr);
+      std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr,
+      LatencyRecorder* latency = nullptr);
 
   // ----- host-facing interface (called from Node / comm layer) -----
 
@@ -65,6 +67,7 @@ class Nic final : public NicContext {
   Mailbox& mailbox() override { return mailbox_; }
   StatsRegistry& stats() override { return stats_; }
   TraceRecorder& trace() override { return trace_; }
+  LatencyRecorder& latency() { return latency_; }
   std::size_t send_ring_size() const override { return send_ring_.size(); }
   const Packet& send_ring_at(std::size_t i) const override;
   Packet& send_ring_mutable_at(std::size_t i) override;
@@ -127,6 +130,7 @@ class Nic final : public NicContext {
   sim::Engine& engine_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
+  LatencyRecorder& latency_;
   const CostModel& cost_;
   NodeId id_;
   std::uint32_t world_size_;

@@ -6,7 +6,8 @@ namespace nicwarp::hw {
 
 Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
            std::uint32_t world_size, Network& network, PacketPool& pool,
-           std::unique_ptr<Firmware> firmware, TraceRecorder* trace)
+           std::unique_ptr<Firmware> firmware, TraceRecorder* trace,
+           LatencyRecorder* latency)
     : engine_(engine),
       stats_(stats),
       cost_(cost),
@@ -16,7 +17,7 @@ Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, Nod
       host_cpu_(engine, "host" + std::to_string(id) + ".cpu", &stats),
       bus_(engine, "bus" + std::to_string(id), &stats) {
   nic_ = std::make_unique<Nic>(engine, stats, cost, id, world_size, network, bus_,
-                               pool, std::move(firmware), trace);
+                               pool, std::move(firmware), trace, latency);
   nic_->set_host_deliver([this](PacketRef ref) {
     // The packet landed in host memory; charge the host receive path
     // (interrupt + protocol stack) before the comm layer sees it.

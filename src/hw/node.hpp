@@ -19,10 +19,12 @@ namespace nicwarp::hw {
 
 class Node {
  public:
-  // `trace` may be null (tests); records then go to a never-enabled sink.
+  // `trace`/`latency` may be null (tests); records then go to a
+  // never-enabled sink.
   Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
        std::uint32_t world_size, Network& network, PacketPool& pool,
-       std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr);
+       std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr,
+       LatencyRecorder* latency = nullptr);
 
   NodeId id() const { return id_; }
   std::uint32_t world_size() const { return world_size_; }
@@ -34,6 +36,7 @@ class Node {
   sim::Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }
   TraceRecorder& trace() { return nic_->trace(); }
+  LatencyRecorder& latency() { return nic_->latency(); }
   PacketPool& pool() { return pool_; }
 
   // --- raw packet interface for the comm layer (host-task context) ---

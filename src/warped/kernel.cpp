@@ -53,6 +53,9 @@ Kernel::Kernel(hw::Node& node, comm::HostComm& comm, std::shared_ptr<const Parti
   lp_.set_paranoia(opts.paranoia_checks);
   // The profiler needs to know which executions each rollback undid.
   lp_.set_collect_undone(opts.profile != nullptr);
+  // The LP is purely virtual-time; hand it the node clock so fossil
+  // collection can compute modeled commit latencies.
+  lp_.set_latency(&node.latency(), [this] { return node_.engine().now(); });
   comm_.set_deliver([this](hw::Packet pkt) { on_deliver(std::move(pkt)); });
   mgr_->attach(*this);
 }
@@ -266,6 +269,12 @@ void Kernel::on_deliver(hw::Packet pkt) {
         node_.trace().record({now(), pkt.hdr.recv_ts, TraceCat::kMsg,
                               TracePoint::kHostDeliver, pkt.hdr.negative, rank(),
                               pkt.hdr.src, pkt.hdr.event_id, 0, 0});
+      }
+      // Full delivery leg: origin HostComm::send -> this kernel insert, in
+      // virtual time (recv_ts - send_ts) and modeled elapsed microseconds.
+      if (node_.latency().enabled() && pkt.hdr.sent_at.ns > 0) {
+        node_.latency().record_delivery(pkt.hdr.recv_ts.t - pkt.hdr.send_ts.t,
+                                        (now() - pkt.hdr.sent_at).micros());
       }
       double cost_us = 0.0;
       drain_drop_notices(cost_us);

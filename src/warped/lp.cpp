@@ -467,6 +467,7 @@ LogicalProcess::ExecResult LogicalProcess::execute_next() {
     res.sends = rec.outputs;  // copy: the record keeps its own for cancellation
   }
 
+  if (latency_ != nullptr && latency_->enabled()) rec.exec_at = latency_clock_();
   rec.ev = std::move(ev);
   best->processed.push_back(std::move(rec));
   events_processed_ += 1;
@@ -490,6 +491,18 @@ std::size_t LogicalProcess::fossil_collect(VirtualTime gvt) {
       --keep_from;
     }
     reclaimed += keep_from;
+    // Commit latency: the records about to be reclaimed are exactly the
+    // events this GVT advance committed. Final gvt == inf carries no usable
+    // distance, so the run-drain sweep records nothing.
+    if (latency_ != nullptr && latency_->enabled() && !gvt.is_inf() && keep_from > 0) {
+      const SimTime commit_now = latency_clock_();
+      for (std::size_t i = 0; i < keep_from; ++i) {
+        const ProcessedRecord& rec = q[i];
+        latency_->record_commit(gvt.t - rec.ev.recv_ts.t,
+                                rec.exec_at.ns > 0 ? (commit_now - rec.exec_at).micros()
+                                                   : 0.0);
+      }
+    }
     q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(keep_from));
 
     // Orphan antis strictly below GVT can never meet their positive (the

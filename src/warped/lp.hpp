@@ -13,12 +13,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "core/latency.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
@@ -137,6 +139,14 @@ class LogicalProcess {
   void set_paranoia(bool on) { paranoia_ = on; }
   // Makes InsertResult carry the ids of undone executions (profiler food).
   void set_collect_undone(bool on) { collect_undone_ = on; }
+  // Commit-latency recording: `clock` supplies the node's engine time (the
+  // LP itself is purely virtual-time; the kernel injects hardware context).
+  // Null recorder disables. Samples are taken at fossil collection — an
+  // event "commits" when GVT passes it.
+  void set_latency(LatencyRecorder* recorder, std::function<SimTime()> clock) {
+    latency_ = recorder;
+    latency_clock_ = std::move(clock);
+  }
   std::size_t total_pending() const;
   std::size_t total_processed_records() const;
   std::size_t orphan_antis() const;
@@ -149,6 +159,9 @@ class LogicalProcess {
     // this record (rollback then coast-forwards from an earlier snapshot).
     std::unique_ptr<State> pre_state;
     std::vector<EventMsg> outputs;  // for anti generation / lazy matching
+    // Engine clock at execution; stamped only while latency recording is on
+    // (zero otherwise). Feeds the commit_us histogram at fossil collection.
+    SimTime exec_at{SimTime::zero()};
   };
   // kLazy: an output of an undone event, held until its generator either
   // regenerates it (no anti) or disappears (anti now).
@@ -252,6 +265,9 @@ class LogicalProcess {
   std::uint64_t events_rolled_back_{0};
   std::uint64_t rollbacks_{0};
   VirtualTime max_gvt_seen_{VirtualTime::zero()};
+
+  LatencyRecorder* latency_{nullptr};
+  std::function<SimTime()> latency_clock_;
 };
 
 }  // namespace nicwarp::warped

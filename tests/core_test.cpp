@@ -301,22 +301,30 @@ TEST(StatsTest, QuantileEmptyHistogramIsZero) {
 TEST(StatsTest, QuantileSingleSample) {
   Histogram h({10, 100});
   h.record(5.0);
-  // Every quantile of a one-sample histogram is that sample's bucket bound.
-  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  // Every quantile of a one-sample histogram is that exact sample: the
+  // tracked min/max clamp the bucket's interpolation range to a point.
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
 }
 
 TEST(StatsTest, QuantileExtremesAndOverflowBucket) {
   Histogram h({10, 100});
   for (int i = 0; i < 90; ++i) h.record(5.0);
   for (int i = 0; i < 10; ++i) h.record(1e6);  // beyond the last bound
-  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);    // lowest bucket's bound
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
-  // Samples past the last bound land in the overflow bucket, whose reported
-  // value is the exact max (there is no upper bound to quote).
+  // q=0 / q=1 report the exact tracked extremes, not bucket bounds.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e6);
-  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1e6);
+  // The median interpolates inside [min, first bound]: rank 49.5 of the 90
+  // samples in the first bucket -> 5 + (10 - 5) * 49.5 / 90.
+  EXPECT_NEAR(h.quantile(0.5), 7.75, 1e-9);
+  // Rank 94.05 lands in the overflow bucket, which interpolates between the
+  // last bound (100) and the exact max (there is no upper bound to quote).
+  const double q95 = h.quantile(0.95);
+  EXPECT_GE(q95, 100.0);
+  EXPECT_LE(q95, 1e6);
+  EXPECT_NEAR(q95, 100.0 + (1e6 - 100.0) * ((94.05 - 90.0) / 10.0), 1e-6);
 }
 
 TEST(StatsTest, NameReuseReturnsSameInstance) {

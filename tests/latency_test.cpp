@@ -1,0 +1,202 @@
+// Tests for the tail-latency observability layer: recorder unit behavior,
+// report JSON shape, histogram determinism end-to-end (same seed => byte-
+// identical bucket counts and quantiles), the gating-off path (zero samples,
+// zero perturbation), and the chaos property — fault injection with
+// recording enabled still commits the exact fault-free simulation state
+// while visibly fattening the delivery tail.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/latency.hpp"
+#include "core/stats.hpp"
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+std::string report_json(const LatencyReport& rep) {
+  std::ostringstream os;
+  rep.to_json(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Recorder unit tests
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRecorder, DisabledByDefaultAndNullRecorderIsDisabled) {
+  LatencyRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_FALSE(LatencyRecorder::null_recorder().enabled());
+  const LatencyReport rep = rec.report();
+  EXPECT_FALSE(rep.enabled);
+  for (std::size_t i = 0; i < LatencyReport::metric_names().size(); ++i) {
+    EXPECT_EQ(rep.metric(i).count, 0);
+    EXPECT_TRUE(rep.metric(i).buckets.empty());
+  }
+}
+
+TEST(LatencyRecorder, BoundsAreStrictlyIncreasing) {
+  const auto& bounds = LatencyRecorder::latency_bounds();
+  ASSERT_GT(bounds.size(), 10u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+  // Covers modeled-us and virtual-tick ranges seen in practice.
+  EXPECT_LE(bounds.front(), 0.01);
+  EXPECT_GE(bounds.back(), 1e9);
+}
+
+TEST(LatencyRecorder, SingleSampleQuantilesAreExact) {
+  // A one-sample histogram must report that exact sample at every quantile —
+  // the min/max clamp collapses the bucket's interpolation range to a point.
+  LatencyRecorder rec;
+  rec.set_enabled(true);
+  rec.record_delivery(/*vt_ticks=*/37, /*us=*/123.456);
+  const LatencyReport rep = rec.report();
+  EXPECT_EQ(rep.delivery_us.count, 1);
+  EXPECT_DOUBLE_EQ(rep.delivery_us.min, 123.456);
+  EXPECT_DOUBLE_EQ(rep.delivery_us.p50, 123.456);
+  EXPECT_DOUBLE_EQ(rep.delivery_us.p999, 123.456);
+  EXPECT_DOUBLE_EQ(rep.delivery_us.max, 123.456);
+  EXPECT_DOUBLE_EQ(rep.delivery_vt.p50, 37.0);
+  ASSERT_EQ(rep.delivery_us.buckets.size(), 1u);
+  EXPECT_EQ(rep.delivery_us.buckets[0].second, 1);
+}
+
+TEST(LatencyRecorder, QuantilesInterpolateWithinBuckets) {
+  LatencyRecorder rec;
+  rec.set_enabled(true);
+  // 1000 samples spread across several decades; p50/p99/p999 must be ordered
+  // and bracketed by the exact extremes.
+  for (int i = 1; i <= 1000; ++i) {
+    rec.record_nic_wire(static_cast<double>(i) * 0.5);
+  }
+  const LatencyStats s = rec.report().nic_wire_us;
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 500.0);
+  EXPECT_LT(s.min, s.p50);
+  EXPECT_LT(s.p50, s.p99);
+  EXPECT_LT(s.p99, s.p999);
+  EXPECT_LT(s.p999, s.max);
+  // p50 of a uniform 0.5..500 spread sits near 250 — interpolation keeps it
+  // inside the covering log bucket rather than snapping to a bound.
+  EXPECT_GT(s.p50, 150.0);
+  EXPECT_LT(s.p50, 350.0);
+}
+
+TEST(LatencyRecorder, ClearZeroesHistogramsButKeepsEnabled) {
+  LatencyRecorder rec;
+  rec.set_enabled(true);
+  rec.record_commit(10, 5.0);
+  rec.clear();
+  EXPECT_TRUE(rec.enabled());
+  EXPECT_EQ(rec.report().commit_us.count, 0);
+}
+
+TEST(LatencyReport, JsonHasAllMetricSections) {
+  LatencyRecorder rec;
+  rec.set_enabled(true);
+  rec.record_delivery(5, 2.0);
+  rec.record_nic_wire(1.0);
+  rec.record_commit(9, 3.0);
+  const std::string json = report_json(rec.report());
+  EXPECT_NE(json.find("\"type\": \"latency_report\""), std::string::npos);
+  for (const char* name : LatencyReport::metric_names()) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: full testbed runs
+// ---------------------------------------------------------------------------
+
+harness::ExperimentConfig latency_config() {
+  harness::ExperimentConfig cfg;
+  cfg.model = harness::ModelKind::kRaid;
+  cfg.raid.total_requests = 1200;
+  cfg.nodes = 4;
+  cfg.seed = 23;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 100;
+  cfg.early_cancel = true;
+  cfg.max_sim_seconds = 600;
+  cfg.latency.enabled = true;
+  return cfg;
+}
+
+TEST(LatencyE2E, SameSeedRerunsAreByteIdentical) {
+  const harness::ExperimentConfig cfg = latency_config();
+  const harness::ExperimentResult r1 = harness::run_experiment(cfg);
+  const harness::ExperimentResult r2 = harness::run_experiment(cfg);
+  ASSERT_TRUE(r1.completed);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_TRUE(r1.latency.enabled);
+  EXPECT_GT(r1.latency.delivery_us.count, 0);
+  EXPECT_GT(r1.latency.commit_us.count, 0);
+  EXPECT_GT(r1.latency.nic_wire_us.count, 0);
+  // Every sample is simulated time, so the whole report — bucket counts,
+  // exact min/max, interpolated quantiles — serializes byte-identically.
+  EXPECT_EQ(report_json(r1.latency), report_json(r2.latency));
+  EXPECT_EQ(r1.latency.delivery_us.buckets, r2.latency.delivery_us.buckets);
+  EXPECT_EQ(r1.latency.commit_vt.buckets, r2.latency.commit_vt.buckets);
+}
+
+TEST(LatencyE2E, DisabledRecorderProducesZeroSamples) {
+  harness::ExperimentConfig cfg = latency_config();
+  cfg.latency.enabled = false;
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.latency.enabled);
+  for (std::size_t i = 0; i < LatencyReport::metric_names().size(); ++i) {
+    EXPECT_EQ(r.latency.metric(i).count, 0)
+        << LatencyReport::metric_names()[i];
+  }
+}
+
+TEST(LatencyE2E, RecordingDoesNotPerturbTheSimulation) {
+  harness::ExperimentConfig off = latency_config();
+  off.latency.enabled = false;
+  const harness::ExperimentResult r_off = harness::run_experiment(off);
+  const harness::ExperimentResult r_on = harness::run_experiment(latency_config());
+  ASSERT_TRUE(r_off.completed);
+  ASSERT_TRUE(r_on.completed);
+  // Stamping sent_at and folding histogram samples must not change a single
+  // simulation outcome: identical commits, signature, and message counts.
+  EXPECT_EQ(r_on.signature, r_off.signature);
+  EXPECT_EQ(r_on.committed_events, r_off.committed_events);
+  EXPECT_EQ(r_on.events_processed, r_off.events_processed);
+  EXPECT_EQ(r_on.rollbacks, r_off.rollbacks);
+  EXPECT_EQ(r_on.wire_packets, r_off.wire_packets);
+  EXPECT_EQ(r_on.gvt_rounds, r_off.gvt_rounds);
+}
+
+TEST(LatencyE2E, ChaosTwinKeepsSignatureAndFattensTheTail) {
+  const harness::ExperimentConfig clean_cfg = latency_config();
+  harness::ExperimentConfig chaos_cfg = clean_cfg;
+  chaos_cfg.fault.drop_rate = 0.01;
+  chaos_cfg.fault.seed = 11;
+  const harness::ExperimentResult clean = harness::run_experiment(clean_cfg);
+  const harness::ExperimentResult chaos = harness::run_experiment(chaos_cfg);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_TRUE(chaos.completed) << "chaos run hit the simulated-time cap";
+  // The reliability-layer contract survives recording: faults cost recovery
+  // time, never correctness.
+  EXPECT_EQ(chaos.signature, clean.signature);
+  EXPECT_EQ(chaos.committed_events, clean.committed_events);
+  EXPECT_GT(chaos.fault_drops, 0);
+  EXPECT_GT(chaos.retransmits, 0);
+  // ...and the recovery time is exactly what the tail histograms surface:
+  // retransmit timeouts push the worst delivery far past the fault-free max.
+  EXPECT_TRUE(chaos.latency.enabled);
+  EXPECT_GT(chaos.latency.delivery_us.max, clean.latency.delivery_us.max);
+  EXPECT_GE(chaos.latency.delivery_us.p999, clean.latency.delivery_us.p999);
+}
+
+}  // namespace
+}  // namespace nicwarp

@@ -34,7 +34,8 @@ REQUIRED_METRICS = [
     "completed", "sim_seconds", "committed_events", "events_processed",
     "rollbacks", "committed_rate_per_sim_sec", "rollback_efficiency",
     "gvt_estimations", "gvt_latency_us", "wire_packets", "nic_drops",
-    "filtered_antis", "signature",
+    "filtered_antis", "signature", "latency_enabled", "lat_delivery_us",
+    "lat_commit_us",
 ]
 
 
@@ -57,7 +58,7 @@ def main():
         check(r.returncode == 0, f"bench_runner --filter=smoke (rc={r.returncode})")
         with open(out) as f:
             doc = json.load(f)
-        check(doc["type"] == "nicwarp-bench" and doc["schema_version"] == 1,
+        check(doc["type"] == "nicwarp-bench" and doc["schema_version"] == 2,
               "BENCH document type/schema_version")
         check(len(doc["scenarios"]) == 2, "smoke filter selects 2 scenarios")
         for s in doc["scenarios"]:

@@ -20,7 +20,7 @@ import json
 import sys
 
 EXPECTED_TYPE = "nicwarp-bench"
-EXPECTED_SCHEMA = 1
+EXPECTED_SCHEMA = 2
 
 
 def load(path):
@@ -45,6 +45,30 @@ def rel_diff(base, cand):
         return 0.0
     denom = max(abs(base), abs(cand))
     return abs(cand - base) / denom if denom else 0.0
+
+
+def flatten(value, prefix=""):
+    """Flattens nested dicts/lists into dotted scalar keys.
+
+    Schema v2 deterministic blocks nest latency summaries
+    ({"lat_delivery_us": {"p99": ..., "buckets": [[i, n], ...]}, ...});
+    flattening lets the exact-compare loop gate every leaf individually and
+    name the precise drifted key ("lat_delivery_us.p99",
+    "lat_delivery_us.buckets[3][1]") instead of diffing whole objects.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            out.update(flatten(v, f"{prefix}.{k}" if prefix else k))
+        return out
+    if isinstance(value, list):
+        out = {}
+        for i, v in enumerate(value):
+            out.update(flatten(v, f"{prefix}[{i}]"))
+        if not value:
+            out[prefix] = "[]"
+        return out
+    return {prefix: value}
 
 
 def main(argv):
@@ -83,22 +107,32 @@ def main(argv):
     failures = 0
     for name in common:
         b, c = baseline[name], candidate[name]
-        for key, bval in b["deterministic"].items():
-            if key not in c["deterministic"]:
-                print(f"FAIL {name}: deterministic metric '{key}' missing from candidate")
-                failures += 1
+        bdet = flatten(b["deterministic"])
+        cdet = flatten(c["deterministic"])
+        drifted = []  # (key, expected, actual, detail)
+        for key, bval in bdet.items():
+            if key not in cdet:
+                drifted.append((key, bval, "<missing>", "missing from candidate"))
                 continue
-            cval = c["deterministic"][key]
-            if isinstance(bval, bool) or isinstance(cval, bool):
+            cval = cdet[key]
+            if (isinstance(bval, bool) or isinstance(cval, bool)
+                    or isinstance(bval, str) or isinstance(cval, str)):
                 if bval != cval:
-                    print(f"FAIL {name}: {key} {bval} -> {cval}")
-                    failures += 1
+                    drifted.append((key, bval, cval, "exact mismatch"))
                 continue
             d = rel_diff(bval, cval)
             if d > tolerance:
-                print(f"FAIL {name}: {key} {bval} -> {cval} "
-                      f"(rel diff {d:.3g} > tolerance {tolerance:g})")
-                failures += 1
+                drifted.append(
+                    (key, bval, cval, f"rel diff {d:.3g} > tolerance {tolerance:g}"))
+        for key in cdet:
+            if key not in bdet:
+                drifted.append((key, "<missing>", cdet[key], "not in baseline"))
+        if drifted:
+            failures += len(drifted)
+            print(f"FAIL {name}: {len(drifted)} deterministic key(s) drifted")
+            width = max(len(k) for k, *_ in drifted)
+            for key, bval, cval, detail in drifted:
+                print(f"  {key:<{width}}  expected {bval!r}  actual {cval!r}  ({detail})")
         bwall = b["noisy"]["wall_seconds"]
         cwall = c["noisy"]["wall_seconds"]
         if cwall > bwall * (1.0 + wall_tolerance):

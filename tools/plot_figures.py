@@ -66,11 +66,19 @@ def blocks_from_bench(doc: dict) -> dict[str, list[list[str]]]:
     # group -> x value -> variant -> deterministic metrics
     points: dict[str, dict[float, dict[str, dict]]] = defaultdict(
         lambda: defaultdict(dict))
+    # fig_tail is keyed variant-first: variant -> loss% -> deterministic
+    tail: dict[str, dict[float, dict]] = defaultdict(dict)
     for s in doc.get("scenarios", []):
         parts = s["name"].split("/")
-        if len(parts) != 3 or parts[0] not in ("fig4", "fig5", "fig6", "fig7"):
+        if len(parts) != 3:
             continue
         group, variant, axis = parts
+        if group == "fig_tail":
+            # axis is "loss:0.5%" — a percentage label, not a bare float
+            tail[variant][numeric(axis.split(":", 1)[1])] = s["deterministic"]
+            continue
+        if group not in ("fig4", "fig5", "fig6", "fig7"):
+            continue
         x = float(axis.split(":", 1)[1])
         points[group][x][variant] = s["deterministic"]
 
@@ -135,6 +143,27 @@ def blocks_from_bench(doc: dict) -> dict[str, list[list[str]]]:
              lambda x, v: [x, v["warped"]["event_msgs_generated"],
                            v["cancel"]["event_msgs_generated"]],
              need=("warped", "cancel")))
+    if tail:
+        # Same column layout as bench_fig_tail's own CSV block, so the
+        # fig_tail FIGURES spec applies to either input format unchanged.
+        trows = [["variant", "loss", "msg_p50", "msg_p999", "msg_amp",
+                  "commit_p999", "commit_amp", "retransmits"]]
+        for variant in sorted(tail):
+            series = tail[variant]
+            base = series.get(0.0, {}).get("lat_delivery_us", {}).get("p999", 0.0)
+            cbase = series.get(0.0, {}).get("lat_commit_us", {}).get("p999", 0.0)
+            for x in sorted(series):
+                d = series[x].get("lat_delivery_us", {})
+                c = series[x].get("lat_commit_us", {})
+                trows.append([str(cell) for cell in [
+                    variant, f"{x:g}%",
+                    f"{d.get('p50', 0.0):g}", f"{d.get('p999', 0.0):g}",
+                    f"{d.get('p999', 0.0) / base if base else 0.0:g}",
+                    f"{c.get('p999', 0.0):g}",
+                    f"{c.get('p999', 0.0) / cbase if cbase else 0.0:g}",
+                    series[x].get("retransmits", 0)]])
+        if len(trows) > 1:
+            blocks["fig_tail — p99.9 amplification vs fault rate (modeled us)"] = trows
     return blocks
 
 
@@ -269,6 +298,20 @@ def one_series(rows, ycol, name, **kw):
     return chart
 
 
+def tail_chart(rows):
+    """fig_tail rows are variant-keyed: one amplification series per variant,
+    x = injected loss %, y = p99.9 delivery-latency amplification (x1 at 0%)."""
+    chart = Chart(title="fig_tail — p99.9 delivery-latency amplification vs fault rate",
+                  xlabel="injected packet loss (%)",
+                  ylabel="p99.9 amplification (relative to 0% loss)")
+    per_variant: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for r in rows[1:]:
+        per_variant[r[0]].append((numeric(r[1]), numeric(r[4])))
+    for variant in sorted(per_variant):
+        chart.add(variant, per_variant[variant])
+    return chart
+
+
 FIGURES = [
     (r"Fig\. 4", "fig4_raid_gvt.svg",
      lambda rows: two_series(rows, 1, 2, "WARPED", "NIC GVT", logx=True,
@@ -302,6 +345,7 @@ FIGURES = [
      lambda rows: two_series(rows, 1, 2, "WARPED", "Direct cancellation",
                              title="Fig. 8 — POLICE overall messages generated",
                              xlabel="police stations", ylabel="messages")),
+    (r"fig_tail", "fig_tail_amplification.svg", tail_chart),
 ]
 
 

@@ -76,6 +76,9 @@ def load_any(path):
     doc = json.loads(text)
     if isinstance(doc, dict) and "traceEvents" in doc:
         return [r for r in (normalize_chrome(e) for e in doc["traceEvents"]) if r]
+    if isinstance(doc, dict) and doc.get("type") == "latency_report":
+        # Histogram-summary document written by `sweep_cli --latency-out`.
+        return [{"kind": "latency", "doc": doc}]
     raise ValueError(f"{path}: unrecognized format")
 
 
@@ -191,6 +194,44 @@ def summarize_instants(records, out):
     print(file=out)
 
 
+LATENCY_METRICS = [
+    ("delivery_vt", "msg delivery (virtual ticks)"),
+    ("delivery_us", "msg delivery (modeled us)"),
+    ("nic_wire_us", "msg NIC/wire leg (modeled us)"),
+    ("commit_vt", "event commit (virtual ticks)"),
+    ("commit_us", "event commit (modeled us)"),
+]
+
+
+def summarize_latency(records, out):
+    """Percentile table from latency_report documents (--latency-out)."""
+    docs = [r["doc"] for r in records if r["kind"] == "latency"]
+    for doc in docs:
+        print("== latency percentiles (deterministic histogram summary) ==", file=out)
+        print(f"{'metric':30s} {'count':>9s} {'min':>10s} {'p50':>10s} "
+              f"{'p99':>10s} {'p99.9':>10s} {'max':>10s} {'mean':>10s}", file=out)
+        metrics = doc.get("metrics")
+        names = metrics if metrics else [m for m, _ in LATENCY_METRICS]
+        labels = dict(LATENCY_METRICS)
+        for name in names:
+            m = doc.get(name)
+            if not isinstance(m, dict):
+                continue
+            print(f"{labels.get(name, name):30s} {m.get('count', 0):9d} "
+                  f"{m.get('min', 0.0):10.2f} {m.get('p50', 0.0):10.2f} "
+                  f"{m.get('p99', 0.0):10.2f} {m.get('p999', 0.0):10.2f} "
+                  f"{m.get('max', 0.0):10.2f} {m.get('mean', 0.0):10.2f}", file=out)
+        nonzero = sum(1 for name in names
+                      if isinstance(doc.get(name), dict)
+                      and doc[name].get("buckets"))
+        if not doc.get("enabled", True):
+            print("  (recorder was disabled; all counts are zero)", file=out)
+        else:
+            print(f"  {nonzero} metric(s) with samples; bucket counts are "
+                  "byte-identical across reruns of the same seed", file=out)
+        print(file=out)
+
+
 def summarize_gvt_rounds(records, out):
     samples = [r for r in records if r["kind"] == "sample"]
     if not samples:
@@ -246,6 +287,7 @@ def main():
 
     summarize_msg(records, sys.stdout)
     summarize_instants(records, sys.stdout)
+    summarize_latency(records, sys.stdout)
     summarize_gvt_rounds(records, sys.stdout)
     return 0
 
