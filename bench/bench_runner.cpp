@@ -125,7 +125,16 @@ void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
     os << ", \"lat_" << lat_names[i] << "\": ";
     r.latency.metric(i).to_json(os);
   }
-  os << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.wall_seconds) << "}}";
+  // Wall-clock phase attribution rides in the NOISY block: the numbers are
+  // machine-dependent and must never join a byte-identity comparison.
+  os << "},\n     \"noisy\": {\"wall_seconds\": " << fmt(run.wall_seconds);
+  if (r.phase_enabled) {
+    for (std::size_t i = 0; i < nicwarp::kPhaseCount; ++i) {
+      os << ", \"phase_" << nicwarp::phase_name(static_cast<nicwarp::Phase>(i))
+         << "_seconds\": " << fmt(r.phase_seconds[i]);
+    }
+  }
+  os << "}}";
 }
 
 struct MicroRun {
@@ -235,8 +244,12 @@ int main(int argc, char** argv) {
     const Scenario* sc = selected[i];
     std::fprintf(stderr, "[%2zu/%zu] %s ...\n", i + 1, selected.size(),
                  sc->name.c_str());
+    // Phase attribution is wall-clock-only; turning it on cannot perturb the
+    // deterministic block, so every scenario reports it.
+    nicwarp::harness::ExperimentConfig cfg = sc->cfg;
+    cfg.phase.enabled = true;
     const auto t0 = std::chrono::steady_clock::now();
-    ExperimentResult r = nicwarp::harness::run_experiment(sc->cfg);
+    ExperimentResult r = nicwarp::harness::run_experiment(cfg);
     const auto t1 = std::chrono::steady_clock::now();
     if (!r.completed) {
       std::fprintf(stderr, "         WARNING: hit the simulated-time cap\n");

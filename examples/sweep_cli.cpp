@@ -24,6 +24,12 @@
 // profiler and writes its JSON report; `--print-trace-schema` dumps the
 // trace-schema manifest (the source of tools/trace_schema.json) and exits.
 //
+// `--heatmap-out FILE` (or `heatmap=1`) records the per-entity hotspot
+// heatmap (deterministic JSON); `phase=1` turns on the wall-clock phase
+// profiler (noisy, printed only next to wall time); `--watchdog-seconds S`
+// arms the GVT-progress watchdog with `--watchdog-out FILE` as its snapshot;
+// `--fault-token-drop-rate R` drops GVT tokens (1.0 = the stall recipe).
+//
 // Prints the full metric set plus the canonical one-line summary.
 #include <cstdio>
 #include <iostream>
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
   cfg.fault.corrupt_rate = p.get_f64("fault_corrupt_rate", 0.0);
   cfg.fault.delay_rate = p.get_f64("fault_delay_rate", 0.0);
   cfg.fault.delay_max_us = p.get_f64("fault_delay_max_us", cfg.fault.delay_max_us);
+  cfg.fault.token_drop_rate = p.get_f64("fault_token_drop_rate", 0.0);
   cfg.fault.seed = static_cast<std::uint64_t>(p.get_i64("fault_seed", 1));
   // cm.* overrides apply on top of the model's granularity default.
   cfg.cost = hw::CostModel::from_params(p);
@@ -146,6 +153,11 @@ int main(int argc, char** argv) {
   cfg.profile.enabled = p.get_bool("profile", false);
   cfg.latency.json_out = p.get_str("latency_out", "");
   cfg.latency.enabled = p.get_bool("latency", false);
+  cfg.heatmap.json_out = p.get_str("heatmap_out", "");
+  cfg.heatmap.enabled = p.get_bool("heatmap", false);
+  cfg.phase.enabled = p.get_bool("phase", false);
+  cfg.watchdog.stall_wall_seconds = p.get_f64("watchdog_seconds", 0.0);
+  cfg.watchdog.snapshot_out = p.get_str("watchdog_out", "");
 
   std::printf("config: %s\n", joined.c_str());
   harness::ExperimentResult r;
@@ -212,6 +224,20 @@ int main(int argc, char** argv) {
     std::printf("  profile        : %s", r.profile->summary().c_str());
     if (!cfg.profile.json_out.empty())
       std::printf(" -> %s", cfg.profile.json_out.c_str());
+    std::printf("\n");
+  }
+  if (cfg.heatmap.on()) {
+    std::printf("  heatmap        : %u nodes", cfg.nodes);
+    if (!cfg.heatmap.json_out.empty())
+      std::printf(" -> %s", cfg.heatmap.json_out.c_str());
+    std::printf("\n");
+  }
+  if (r.phase_enabled) {
+    std::printf("  phases (noisy) :");
+    for (std::size_t i = 0; i < nicwarp::kPhaseCount; ++i) {
+      std::printf(" %s=%.3fs", phase_name(static_cast<Phase>(i)),
+                  r.phase_seconds[i]);
+    }
     std::printf("\n");
   }
   if (cfg.latency.on()) {

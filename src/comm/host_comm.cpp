@@ -76,6 +76,7 @@ void HostComm::send(hw::Packet pkt) {
 }
 
 void HostComm::send_ref(hw::PacketRef ref) {
+  ScopedPhaseTimer phase_scope(&node_.phases(), Phase::kCommPump);
   hw::Packet& pkt = pool_.get(ref);
   ChannelTx& ch = tx_at(pkt.hdr.dst);
   if (!ch.opened) {  // first contact with this peer: the window opens full
@@ -96,6 +97,11 @@ void HostComm::send_ref(hw::PacketRef ref) {
       ch.credit_waiting.push_back(ref);
       if (ch.stall_since == SimTime::max()) ch.stall_since = node_.engine().now();
       stats_.counter("comm.credit_stalls").add(1);
+      if (node_.entity().enabled()) {
+        node_.entity().record_credit_stall(node_.id());
+        node_.entity().note_link_queue_depth(node_.id(), pkt.hdr.dst,
+                                             ch.credit_waiting.size());
+      }
       check_stalls();
       return;
     }
@@ -217,6 +223,7 @@ void HostComm::arm_credit_timer() {
 }
 
 void HostComm::on_raw_rx(hw::PacketRef ref) {
+  ScopedPhaseTimer phase_scope(&node_.phases(), Phase::kCommPump);
   const NodeId src = pool_.get(ref).hdr.src;
   // 1. Credits returned to us (piggybacked on anything).
   if (pool_.get(ref).hdr.credits_pb > 0) {

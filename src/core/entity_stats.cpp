@@ -1,0 +1,68 @@
+#include "core/entity_stats.hpp"
+
+#include <ostream>
+
+namespace nicwarp {
+
+void EntityStats::configure(std::uint32_t nodes) {
+  nodes_ = nodes;
+  lps_.assign(nodes, LpHeat{});
+  node_heat_.assign(nodes, NodeHeat{});
+  links_.assign(static_cast<std::size_t>(nodes) * nodes, LinkHeat{});
+  enabled_ = true;
+}
+
+void EntityStats::to_json(std::ostream& os) const {
+  os << "{\n  \"type\": \"heatmap\",\n  \"schema_version\": 1,\n"
+     << "  \"nodes\": " << nodes_ << ",\n  \"lps\": [\n";
+  for (std::uint32_t r = 0; r < nodes_; ++r) {
+    const LpHeat& l = lps_[r];
+    os << "    {\"rank\": " << r << ", \"committed\": " << l.committed
+       << ", \"processed\": " << l.processed
+       << ", \"rolled_back\": " << l.rolled_back
+       << ", \"rollbacks\": " << l.rollbacks
+       << ", \"max_rollback_depth\": " << l.max_rollback_depth
+       << ", \"replayed\": " << l.replayed
+       << ", \"state_saves\": " << l.state_saves
+       << ", \"state_save_bytes\": " << l.state_save_bytes << "}"
+       << (r + 1 < nodes_ ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"node_heat\": [\n";
+  for (std::uint32_t r = 0; r < nodes_; ++r) {
+    const NodeHeat& n = node_heat_[r];
+    os << "    {\"rank\": " << r
+       << ", \"ring_occupancy_hw\": " << n.ring_occupancy_hw
+       << ", \"credit_stalls\": " << n.credit_stalls
+       << ", \"gvt_tokens\": " << n.gvt_tokens
+       << ", \"gvt_token_hold_ns\": " << n.gvt_token_hold_ns
+       << ", \"gvt_token_hold_max_ns\": " << n.gvt_token_hold_max_ns << "}"
+       << (r + 1 < nodes_ ? ",\n" : "\n");
+  }
+  // Links: only pairs with any activity, in deterministic row-major order.
+  os << "  ],\n  \"links\": [\n";
+  bool first = true;
+  for (std::uint32_t s = 0; s < nodes_; ++s) {
+    for (std::uint32_t d = 0; d < nodes_; ++d) {
+      const LinkHeat& l = link(s, d);
+      if (l.packets == 0 && l.retransmits == 0 && l.faults == 0 &&
+          l.queue_depth_hw == 0) {
+        continue;
+      }
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"src\": " << s << ", \"dst\": " << d
+         << ", \"packets\": " << l.packets << ", \"bytes\": " << l.bytes
+         << ", \"retransmits\": " << l.retransmits
+         << ", \"faults\": " << l.faults
+         << ", \"queue_depth_hw\": " << l.queue_depth_hw << "}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+EntityStats& EntityStats::null_stats() {
+  static EntityStats inst;  // never configured => never enabled
+  return inst;
+}
+
+}  // namespace nicwarp

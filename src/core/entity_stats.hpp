@@ -1,0 +1,118 @@
+// Per-entity hotspot attribution: the heatmap registry.
+//
+// An EntityStats is owned by hw::Cluster (like the TraceRecorder and
+// LatencyRecorder) and shared by every layer via defaulted constructor
+// pointers.  It rolls the cluster-wide aggregates apart into per-LP, per-link
+// (src -> dst ordered pair), and per-node counters, so the sharding and
+// adaptive-checkpoint work has a load signal per entity instead of one number
+// for the whole cluster.
+//
+// Hot paths guard every update behind `if (entity.enabled())` — the same
+// predicted-false branch idiom as tracing — so a disabled registry costs one
+// well-predicted branch and nothing else.  Every recorded quantity is either
+// a count or a *simulated* time (SimTime nanoseconds), never wall clock, so
+// the heatmap JSON is byte-identical across reruns of the same seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nicwarp {
+
+// Per-LP load: harvested from warped::LogicalProcess at end of run.
+struct LpHeat {
+  std::uint64_t committed{0};          // events fossil-collected
+  std::uint64_t processed{0};          // events executed (incl. wasted work)
+  std::uint64_t rolled_back{0};        // events undone by rollbacks
+  std::uint64_t rollbacks{0};          // rollback episodes
+  std::uint64_t max_rollback_depth{0}; // deepest single rollback (events undone)
+  std::uint64_t replayed{0};           // events re-executed by coast-forward
+  std::uint64_t state_saves{0};        // object snapshots taken
+  std::uint64_t state_save_bytes{0};   // bytes deep-copied into snapshots
+};
+
+// Per-node pressure: NIC ring, flow control, and GVT token custody.
+struct NodeHeat {
+  std::uint64_t ring_occupancy_hw{0};     // high-water NIC send-ring slots in use
+  std::uint64_t credit_stalls{0};         // sends parked waiting for credit
+  std::uint64_t gvt_tokens{0};            // GVT tokens this node held custody of
+  std::uint64_t gvt_token_hold_ns{0};     // total custody time, simulated ns
+  std::uint64_t gvt_token_hold_max_ns{0}; // worst single custody, simulated ns
+};
+
+// Per-directed-link traffic (src -> dst).
+struct LinkHeat {
+  std::uint64_t packets{0};
+  std::uint64_t bytes{0};
+  std::uint64_t retransmits{0};    // go-back-N replays onto this link
+  std::uint64_t faults{0};         // injected drop/dup/corrupt/delay on this link
+  std::uint64_t queue_depth_hw{0}; // high-water staged/credit-waiting depth
+};
+
+class EntityStats {
+ public:
+  // Sizes the vectors for `nodes` ranks and enables recording.  Before
+  // configure() the registry is disabled and every record call is a no-op
+  // branch.
+  void configure(std::uint32_t nodes);
+
+  bool enabled() const { return enabled_; }
+  std::uint32_t nodes() const { return nodes_; }
+
+  // --- hot-path recording (call sites gate on enabled() first) ---
+  void record_link_packet(NodeId src, NodeId dst, std::uint64_t bytes) {
+    LinkHeat& l = link(src, dst);
+    l.packets += 1;
+    l.bytes += bytes;
+  }
+  void record_link_retx(NodeId src, NodeId dst) { link(src, dst).retransmits += 1; }
+  void record_link_fault(NodeId src, NodeId dst) { link(src, dst).faults += 1; }
+  void note_link_queue_depth(NodeId src, NodeId dst, std::uint64_t depth) {
+    LinkHeat& l = link(src, dst);
+    if (depth > l.queue_depth_hw) l.queue_depth_hw = depth;
+  }
+  void note_ring_occupancy(NodeId node, std::uint64_t slots) {
+    NodeHeat& n = node_heat_[node];
+    if (slots > n.ring_occupancy_hw) n.ring_occupancy_hw = slots;
+  }
+  void record_credit_stall(NodeId node) { node_heat_[node].credit_stalls += 1; }
+  void record_gvt_token_hold(NodeId node, std::uint64_t hold_ns) {
+    NodeHeat& n = node_heat_[node];
+    n.gvt_tokens += 1;
+    n.gvt_token_hold_ns += hold_ns;
+    if (hold_ns > n.gvt_token_hold_max_ns) n.gvt_token_hold_max_ns = hold_ns;
+  }
+
+  // --- end-of-run harvest (per-LP counters live in the LP itself) ---
+  void set_lp(NodeId rank, const LpHeat& heat) { lps_[rank] = heat; }
+
+  const LpHeat& lp(NodeId rank) const { return lps_[rank]; }
+  const NodeHeat& node(NodeId rank) const { return node_heat_[rank]; }
+  const LinkHeat& link(NodeId src, NodeId dst) const {
+    return links_[static_cast<std::size_t>(src) * nodes_ + dst];
+  }
+
+  // The heatmap document: {"type": "heatmap", "schema_version": 1, ...} with
+  // one object per LP/node and one per link with any traffic.  Integer-only
+  // values, fixed field order — byte-identical across reruns of a seed.
+  void to_json(std::ostream& os) const;
+
+  // Shared disabled instance for construction paths without a cluster.
+  static EntityStats& null_stats();
+
+ private:
+  LinkHeat& link(NodeId src, NodeId dst) {
+    return links_[static_cast<std::size_t>(src) * nodes_ + dst];
+  }
+
+  bool enabled_{false};
+  std::uint32_t nodes_{0};
+  std::vector<LpHeat> lps_;
+  std::vector<NodeHeat> node_heat_;
+  std::vector<LinkHeat> links_;  // row-major [src][dst]
+};
+
+}  // namespace nicwarp

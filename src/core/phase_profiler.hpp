@@ -1,0 +1,100 @@
+// Wall-clock phase attribution: where does the *host* time of a run go?
+//
+// Everything else in the observability stack records simulated time so it can
+// be diffed byte-exactly; this profiler is the deliberate exception.  It
+// accumulates real std::chrono::steady_clock nanoseconds per coarse phase of
+// the run — event execution, state saving, rollback, GVT work, comm pump —
+// and its numbers are therefore machine- and load-dependent noise.  They are
+// reported ONLY in noisy output blocks (next to `wall_seconds`), never in a
+// deterministic block, so the byte-identity gates stay intact.
+//
+// Off by default; a disabled profiler costs one predicted-false branch per
+// scope (the timer constructor checks enabled() and nulls itself out).
+// Phases nest: a state save runs inside event execution and a rollback runs
+// inside the comm pump, so the per-phase seconds overlap and do not sum to
+// the run's wall time.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace nicwarp {
+
+enum class Phase : std::uint8_t {
+  kEventExec = 0,  // LP execute_next: model body + queue work
+  kStateSave,      // object snapshot deep-copies (nests inside exec/rollback)
+  kRollback,       // undo + anti-send + coast-forward replay
+  kGvt,            // GVT manager work: token handling, adoption, fossils
+  kCommPump,       // host comm send/receive pump
+};
+inline constexpr std::size_t kPhaseCount = 5;
+
+inline const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kEventExec: return "event_exec";
+    case Phase::kStateSave: return "state_save";
+    case Phase::kRollback: return "rollback";
+    case Phase::kGvt: return "gvt";
+    case Phase::kCommPump: return "comm_pump";
+  }
+  return "?";
+}
+
+class PhaseProfiler {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void add(Phase p, std::uint64_t ns) {
+    ns_[static_cast<std::size_t>(p)] += ns;
+    calls_[static_cast<std::size_t>(p)] += 1;
+  }
+
+  std::uint64_t nanos(Phase p) const { return ns_[static_cast<std::size_t>(p)]; }
+  std::uint64_t calls(Phase p) const { return calls_[static_cast<std::size_t>(p)]; }
+  double seconds(Phase p) const {
+    return static_cast<double>(nanos(p)) * 1e-9;
+  }
+
+  // Shared disabled instance for construction paths without a cluster.
+  static PhaseProfiler& null_profiler() {
+    static PhaseProfiler inst;
+    return inst;
+  }
+
+ private:
+  bool enabled_{false};
+  std::array<std::uint64_t, kPhaseCount> ns_{};
+  std::array<std::uint64_t, kPhaseCount> calls_{};
+};
+
+// RAII scope timer. When the profiler is off (or null) the constructor nulls
+// the pointer and the destructor is a no-op — one branch each way.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseProfiler* p, Phase phase) : p_(p), phase_(phase) {
+    if (p_ != nullptr && p_->enabled()) {
+      t0_ = std::chrono::steady_clock::now();
+    } else {
+      p_ = nullptr;
+    }
+  }
+  ~ScopedPhaseTimer() {
+    if (p_ != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      p_->add(phase_, static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                              .count()));
+    }
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseProfiler* p_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace nicwarp

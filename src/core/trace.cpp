@@ -19,6 +19,7 @@ const char* trace_cat_name(TraceCat c) {
     case TraceCat::kRollback: return "rollback";
     case TraceCat::kCredit: return "credit";
     case TraceCat::kFault: return "fault";
+    case TraceCat::kWatchdog: return "watchdog";
   }
   return "?";
 }
@@ -32,7 +33,8 @@ std::uint32_t parse_trace_categories(std::string_view list) {
     std::string_view tok = list.substr(pos, comma - pos);
     if (tok == "all") mask |= kTraceAll;
     for (TraceCat c : {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
-                       TraceCat::kRollback, TraceCat::kCredit, TraceCat::kFault}) {
+                       TraceCat::kRollback, TraceCat::kCredit, TraceCat::kFault,
+                       TraceCat::kWatchdog}) {
       if (tok == trace_cat_name(c)) mask |= trace_bit(c);
     }
     pos = comma + 1;
@@ -79,6 +81,7 @@ const char* trace_point_name(TracePoint p) {
     case TracePoint::kRelGapDiscard: return "rel-gap-discard";
     case TracePoint::kRelNak: return "rel-nak";
     case TracePoint::kRelRetransmit: return "rel-retransmit";
+    case TracePoint::kWatchdogStall: return "watchdog-stall";
   }
   return "?";
 }
@@ -86,7 +89,7 @@ const char* trace_point_name(TracePoint p) {
 void export_trace_schema(std::ostream& os) {
   constexpr TraceCat kCats[] = {TraceCat::kMsg, TraceCat::kGvt, TraceCat::kCancel,
                                 TraceCat::kRollback, TraceCat::kCredit,
-                                TraceCat::kFault};
+                                TraceCat::kFault, TraceCat::kWatchdog};
   constexpr TracePoint kPoints[] = {
       TracePoint::kHostEnqueue,     TracePoint::kNicStage,
       TracePoint::kWireTx,          TracePoint::kWireDepart,
@@ -106,14 +109,15 @@ void export_trace_schema(std::ostream& os) {
       TracePoint::kFaultCorrupt,    TracePoint::kFaultDelay,
       TracePoint::kRelCrcDiscard,   TracePoint::kRelDupDiscard,
       TracePoint::kRelGapDiscard,   TracePoint::kRelNak,
-      TracePoint::kRelRetransmit};
+      TracePoint::kRelRetransmit,   TracePoint::kWatchdogStall};
   auto cat_of = [](TracePoint p) {
     if (p <= TracePoint::kNicDropRing) return TraceCat::kMsg;
     if (p <= TracePoint::kGvtTokenRegen) return TraceCat::kGvt;
     if (p <= TracePoint::kCancelOverflow) return TraceCat::kCancel;
     if (p == TracePoint::kRollback) return TraceCat::kRollback;
     if (p <= TracePoint::kSeqGap) return TraceCat::kCredit;
-    return TraceCat::kFault;
+    if (p <= TracePoint::kRelRetransmit) return TraceCat::kFault;
+    return TraceCat::kWatchdog;
   };
 
   os << "{\n  \"type\": \"trace_schema\",\n  \"schema_version\": 1,\n";
@@ -155,7 +159,19 @@ void export_trace_schema(std::ostream& os) {
     first = false;
   }
   os << "],\n    \"fields\": [\"count\", \"min\", \"mean\", \"max\", \"p50\", "
-        "\"p99\", \"p999\", \"buckets\"]\n  }\n}\n";
+        "\"p99\", \"p999\", \"buckets\"]\n  },\n";
+  // Shape of the {"type": "heatmap"} documents (--heatmap-out), kept in sync
+  // with core/entity_stats.cpp. All-integer values: counts and simulated ns.
+  os << "  \"heatmap\": {\n    \"report_type\": \"heatmap\",\n"
+     << "    \"sections\": [\"lps\", \"node_heat\", \"links\"],\n"
+     << "    \"lp_fields\": [\"rank\", \"committed\", \"processed\", "
+        "\"rolled_back\", \"rollbacks\", \"max_rollback_depth\", \"replayed\", "
+        "\"state_saves\", \"state_save_bytes\"],\n"
+     << "    \"node_fields\": [\"rank\", \"ring_occupancy_hw\", "
+        "\"credit_stalls\", \"gvt_tokens\", \"gvt_token_hold_ns\", "
+        "\"gvt_token_hold_max_ns\"],\n"
+     << "    \"link_fields\": [\"src\", \"dst\", \"packets\", \"bytes\", "
+        "\"retransmits\", \"faults\", \"queue_depth_hw\"]\n  }\n}\n";
 }
 
 void TraceRecorder::configure(std::uint32_t category_mask, std::size_t capacity) {
@@ -315,6 +331,9 @@ void TraceRecorder::export_chrome_json(std::ostream& os) const {
         break;
       case TraceCat::kFault:
         emit_instant("fault", trace_point_name(r.point), r);
+        break;
+      case TraceCat::kWatchdog:
+        emit_instant("watchdog", trace_point_name(r.point), r);
         break;
     }
   }

@@ -35,6 +35,7 @@ enum class TraceCat : std::uint8_t {
   kRollback = 3,  // host rollbacks (count + depth)
   kCredit = 4,    // flow control: stalls, grants, refunds, sequence gaps
   kFault = 5,     // injected fabric faults + reliability-layer recovery
+  kWatchdog = 6,  // GVT-progress watchdog diagnostics (stall snapshots)
 };
 inline constexpr std::uint32_t trace_bit(TraceCat c) {
   return 1u << static_cast<unsigned>(c);
@@ -44,7 +45,8 @@ inline constexpr std::uint32_t kTraceAll = trace_bit(TraceCat::kMsg) |
                                            trace_bit(TraceCat::kCancel) |
                                            trace_bit(TraceCat::kRollback) |
                                            trace_bit(TraceCat::kCredit) |
-                                           trace_bit(TraceCat::kFault);
+                                           trace_bit(TraceCat::kFault) |
+                                           trace_bit(TraceCat::kWatchdog);
 
 const char* trace_cat_name(TraceCat c);
 // Parses "msg,gvt,cancel" / "all" / "" into a mask; unknown names are
@@ -98,6 +100,8 @@ enum class TracePoint : std::uint8_t {
   kRelGapDiscard,    // receiver NIC held back an out-of-order seq (a=seq)
   kRelNak,           // receiver NIC emitted a NAK (a=expected seq, peer=src)
   kRelRetransmit,    // sender NIC retransmitted (a=seq, b=tx count, peer=dst)
+  // --- watchdog ---
+  kWatchdogStall,    // GVT watchdog fired (vt=stuck GVT, a=budget ms, b=pending)
 };
 
 const char* trace_point_name(TracePoint p);

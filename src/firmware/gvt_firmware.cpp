@@ -169,6 +169,7 @@ SimTime GvtFirmware::handle_token(const hw::GvtFields& token) {
     reported_recv_ = 0;
   }
   held_token_ = token;
+  hold_start_ = ctx_->now();
   if (ctx_->trace().enabled(TraceCat::kGvt)) {
     ctx_->trace().record({ctx_->now(), token.t, TraceCat::kGvt,
                           TracePoint::kGvtTokenHandle, false, ctx_->node_id(),
@@ -224,6 +225,14 @@ SimTime GvtFirmware::resolve_handshake(std::uint64_t epoch, VirtualTime host_t) 
   return dispatch_token(token);
 }
 
+void GvtFirmware::note_token_release() {
+  if (ctx_->entity().enabled()) {
+    ctx_->entity().record_gvt_token_hold(
+        ctx_->node_id(),
+        static_cast<std::uint64_t>((ctx_->now() - hold_start_).ns));
+  }
+}
+
 SimTime GvtFirmware::dispatch_token(hw::GvtFields token) {
   if (!is_root()) {
     queue_outgoing(token);
@@ -250,6 +259,7 @@ SimTime GvtFirmware::dispatch_token(hw::GvtFields token) {
   // All whites received; every receipt was reported at a visit whose
   // handshake followed it through the FIFO rx barrier, so the accumulated
   // minima are a sound bound.
+  note_token_release();
   return complete(VirtualTime::min(token.t, token.tmin), token.epoch);
 }
 
@@ -273,6 +283,7 @@ void GvtFirmware::queue_outgoing(hw::GvtFields token) {
 
 SimTime GvtFirmware::emit_wire_token() {
   NW_CHECK(out_token_);
+  note_token_release();
   if (out_dst_ == ctx_->node_id()) {
     // Degenerate 1-node ring: the token "circulates" back to us instantly.
     const hw::GvtFields token = *out_token_;
@@ -376,6 +387,7 @@ SimTime GvtFirmware::on_wire_tx(hw::Packet& pkt) {
 
   // Opportunistic token piggybacking onto a message already going our way.
   if (out_token_ && pkt.hdr.dst == out_dst_) {
+    note_token_release();
     pkt.hdr.gvt_token_pb = true;
     pkt.hdr.gvt = *out_token_;
     if (ctx_->trace().enabled(TraceCat::kGvt)) {

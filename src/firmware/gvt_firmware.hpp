@@ -82,6 +82,11 @@ class GvtFirmware : public hw::Firmware {
   std::optional<hw::GvtFields> out_token_;   // waiting for a piggyback ride
   NodeId out_dst_{kInvalidNode};
   SimTime out_deadline_{SimTime::zero()};
+  SimTime hold_start_{SimTime::zero()};  // custody start (heatmap attribution)
+
+  // Heatmap: per-node token custody time (handle_token -> emission or
+  // completion, simulated ns). No-op unless the EntityStats is enabled.
+  void note_token_release();
 
   // Token-loss tolerance. (epoch, round) strictly increases at every NIC in
   // a healthy ring, so anything at or below the last handled pair is a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -66,6 +67,44 @@ models::BuiltModel build_model(const ExperimentConfig& cfg) {
   NW_UNREACHABLE("unknown model");
 }
 
+void emit_vt(std::ostream& os, VirtualTime v) {
+  if (v.is_inf()) {
+    os << "null";
+  } else {
+    os << v.t;
+  }
+}
+
+// The watchdog's post-mortem: which virtual time each kernel is stuck at,
+// what the GVT token machinery last saw, and how full each NIC ring is —
+// enough to tell a lost token from a wedged credit window from a dead LP.
+void write_watchdog_snapshot(std::ostream& os, Testbed& tb,
+                             const WatchdogConfig& wd, VirtualTime stuck_gvt) {
+  sim::Engine& eng = tb.cluster->engine();
+  os << "{\"type\": \"watchdog_snapshot\", \"schema_version\": 1,\n"
+     << " \"wall_budget_seconds\": " << wd.stall_wall_seconds << ",\n"
+     << " \"engine_now_ns\": " << eng.now().ns << ",\n"
+     << " \"engine_pending_tasks\": " << eng.pending() << ",\n"
+     << " \"stuck_gvt\": ";
+  emit_vt(os, stuck_gvt);
+  os << ",\n \"kernels\": [";
+  for (std::size_t i = 0; i < tb.kernels.size(); ++i) {
+    warped::Kernel& k = *tb.kernels[i];
+    hw::Node& node = tb.cluster->node(static_cast<NodeId>(i));
+    if (i > 0) os << ",";
+    os << "\n  {\"rank\": " << i << ", \"gvt\": ";
+    emit_vt(os, k.gvt());
+    os << ", \"safe_local_min\": ";
+    emit_vt(os, k.safe_local_min());
+    os << ", \"stopped\": " << (k.stopped() ? 1 : 0)
+       << ", \"events_processed\": " << k.lp().events_processed()
+       << ", \"pending_events\": " << k.lp().total_pending()
+       << ", \"gvt_epoch\": " << node.mailbox().gvt_epoch
+       << ", \"nic_ring_slots_in_use\": " << node.nic().slots_in_use() << "}";
+  }
+  os << "\n]}\n";
+}
+
 }  // namespace
 
 Testbed build_testbed(const ExperimentConfig& cfg) {
@@ -93,6 +132,12 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   }
   if (cfg.latency.on()) {
     tb.cluster->latency().set_enabled(true);
+  }
+  if (cfg.heatmap.on()) {
+    tb.cluster->entity().configure(cfg.nodes);
+  }
+  if (cfg.phase.enabled) {
+    tb.cluster->phases().enable();
   }
   if (cfg.metrics.enabled()) {
     TimeSeriesSampler::Options sopts;
@@ -143,13 +188,50 @@ bool Testbed::all_stopped() const {
   return true;
 }
 
-bool Testbed::run_to_completion(double max_sim_seconds) {
+bool Testbed::run_to_completion(double max_sim_seconds,
+                                const WatchdogConfig& watchdog) {
   for (auto& k : kernels) k->start();
   sim::Engine& eng = cluster->engine();
   const SimTime cap = SimTime::from_seconds(max_sim_seconds);
   const SimTime chunk = SimTime::from_us(50000);  // 50 ms of simulated time
+  // Watchdog state: the best GVT any kernel has adopted, and the wall-clock
+  // instant it last improved. The engine staying busy while this stands
+  // still is the signature of a dead token / wedged window, not slowness.
+  VirtualTime best_gvt = VirtualTime::zero();
+  auto last_advance = std::chrono::steady_clock::now();
   while (!all_stopped() && eng.pending() > 0 && eng.now() < cap) {
     eng.run_until(SimTime{std::min(cap.ns, (eng.now() + chunk).ns)});
+    if (!watchdog.on()) continue;
+    VirtualTime g = VirtualTime::zero();
+    for (const auto& k : kernels) g = VirtualTime::max(g, k->gvt());
+    if (best_gvt < g) {
+      best_gvt = g;
+      last_advance = std::chrono::steady_clock::now();
+      continue;
+    }
+    const double stalled_for =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_advance)
+            .count();
+    if (stalled_for < watchdog.stall_wall_seconds) continue;
+    if (cluster->trace().enabled(TraceCat::kWatchdog)) {
+      cluster->trace().record(
+          {eng.now(), best_gvt, TraceCat::kWatchdog, TracePoint::kWatchdogStall,
+           false, 0, kInvalidNode, kInvalidEvent,
+           static_cast<std::uint64_t>(watchdog.stall_wall_seconds * 1000.0),
+           static_cast<std::uint64_t>(eng.pending())});
+    }
+    if (!watchdog.snapshot_out.empty()) {
+      std::ofstream os(watchdog.snapshot_out);
+      NW_CHECK_MSG(os.good(), "cannot open watchdog snapshot file");
+      write_watchdog_snapshot(os, *this, watchdog, best_gvt);
+    }
+    std::ostringstream msg;
+    msg << "GVT watchdog: no GVT advance past " << best_gvt.t << " within "
+        << watchdog.stall_wall_seconds << "s of wall time (engine busy, "
+        << eng.pending() << " tasks pending at simulated " << eng.now().ns
+        << "ns)";
+    throw std::runtime_error(msg.str());
   }
   return all_stopped();
 }
@@ -212,6 +294,36 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   r.trace_overwritten = tb.cluster->trace().overwritten();
   r.latency = tb.cluster->latency().report();
 
+  if (tb.cluster->entity().enabled()) {
+    // Roll the per-LP counters into the registry; the link/node rows were
+    // filled on the hot paths as the run went.
+    EntityStats& es = tb.cluster->entity();
+    for (std::size_t i = 0; i < tb.kernels.size(); ++i) {
+      const warped::LogicalProcess& lp = tb.kernels[i]->lp();
+      LpHeat h;
+      h.processed = lp.events_processed();
+      h.rolled_back = lp.events_rolled_back();
+      h.committed = lp.events_processed() - lp.events_rolled_back();
+      h.rollbacks = lp.rollbacks();
+      h.max_rollback_depth = lp.max_rollback_depth();
+      h.replayed = lp.events_replayed();
+      h.state_saves = lp.state_saves();
+      h.state_save_bytes = lp.state_save_bytes();
+      es.set_lp(static_cast<NodeId>(i), h);
+    }
+    std::ostringstream os;
+    es.to_json(os);
+    r.heatmap_json = os.str();
+  }
+  if (tb.cluster->phases().enabled()) {
+    r.phase_enabled = true;
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const Phase ph = static_cast<Phase>(p);
+      r.phase_seconds[p] = tb.cluster->phases().seconds(ph);
+      r.phase_calls[p] = tb.cluster->phases().calls(ph);
+    }
+  }
+
   if (tb.profiler != nullptr && !tb.kernels.empty()) {
     profile::ProfileCollector::FinishParams fp;
     fp.sim_seconds = r.sim_seconds;
@@ -250,13 +362,17 @@ void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb,
     auto os = open(cfg.latency.json_out);
     r.latency.to_json(os);
   }
+  if (!cfg.heatmap.json_out.empty()) {
+    auto os = open(cfg.heatmap.json_out);
+    os << r.heatmap_json;
+  }
 }
 
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   Testbed tb = build_testbed(cfg);
-  const bool completed = tb.run_to_completion(cfg.max_sim_seconds);
+  const bool completed = tb.run_to_completion(cfg.max_sim_seconds, cfg.watchdog);
   ExperimentResult r = extract_result(tb, completed);
   write_experiment_outputs(cfg, tb, r);
   return r;

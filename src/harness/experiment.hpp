@@ -3,6 +3,7 @@
 // termination, and extracts the metric set the paper's figures report.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include "comm/host_comm.hpp"
 #include "core/latency.hpp"
+#include "core/phase_profiler.hpp"
 #include "core/timeseries.hpp"
 #include "core/trace.hpp"
 #include "hw/cluster.hpp"
@@ -64,6 +66,34 @@ struct LatencyConfig {
   bool on() const { return enabled || !json_out.empty(); }
 };
 
+// Per-entity hotspot heatmap (core/entity_stats). On when `enabled` is set
+// or a JSON output path is given. Everything in it is counts and simulated
+// time, so the report is byte-identical across reruns of the same seed.
+struct HeatmapConfig {
+  bool enabled = false;
+  std::string json_out;  // write the {"type":"heatmap"} JSON here
+
+  bool on() const { return enabled || !json_out.empty(); }
+};
+
+// Wall-clock phase profiler (core/phase_profiler). Deliberately NOISY —
+// results surface only in noisy output blocks, never in deterministic ones.
+struct PhaseConfig {
+  bool enabled = false;
+};
+
+// GVT-progress watchdog: if GVT stops advancing for longer than
+// `stall_wall_seconds` of real time while the engine still has work, dump a
+// diagnostic snapshot (when `snapshot_out` is set) and throw. 0 disables.
+// Wall-clock by design: a healthy run's outputs are unaffected, and a stall
+// is a bug regardless of where the wall budget lands.
+struct WatchdogConfig {
+  double stall_wall_seconds = 0.0;
+  std::string snapshot_out;  // write the {"type":"watchdog_snapshot"} JSON here
+
+  bool on() const { return stall_wall_seconds > 0.0; }
+};
+
 struct ExperimentConfig {
   ModelKind model = ModelKind::kRaid;
   models::RaidParams raid;
@@ -95,6 +125,9 @@ struct ExperimentConfig {
   MetricsConfig metrics;  // observability: GVT-cadence counter samples
   ProfileConfig profile;  // observability: cascade / critical-path profiler
   LatencyConfig latency;  // observability: tail-latency histograms
+  HeatmapConfig heatmap;  // observability: per-entity hotspot attribution
+  PhaseConfig phase;      // observability: wall-clock phase timers (noisy)
+  WatchdogConfig watchdog;  // liveness: fail fast on a stalled GVT
 };
 
 struct ExperimentResult {
@@ -161,6 +194,14 @@ struct ExperimentResult {
   // Tail-latency summary (all-zero unless cfg.latency is on). Fully
   // deterministic: counts, min/max, and interpolated quantiles alike.
   LatencyReport latency;
+  // Per-entity heatmap JSON (empty unless cfg.heatmap is on). Deterministic:
+  // integer counts and simulated nanoseconds only.
+  std::string heatmap_json;
+  // Wall-clock phase attribution (zero unless cfg.phase.enabled). NOISY —
+  // report only next to wall_seconds, never in a deterministic block.
+  bool phase_enabled = false;
+  std::array<double, kPhaseCount> phase_seconds{};
+  std::array<std::uint64_t, kPhaseCount> phase_calls{};
 
   std::string to_string() const;
 };
@@ -177,7 +218,10 @@ struct Testbed {
 
   bool all_stopped() const;
   // Runs until every kernel terminated or the cap; returns completed flag.
-  bool run_to_completion(double max_sim_seconds);
+  // When `watchdog` is armed, a GVT stall dumps its snapshot and throws
+  // std::runtime_error (run_parallel turns that into a failed result row).
+  bool run_to_completion(double max_sim_seconds,
+                         const WatchdogConfig& watchdog = {});
 };
 
 // Throws std::invalid_argument when `cfg` cannot build a testbed (e.g. zero

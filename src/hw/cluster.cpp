@@ -7,7 +7,7 @@ namespace nicwarp::hw {
 Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory& firmware,
                  std::uint64_t seed, const FaultPlan& faults)
     : cost_(cost), seed_(seed),
-      network_(engine_, stats_, cost_, pool_, num_nodes, &trace_) {
+      network_(engine_, stats_, cost_, pool_, num_nodes, &trace_, &entity_) {
   NW_CHECK(num_nodes >= 1);
   if (faults.enabled()) network_.set_fault_plan(faults);
   nodes_.reserve(num_nodes);
@@ -15,7 +15,7 @@ Cluster::Cluster(CostModel cost, std::uint32_t num_nodes, const FirmwareFactory&
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(engine_, stats_, cost_, i, num_nodes,
                                             network_, pool_, firmware(i), &trace_,
-                                            &latency_));
+                                            &latency_, &entity_, &phases_));
     rngs_.push_back(std::make_unique<Rng>(seed, "node" + std::to_string(i)));
   }
   network_.set_sink(

@@ -5,7 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/entity_stats.hpp"
 #include "core/latency.hpp"
+#include "core/phase_profiler.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -30,6 +32,10 @@ class Cluster {
   TraceRecorder& trace() { return trace_; }
   // Cluster-wide latency recorder; disabled until set_enabled(true).
   LatencyRecorder& latency() { return latency_; }
+  // Per-LP / per-link / per-node heatmap registry; disabled until configure()d.
+  EntityStats& entity() { return entity_; }
+  // Wall-clock phase profiler (noisy); disabled until enable()d.
+  PhaseProfiler& phases() { return phases_; }
   const CostModel& cost() const { return cost_; }
   // Shared packet slab for the whole datapath (comm staging, NIC rings,
   // packets on the wire).
@@ -51,6 +57,8 @@ class Cluster {
   StatsRegistry stats_;
   TraceRecorder trace_;      // must outlive network_ and nodes_
   LatencyRecorder latency_;  // must outlive network_ and nodes_
+  EntityStats entity_;       // must outlive network_ and nodes_
+  PhaseProfiler phases_;     // must outlive network_ and nodes_
   PacketPool pool_;          // must outlive network_ and nodes_
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;

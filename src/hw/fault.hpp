@@ -23,11 +23,16 @@ struct FaultPlan {
   double corrupt_rate{0.0};  // P(header CRC is flipped in flight)
   double delay_rate{0.0};    // P(extra delivery delay is added)
   double delay_max_us{50.0}; // uniform extra delay bound (breaks FIFO order)
+  // P(a GVT token packet vanishes). Targets only kNicGvtToken/kHostGvtToken
+  // and draws from the RNG stream only when armed, so existing plans keep
+  // byte-identical fault schedules. 1.0 starves GVT entirely — the watchdog
+  // test's livelock recipe.
+  double token_drop_rate{0.0};
   std::uint64_t seed{1};     // fault-stream seed, independent of the model seed
 
   bool enabled() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
-           delay_rate > 0.0;
+           delay_rate > 0.0 || token_drop_rate > 0.0;
   }
 };
 

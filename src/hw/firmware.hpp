@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/entity_stats.hpp"
 #include "core/small_fn.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -47,6 +48,9 @@ class NicContext {
   // Defaults to the shared disabled recorder so bare test contexts need not
   // override it.
   virtual TraceRecorder& trace() { return TraceRecorder::null_recorder(); }
+  // Heatmap registry; sites must check entity().enabled() first. Defaults to
+  // the shared disabled registry so bare test contexts need not override it.
+  virtual EntityStats& entity() { return EntityStats::null_stats(); }
 
   // --- send-ring inspection & in-place cancellation ---
   virtual std::size_t send_ring_size() const = 0;

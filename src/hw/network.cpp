@@ -5,10 +5,12 @@
 namespace nicwarp::hw {
 
 Network::Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-                 PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace)
+                 PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace,
+                 EntityStats* entity)
     : engine_(engine),
       stats_(stats),
       trace_(trace ? *trace : TraceRecorder::null_recorder()),
+      entity_(entity ? *entity : EntityStats::null_stats()),
       cost_(cost),
       pool_(pool) {
   links_.reserve(num_nodes);
@@ -39,6 +41,7 @@ void Network::transmit(NodeId src, PacketRef ref, std::function<void()> on_link_
         const PacketHeader& h = pool_.get(ref).hdr;
         stats_.counter("net.packets").add(1);
         stats_.counter("net.bytes").add(h.size_bytes);
+        if (entity_.enabled()) entity_.record_link_packet(src, h.dst, h.size_bytes);
         if (h.kind == PacketKind::kEvent && trace_.enabled(TraceCat::kMsg)) {
           trace_.record({engine_.now(), h.recv_ts, TraceCat::kMsg,
                          TracePoint::kWireDepart, h.negative, src, h.dst,
@@ -63,6 +66,24 @@ void Network::schedule_delivery(PacketRef ref, SimTime extra) {
 
 void Network::deliver_with_faults(NodeId src, PacketRef ref) {
   Rng& rng = fault_rngs_[src];
+  // Targeted GVT-token loss is checked first and draws ONLY when armed, so
+  // plans without it keep byte-identical fault schedules below.
+  if (fault_.token_drop_rate > 0.0) {
+    const PacketHeader& h = pool_.get(ref).hdr;
+    if (h.kind == PacketKind::kNicGvtToken || h.kind == PacketKind::kHostGvtToken) {
+      if (rng.next_double() < fault_.token_drop_rate) {
+        stats_.counter("net.fault_token_drops").add(1);
+        if (entity_.enabled()) entity_.record_link_fault(src, h.dst);
+        if (trace_.enabled(TraceCat::kFault)) {
+          trace_.record({engine_.now(), h.recv_ts, TraceCat::kFault,
+                         TracePoint::kFaultDrop, h.negative, src, h.dst,
+                         h.event_id, h.bip_seq, 0});
+        }
+        pool_.release(ref);
+        return;
+      }
+    }
+  }
   // A FIXED number of draws per packet, consumed unconditionally, so the
   // fault schedule of packet N never depends on which faults hit packets
   // 1..N-1 (stream alignment across sweeps of a single rate knob).
@@ -83,12 +104,14 @@ void Network::deliver_with_faults(NodeId src, PacketRef ref) {
 
   if (u_drop < fault_.drop_rate) {
     stats_.counter("net.fault_drops").add(1);
+    if (entity_.enabled()) entity_.record_link_fault(src, pkt.hdr.dst);
     fault_trace(TracePoint::kFaultDrop, pkt.hdr.bip_seq);
     pool_.release(ref);
     return;  // the fabric ate it; recovery is the NIC's problem
   }
   if (u_corrupt < fault_.corrupt_rate) {
     stats_.counter("net.fault_corrupts").add(1);
+    if (entity_.enabled()) entity_.record_link_fault(src, pkt.hdr.dst);
     fault_trace(TracePoint::kFaultCorrupt, pkt.hdr.bip_seq);
     pkt.hdr.crc ^= 0xdeadbeefu;  // never maps a stamped crc back to itself
   }
@@ -97,10 +120,12 @@ void Network::deliver_with_faults(NodeId src, PacketRef ref) {
     extra = SimTime::from_ns(
         static_cast<std::int64_t>(u_delay_amt * fault_.delay_max_us * 1e3));
     stats_.counter("net.fault_delays").add(1);
+    if (entity_.enabled()) entity_.record_link_fault(src, pkt.hdr.dst);
     fault_trace(TracePoint::kFaultDelay, static_cast<std::uint64_t>(extra.ns));
   }
   if (u_dup < fault_.dup_rate) {
     stats_.counter("net.fault_dups").add(1);
+    if (entity_.enabled()) entity_.record_link_fault(src, pkt.hdr.dst);
     fault_trace(TracePoint::kFaultDup, pkt.hdr.bip_seq);
     schedule_delivery(pool_.clone(ref),
                       extra + SimTime::from_ns(static_cast<std::int64_t>(

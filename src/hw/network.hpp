@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/entity_stats.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -29,9 +30,11 @@ class Network {
  public:
   using Sink = std::function<void(NodeId dst, PacketRef ref)>;
 
-  // `trace` may be null (tests); records then go to a never-enabled sink.
+  // `trace` / `entity` may be null (tests); records then go to a
+  // never-enabled sink.
   Network(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost,
-          PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace = nullptr);
+          PacketPool& pool, std::uint32_t num_nodes, TraceRecorder* trace = nullptr,
+          EntityStats* entity = nullptr);
 
   // Routes packets that complete wire traversal; set once by the Cluster.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
@@ -55,6 +58,7 @@ class Network {
   sim::Engine& engine_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
+  EntityStats& entity_;
   const CostModel& cost_;
   PacketPool& pool_;
   std::vector<std::unique_ptr<sim::Server>> links_;

@@ -10,11 +10,12 @@ namespace nicwarp::hw {
 Nic::Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
          std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
          std::unique_ptr<Firmware> firmware, TraceRecorder* trace,
-         LatencyRecorder* latency)
+         LatencyRecorder* latency, EntityStats* entity)
     : engine_(engine),
       stats_(stats),
       trace_(trace ? *trace : TraceRecorder::null_recorder()),
       latency_(latency ? *latency : LatencyRecorder::null_recorder()),
+      entity_(entity ? *entity : EntityStats::null_stats()),
       cost_(cost),
       id_(id),
       world_size_(world_size),
@@ -37,6 +38,7 @@ bool Nic::tx_slot_available() const {
 void Nic::reserve_tx_slot() {
   NW_CHECK_MSG(tx_slot_available(), "tx slot reservation without availability check");
   ++slots_in_use_;
+  if (entity_.enabled()) entity_.note_ring_occupancy(id_, slots_in_use_);
 }
 
 void Nic::accept_from_host(PacketRef ref) {
@@ -288,6 +290,7 @@ void Nic::rel_go_back_n(NodeId dst, bool force) {
     copy.hdr.rel_ack_pb = rel_rx_[dst].expected_seq;
     copy.hdr.crc = header_crc(copy);
     stats_.counter("nic.retransmits").add(1);
+    if (entity_.enabled()) entity_.record_link_retx(id_, dst);
     if (trace_.enabled(TraceCat::kFault)) {
       trace_.record({engine_.now(), copy.hdr.recv_ts, TraceCat::kFault,
                      TracePoint::kRelRetransmit, copy.hdr.negative, id_, dst,

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/entity_stats.hpp"
 #include "core/flat_ring.hpp"
 #include "core/latency.hpp"
 #include "core/ring_buffer.hpp"
@@ -32,12 +33,13 @@ namespace nicwarp::hw {
 
 class Nic final : public NicContext {
  public:
-  // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace` and
-  // `latency` may be null (tests); records then go to never-enabled sinks.
+  // `bus` is the node's I/O bus (shared with host-side tx DMA). `trace`,
+  // `latency`, and `entity` may be null (tests); records then go to
+  // never-enabled sinks.
   Nic(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
       std::uint32_t world_size, Network& network, sim::Server& bus, PacketPool& pool,
       std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr,
-      LatencyRecorder* latency = nullptr);
+      LatencyRecorder* latency = nullptr, EntityStats* entity = nullptr);
 
   // ----- host-facing interface (called from Node / comm layer) -----
 
@@ -68,6 +70,7 @@ class Nic final : public NicContext {
   StatsRegistry& stats() override { return stats_; }
   TraceRecorder& trace() override { return trace_; }
   LatencyRecorder& latency() { return latency_; }
+  EntityStats& entity() override { return entity_; }
   std::size_t send_ring_size() const override { return send_ring_.size(); }
   const Packet& send_ring_at(std::size_t i) const override;
   Packet& send_ring_mutable_at(std::size_t i) override;
@@ -131,6 +134,7 @@ class Nic final : public NicContext {
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   LatencyRecorder& latency_;
+  EntityStats& entity_;
   const CostModel& cost_;
   NodeId id_;
   std::uint32_t world_size_;

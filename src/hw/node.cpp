@@ -7,7 +7,7 @@ namespace nicwarp::hw {
 Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
            std::uint32_t world_size, Network& network, PacketPool& pool,
            std::unique_ptr<Firmware> firmware, TraceRecorder* trace,
-           LatencyRecorder* latency)
+           LatencyRecorder* latency, EntityStats* entity, PhaseProfiler* phases)
     : engine_(engine),
       stats_(stats),
       cost_(cost),
@@ -15,9 +15,10 @@ Node::Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, Nod
       world_size_(world_size),
       pool_(pool),
       host_cpu_(engine, "host" + std::to_string(id) + ".cpu", &stats),
-      bus_(engine, "bus" + std::to_string(id), &stats) {
+      bus_(engine, "bus" + std::to_string(id), &stats),
+      phases_(phases ? phases : &PhaseProfiler::null_profiler()) {
   nic_ = std::make_unique<Nic>(engine, stats, cost, id, world_size, network, bus_,
-                               pool, std::move(firmware), trace, latency);
+                               pool, std::move(firmware), trace, latency, entity);
   nic_->set_host_deliver([this](PacketRef ref) {
     // The packet landed in host memory; charge the host receive path
     // (interrupt + protocol stack) before the comm layer sees it.

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/phase_profiler.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "hw/cost_model.hpp"
@@ -19,12 +20,13 @@ namespace nicwarp::hw {
 
 class Node {
  public:
-  // `trace`/`latency` may be null (tests); records then go to a
-  // never-enabled sink.
+  // `trace`/`latency`/`entity`/`phases` may be null (tests); records then go
+  // to a never-enabled sink.
   Node(sim::Engine& engine, StatsRegistry& stats, const CostModel& cost, NodeId id,
        std::uint32_t world_size, Network& network, PacketPool& pool,
        std::unique_ptr<Firmware> firmware, TraceRecorder* trace = nullptr,
-       LatencyRecorder* latency = nullptr);
+       LatencyRecorder* latency = nullptr, EntityStats* entity = nullptr,
+       PhaseProfiler* phases = nullptr);
 
   NodeId id() const { return id_; }
   std::uint32_t world_size() const { return world_size_; }
@@ -37,6 +39,8 @@ class Node {
   StatsRegistry& stats() { return stats_; }
   TraceRecorder& trace() { return nic_->trace(); }
   LatencyRecorder& latency() { return nic_->latency(); }
+  EntityStats& entity() { return nic_->entity(); }
+  PhaseProfiler& phases() { return *phases_; }
   PacketPool& pool() { return pool_; }
 
   // --- raw packet interface for the comm layer (host-task context) ---
@@ -76,6 +80,7 @@ class Node {
   sim::Server host_cpu_;
   sim::Server bus_;
   std::unique_ptr<Nic> nic_;
+  PhaseProfiler* phases_;  // never null; defaults to the null profiler
   std::function<void(PacketRef)> raw_rx_;
 };
 

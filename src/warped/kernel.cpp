@@ -56,6 +56,7 @@ Kernel::Kernel(hw::Node& node, comm::HostComm& comm, std::shared_ptr<const Parti
   // The LP is purely virtual-time; hand it the node clock so fossil
   // collection can compute modeled commit latencies.
   lp_.set_latency(&node.latency(), [this] { return node_.engine().now(); });
+  lp_.set_phases(&node.phases());
   comm_.set_deliver([this](hw::Packet pkt) { on_deliver(std::move(pkt)); });
   mgr_->attach(*this);
 }
@@ -103,6 +104,7 @@ void Kernel::send_control(hw::Packet pkt) {
 }
 
 void Kernel::on_new_gvt(VirtualTime g) {
+  ScopedPhaseTimer phase_scope(&node_.phases(), Phase::kGvt);
   if (node_.trace().enabled(TraceCat::kGvt)) {
     node_.trace().record({now(), g, TraceCat::kGvt, TracePoint::kGvtHostAdopt,
                           false, rank(), kInvalidNode, kInvalidEvent,
@@ -160,7 +162,11 @@ SimTime Kernel::do_step() {
 
   if (!lp_.has_ready_event() || stopped_) return cost().us(cost_us + 0.5);
 
-  LogicalProcess::ExecResult r = lp_.execute_next();
+  LogicalProcess::ExecResult r;
+  {
+    ScopedPhaseTimer phase_scope(&node_.phases(), Phase::kEventExec);
+    r = lp_.execute_next();
+  }
   NW_CHECK(r.executed);
   if (opts_.profile != nullptr) {
     opts_.profile->on_execute(rank(), r.obj, r.id, r.ts);
@@ -289,10 +295,12 @@ void Kernel::on_deliver(hw::Packet pkt) {
     case hw::PacketKind::kNicGvtToken:
     case hw::PacketKind::kPGvtRequest:
     case hw::PacketKind::kPGvtReport:
-    case hw::PacketKind::kAck:
+    case hw::PacketKind::kAck: {
+      ScopedPhaseTimer phase_scope(&node_.phases(), Phase::kGvt);
       mgr_->on_control(pkt);
       pump();
       return;
+    }
     case hw::PacketKind::kCreditUpdate:
       return;  // consumed by HostComm before it gets here
     case hw::PacketKind::kNak:

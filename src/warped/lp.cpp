@@ -133,12 +133,18 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
     for (std::size_t i = 0; i < rt.processed.size(); ++i) {
       if (rt.processed[i].ev.id == ev.id) {
         std::vector<EventId>* sink = collect_undone_ ? &res.undone_ids : nullptr;
-        if (scope_ == RollbackScope::kLp) {
-          // Copy the pivot: rollback_all mutates the deque it lives in.
-          const EventMsg pivot = rt.processed[i].ev;
-          res.events_undone = rollback_all(pivot, res.antis, res.events_replayed, sink);
-        } else {
-          res.events_undone = rollback_to(rt, i, res.antis, res.events_replayed, sink);
+        {
+          ScopedPhaseTimer phase_scope(phases_, Phase::kRollback);
+          if (scope_ == RollbackScope::kLp) {
+            // Copy the pivot: rollback_all mutates the deque it lives in.
+            const EventMsg pivot = rt.processed[i].ev;
+            res.events_undone = rollback_all(pivot, res.antis, res.events_replayed, sink);
+          } else {
+            res.events_undone = rollback_to(rt, i, res.antis, res.events_replayed, sink);
+          }
+        }
+        if (res.events_undone > max_rollback_depth_) {
+          max_rollback_depth_ = res.events_undone;
         }
         res.rollback = true;
         // The straggler positive is now the least pending event for this
@@ -186,11 +192,17 @@ LogicalProcess::InsertResult LogicalProcess::insert(EventMsg ev, bool from_netwo
   // Straggler detection against the canonical order.
   if (is_straggler(rt, ev)) {
     std::vector<EventId>* sink = collect_undone_ ? &res.undone_ids : nullptr;
-    if (scope_ == RollbackScope::kLp) {
-      res.events_undone = rollback_all(ev, res.antis, res.events_replayed, sink);
-    } else {
-      res.events_undone = rollback_to(rt, rollback_pos(rt, ev), res.antis,
-                                      res.events_replayed, sink);
+    {
+      ScopedPhaseTimer phase_scope(phases_, Phase::kRollback);
+      if (scope_ == RollbackScope::kLp) {
+        res.events_undone = rollback_all(ev, res.antis, res.events_replayed, sink);
+      } else {
+        res.events_undone = rollback_to(rt, rollback_pos(rt, ev), res.antis,
+                                        res.events_replayed, sink);
+      }
+    }
+    if (res.events_undone > max_rollback_depth_) {
+      max_rollback_depth_ = res.events_undone;
     }
     res.rollback = true;
     stats_.counter("tw.straggler_rollbacks").add(1);
@@ -303,8 +315,12 @@ std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
   if (snap < pos && rt.processed[pos].pre_state == nullptr) {
     // The coast-forward rebuilt exactly the pre-state of `pos`; snapshot it
     // so this record can anchor future rollbacks directly.
+    ScopedPhaseTimer save_scope(phases_, Phase::kStateSave);
     rt.processed[pos].pre_state = rt.obj->snapshot_state();
+    state_saves_ += 1;
+    state_save_bytes_ += rt.processed[pos].pre_state->byte_size();
   }
+  events_replayed_ += pos - snap;
   stats_.counter("tw.events_replayed").add(static_cast<std::int64_t>(pos - snap));
 
   for (std::size_t i = pos; i < rt.processed.size(); ++i) {
@@ -427,7 +443,10 @@ LogicalProcess::ExecResult LogicalProcess::execute_next() {
   // rollback can only restore from a snapshot at or before its position.
   if (best->processed.empty() ||
       best->exec_count % static_cast<std::uint64_t>(state_save_period_) == 0) {
+    ScopedPhaseTimer save_scope(phases_, Phase::kStateSave);
     rec.pre_state = best->obj->snapshot_state();
+    state_saves_ += 1;
+    state_save_bytes_ += rec.pre_state->byte_size();
   }
   best->exec_count += 1;
 

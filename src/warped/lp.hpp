@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/latency.hpp"
+#include "core/phase_profiler.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
@@ -130,6 +131,11 @@ class LogicalProcess {
   std::uint64_t lazy_records() const;
   std::uint64_t events_rolled_back() const { return events_rolled_back_; }
   std::uint64_t rollbacks() const { return rollbacks_; }
+  // --- heatmap counters (EntityStats harvest) ---
+  std::uint64_t max_rollback_depth() const { return max_rollback_depth_; }
+  std::uint64_t events_replayed() const { return events_replayed_; }
+  std::uint64_t state_saves() const { return state_saves_; }
+  std::uint64_t state_save_bytes() const { return state_save_bytes_; }
   std::uint64_t committed_lower_bound() const {
     return events_processed_ - events_rolled_back_;
   }
@@ -146,6 +152,11 @@ class LogicalProcess {
   void set_latency(LatencyRecorder* recorder, std::function<SimTime()> clock) {
     latency_ = recorder;
     latency_clock_ = std::move(clock);
+  }
+  // Wall-clock phase attribution (state saves, rollbacks). Null restores the
+  // shared disabled profiler.
+  void set_phases(PhaseProfiler* phases) {
+    phases_ = phases != nullptr ? phases : &PhaseProfiler::null_profiler();
   }
   std::size_t total_pending() const;
   std::size_t total_processed_records() const;
@@ -264,10 +275,15 @@ class LogicalProcess {
   std::uint64_t events_processed_{0};
   std::uint64_t events_rolled_back_{0};
   std::uint64_t rollbacks_{0};
+  std::uint64_t max_rollback_depth_{0};  // largest single-rollback undo count
+  std::uint64_t events_replayed_{0};     // coast-forward re-executions
+  std::uint64_t state_saves_{0};
+  std::uint64_t state_save_bytes_{0};
   VirtualTime max_gvt_seen_{VirtualTime::zero()};
 
   LatencyRecorder* latency_{nullptr};
   std::function<SimTime()> latency_clock_;
+  PhaseProfiler* phases_{&PhaseProfiler::null_profiler()};
 };
 
 }  // namespace nicwarp::warped

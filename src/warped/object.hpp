@@ -28,6 +28,10 @@ struct State {
   std::int64_t signature{0};
   virtual ~State() = default;
   virtual std::unique_ptr<State> clone() const = 0;
+  // Approximate footprint of one saved copy (heatmap state_save_bytes
+  // attribution). The default undercounts states with out-of-line storage;
+  // override for exact accounting.
+  virtual std::size_t byte_size() const { return sizeof(State); }
 };
 
 // CRTP convenience: gives a copyable state struct its clone().
@@ -36,6 +40,7 @@ struct CloneableState : State {
   std::unique_ptr<State> clone() const override {
     return std::make_unique<Derived>(static_cast<const Derived&>(*this));
   }
+  std::size_t byte_size() const override { return sizeof(Derived); }
 };
 
 // Interface through which execute() affects the world.

@@ -1,0 +1,291 @@
+// Tests for the per-entity hotspot layer and the GVT-progress watchdog:
+// EntityStats unit behavior (high-water marks, custody accounting, JSON
+// shape), phase-profiler gating, heatmap byte-determinism end-to-end, the
+// per-LP heat agreeing with the cascade profiler's per-node waste on a
+// seeded chaos run, and the watchdog detecting a token-starved GVT stall.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/entity_stats.hpp"
+#include "core/phase_profiler.hpp"
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EntityStats unit tests
+// ---------------------------------------------------------------------------
+
+TEST(EntityStats, DisabledByDefaultAndNullStatsIsDisabled) {
+  EntityStats es;
+  EXPECT_FALSE(es.enabled());
+  EXPECT_FALSE(EntityStats::null_stats().enabled());
+}
+
+TEST(EntityStats, HighWaterAndCustodyAccounting) {
+  EntityStats es;
+  es.configure(3);
+  ASSERT_TRUE(es.enabled());
+  EXPECT_EQ(es.nodes(), 3u);
+
+  es.note_ring_occupancy(1, 4);
+  es.note_ring_occupancy(1, 9);
+  es.note_ring_occupancy(1, 2);  // below the mark: must not regress
+  EXPECT_EQ(es.node(1).ring_occupancy_hw, 9u);
+
+  es.record_gvt_token_hold(2, 100);
+  es.record_gvt_token_hold(2, 50);
+  EXPECT_EQ(es.node(2).gvt_tokens, 2u);
+  EXPECT_EQ(es.node(2).gvt_token_hold_ns, 150u);
+  EXPECT_EQ(es.node(2).gvt_token_hold_max_ns, 100u);
+
+  es.record_link_packet(0, 1, 64);
+  es.record_link_packet(0, 1, 36);
+  es.record_link_retx(0, 1);
+  es.record_link_fault(1, 0);
+  es.note_link_queue_depth(0, 1, 7);
+  es.note_link_queue_depth(0, 1, 3);
+  const EntityStats& ces = es;
+  EXPECT_EQ(ces.link(0, 1).packets, 2u);
+  EXPECT_EQ(ces.link(0, 1).bytes, 100u);
+  EXPECT_EQ(ces.link(0, 1).retransmits, 1u);
+  EXPECT_EQ(ces.link(0, 1).queue_depth_hw, 7u);
+  EXPECT_EQ(ces.link(1, 0).faults, 1u);
+  EXPECT_EQ(ces.link(2, 0).packets, 0u);
+}
+
+TEST(EntityStats, JsonListsOnlyActiveLinksInRowMajorOrder) {
+  EntityStats es;
+  es.configure(2);
+  es.record_link_packet(1, 0, 10);
+  std::ostringstream os;
+  es.to_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"type\": \"heatmap\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema_version\": 1"), std::string::npos);
+  // The silent 0->1 link is omitted; the active 1->0 one is present.
+  EXPECT_EQ(j.find("{\"src\": 0"), std::string::npos);
+  EXPECT_NE(j.find("{\"src\": 1, \"dst\": 0, \"packets\": 1, \"bytes\": 10"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseProfiler unit tests
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfiler, DisabledScopeRecordsNothing) {
+  PhaseProfiler p;
+  { ScopedPhaseTimer t(&p, Phase::kRollback); }
+  { ScopedPhaseTimer t(nullptr, Phase::kRollback); }
+  EXPECT_EQ(p.calls(Phase::kRollback), 0u);
+  EXPECT_EQ(p.nanos(Phase::kRollback), 0u);
+  EXPECT_FALSE(PhaseProfiler::null_profiler().enabled());
+}
+
+TEST(PhaseProfiler, EnabledScopeAccumulates) {
+  PhaseProfiler p;
+  p.enable();
+  { ScopedPhaseTimer t(&p, Phase::kGvt); }
+  { ScopedPhaseTimer t(&p, Phase::kGvt); }
+  EXPECT_EQ(p.calls(Phase::kGvt), 2u);
+  EXPECT_EQ(p.calls(Phase::kEventExec), 0u);
+  p.add(Phase::kCommPump, 2'000'000'000ull);
+  EXPECT_DOUBLE_EQ(p.seconds(Phase::kCommPump), 2.0);
+  EXPECT_STREQ(phase_name(Phase::kEventExec), "event_exec");
+  EXPECT_STREQ(phase_name(Phase::kCommPump), "comm_pump");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: full testbed runs
+// ---------------------------------------------------------------------------
+
+harness::ExperimentConfig heat_config() {
+  harness::ExperimentConfig cfg;
+  cfg.model = harness::ModelKind::kRaid;
+  cfg.raid.total_requests = 1200;
+  cfg.nodes = 4;
+  cfg.seed = 23;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 100;
+  cfg.early_cancel = true;
+  cfg.max_sim_seconds = 600;
+  cfg.heatmap.enabled = true;
+  return cfg;
+}
+
+harness::ExperimentConfig chaos_heat_config() {
+  harness::ExperimentConfig cfg = heat_config();
+  cfg.fault.drop_rate = 0.01;
+  cfg.fault.seed = 11;
+  return cfg;
+}
+
+TEST(HeatmapE2E, SameSeedRerunsAreByteIdenticalIncludingChaos) {
+  for (const auto& cfg : {heat_config(), chaos_heat_config()}) {
+    const harness::ExperimentResult r1 = harness::run_experiment(cfg);
+    const harness::ExperimentResult r2 = harness::run_experiment(cfg);
+    ASSERT_TRUE(r1.completed);
+    ASSERT_FALSE(r1.heatmap_json.empty());
+    EXPECT_EQ(r1.heatmap_json, r2.heatmap_json)
+        << "heatmap must be byte-identical for a fixed seed";
+    EXPECT_NE(r1.heatmap_json.find("\"type\": \"heatmap\""), std::string::npos);
+    EXPECT_EQ(r1.signature, r2.signature);
+  }
+}
+
+TEST(HeatmapE2E, EnablingObservabilityDoesNotPerturbTheRun) {
+  harness::ExperimentConfig plain = heat_config();
+  plain.heatmap.enabled = false;
+  harness::ExperimentConfig instrumented = heat_config();
+  instrumented.phase.enabled = true;
+  instrumented.watchdog.stall_wall_seconds = 60.0;  // armed, never fires
+
+  const harness::ExperimentResult a = harness::run_experiment(plain);
+  const harness::ExperimentResult b = harness::run_experiment(instrumented);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_TRUE(a.heatmap_json.empty());
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.committed_events, b.committed_events);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  // The phase profiler saw the run's hot paths.
+  EXPECT_FALSE(a.phase_enabled);
+  EXPECT_TRUE(b.phase_enabled);
+  EXPECT_GT(b.phase_calls[static_cast<std::size_t>(Phase::kEventExec)], 0u);
+  EXPECT_GT(b.phase_calls[static_cast<std::size_t>(Phase::kStateSave)], 0u);
+  EXPECT_GT(b.phase_calls[static_cast<std::size_t>(Phase::kGvt)], 0u);
+  EXPECT_GT(b.phase_calls[static_cast<std::size_t>(Phase::kCommPump)], 0u);
+}
+
+TEST(HeatmapE2E, PerLpHeatMatchesProfilerCascadeTotals) {
+  // kObject scope makes the counts line up one-to-one: each rollback trigger
+  // undoes exactly one object's records, so the LP's rollback counter and
+  // the cascade profiler's per-node rollback count advance in lock-step.
+  harness::ExperimentConfig cfg = chaos_heat_config();
+  cfg.rollback_scope = warped::RollbackScope::kObject;
+  cfg.profile.enabled = true;
+
+  harness::Testbed tb = harness::build_testbed(cfg);
+  const bool completed = tb.run_to_completion(cfg.max_sim_seconds);
+  const harness::ExperimentResult r = harness::extract_result(tb, completed);
+  ASSERT_TRUE(completed);
+  ASSERT_GT(r.rollbacks, 0) << "chaos run produced no rollbacks to attribute";
+  ASSERT_NE(r.profile, nullptr);
+
+  const EntityStats& es = tb.cluster->entity();
+  ASSERT_TRUE(es.enabled());
+  std::uint64_t heat_rolled_back = 0;
+  std::uint64_t heat_processed = 0;
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    const LpHeat& h = es.lp(n);
+    heat_rolled_back += h.rolled_back;
+    heat_processed += h.processed;
+    EXPECT_EQ(h.committed, h.processed - h.rolled_back);
+    EXPECT_LE(h.max_rollback_depth, h.rolled_back);
+    const auto it = r.profile->cascades.per_node.find(n);
+    if (it == r.profile->cascades.per_node.end()) {
+      EXPECT_EQ(h.rollbacks, 0u);
+      continue;
+    }
+    EXPECT_EQ(h.rollbacks, it->second.rollbacks) << "rank " << n;
+    EXPECT_EQ(h.rolled_back, it->second.wasted_events) << "rank " << n;
+    EXPECT_EQ(h.replayed, it->second.replayed_events) << "rank " << n;
+  }
+  EXPECT_EQ(heat_rolled_back, static_cast<std::uint64_t>(r.events_rolled_back));
+  EXPECT_EQ(heat_processed, static_cast<std::uint64_t>(r.events_processed));
+  // Chaos ran through the heat-mapped fabric: injected faults and recovery
+  // retransmits must be attributed to links.
+  std::uint64_t link_faults = 0;
+  std::uint64_t link_packets = 0;
+  for (std::uint32_t s = 0; s < cfg.nodes; ++s) {
+    for (std::uint32_t d = 0; d < cfg.nodes; ++d) {
+      link_faults += es.link(s, d).faults;
+      link_packets += es.link(s, d).packets;
+    }
+  }
+  EXPECT_EQ(link_faults, static_cast<std::uint64_t>(
+                             r.fault_drops + r.fault_dups + r.fault_corrupts +
+                             r.fault_delays));
+  EXPECT_EQ(link_packets, static_cast<std::uint64_t>(r.wire_packets));
+}
+
+// ---------------------------------------------------------------------------
+// GVT-progress watchdog
+// ---------------------------------------------------------------------------
+
+TEST(GvtWatchdog, HealthyRunNeverFires) {
+  harness::ExperimentConfig cfg = heat_config();
+  cfg.watchdog.stall_wall_seconds = 60.0;
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(GvtWatchdog, DetectsSeededTokenStarvation) {
+  // The stall recipe: NIC-resident GVT with piggybacking off moves every
+  // token as a dedicated wire packet; a 100% token drop starves the ring —
+  // root regeneration just feeds the same shredder — while NIC poll timers
+  // keep the engine busy forever. Virtual time freezes, wall time does not.
+  harness::ExperimentConfig cfg;
+  cfg.model = harness::ModelKind::kPhold;
+  cfg.phold.objects = 8;
+  cfg.phold.horizon = 2000;
+  cfg.nodes = 2;
+  cfg.seed = 7;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.piggyback = false;
+  cfg.fault.token_drop_rate = 1.0;
+  cfg.fault.seed = 11;
+  cfg.trace.categories = "watchdog";
+  cfg.watchdog.stall_wall_seconds = 0.05;
+  cfg.watchdog.snapshot_out =
+      testing::TempDir() + "nicwarp_watchdog_snapshot.json";
+
+  harness::Testbed tb = harness::build_testbed(cfg);
+  try {
+    tb.run_to_completion(cfg.max_sim_seconds, cfg.watchdog);
+    FAIL() << "watchdog did not fire on a fully token-starved GVT ring";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("GVT watchdog"), std::string::npos);
+  }
+  // The stall was recorded in the watchdog trace category...
+  EXPECT_GT(tb.cluster->trace().total_recorded(), 0u);
+  // ...and the diagnostic snapshot landed on disk before the throw.
+  std::ifstream snap(cfg.watchdog.snapshot_out);
+  ASSERT_TRUE(snap.good());
+  std::stringstream ss;
+  ss << snap.rdbuf();
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("\"type\": \"watchdog_snapshot\""), std::string::npos);
+  EXPECT_NE(s.find("\"stuck_gvt\""), std::string::npos);
+  EXPECT_NE(s.find("\"nic_ring_slots_in_use\""), std::string::npos);
+  EXPECT_NE(s.find("\"kernels\""), std::string::npos);
+}
+
+TEST(GvtWatchdog, StallSurfacesAsFailedResultThroughRunParallel) {
+  harness::ExperimentConfig cfg;
+  cfg.model = harness::ModelKind::kPhold;
+  cfg.phold.objects = 8;
+  cfg.phold.horizon = 2000;
+  cfg.nodes = 2;
+  cfg.seed = 7;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.piggyback = false;
+  cfg.fault.token_drop_rate = 1.0;
+  cfg.fault.seed = 11;
+  cfg.watchdog.stall_wall_seconds = 0.05;
+
+  const auto results = harness::run_parallel({cfg}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].failed());
+  EXPECT_NE(results[0].error.find("GVT watchdog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicwarp

@@ -127,17 +127,22 @@ def main(argv):
         for key in cdet:
             if key not in bdet:
                 drifted.append((key, "<missing>", cdet[key], "not in baseline"))
+        # Name the scenario's bench group next to every failure so a drifted
+        # key can be mapped to its sweep family (smoke/chaos/micro/...)
+        # without opening the JSON.
+        group = c.get("group", b.get("group", "?"))
         if drifted:
             failures += len(drifted)
-            print(f"FAIL {name}: {len(drifted)} deterministic key(s) drifted")
+            print(f"FAIL {name} [group={group}]: "
+                  f"{len(drifted)} deterministic key(s) drifted")
             width = max(len(k) for k, *_ in drifted)
             for key, bval, cval, detail in drifted:
                 print(f"  {key:<{width}}  expected {bval!r}  actual {cval!r}  ({detail})")
         bwall = b["noisy"]["wall_seconds"]
         cwall = c["noisy"]["wall_seconds"]
         if cwall > bwall * (1.0 + wall_tolerance):
-            print(f"FAIL {name}: wall_seconds {bwall:.3f} -> {cwall:.3f} "
-                  f"(slower than {1.0 + wall_tolerance:g}x baseline)")
+            print(f"FAIL {name} [group={group}]: wall_seconds {bwall:.3f} -> "
+                  f"{cwall:.3f} (slower than {1.0 + wall_tolerance:g}x baseline)")
             failures += 1
 
     if failures:

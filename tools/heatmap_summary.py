@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Summarize a nicwarp per-entity heatmap JSON on the console.
+
+Reads the {"type": "heatmap"} document written by `sweep_cli --heatmap-out`
+(or ExperimentResult.heatmap_json) and prints the hottest entities:
+
+  $ ./sweep_cli model=phold --heatmap-out heat.json
+  $ python3 tools/heatmap_summary.py heat.json [--top=N]
+
+Three tables come out:
+  * LPs ranked by events rolled back (the rollback-waste hotspots), with
+    commit efficiency, max rollback depth, coast-forward replays, and
+    state-save volume per rank;
+  * nodes ranked by NIC send-ring high-water, with credit stalls and GVT
+    token custody time (total and max, simulated ns);
+  * links ranked by retransmits + faults, with packet/byte volume and the
+    credit-queue high-water mark.
+
+Every value in the document is a count or simulated nanoseconds, so the
+output is byte-identical across reruns of the same seed. Only the Python
+standard library is used. The field lists live in tools/trace_schema.json
+(`heatmap` block); a ctest keeps that manifest in sync with the C++ emitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("type") != "heatmap" or doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: not a heatmap schema_version 1 document")
+    return doc
+
+
+def fmt_row(cols, widths):
+    return "  ".join(f"{c:>{w}}" for c, w in zip(cols, widths))
+
+
+def print_table(title, header, rows, out):
+    if not rows:
+        return
+    widths = [max(len(str(h)), max(len(str(r[i])) for r in rows))
+              for i, h in enumerate(header)]
+    print(f"== {title} ==", file=out)
+    print(fmt_row(header, widths), file=out)
+    for r in rows:
+        print(fmt_row([str(c) for c in r], widths), file=out)
+    print(file=out)
+
+
+def summarize(doc, top, out):
+    lps = sorted(doc.get("lps", []), key=lambda l: (-l["rolled_back"], l["rank"]))
+    rows = []
+    for l in lps[:top]:
+        eff = (l["committed"] / l["processed"]) if l["processed"] else 0.0
+        rows.append([l["rank"], l["committed"], l["processed"], l["rolled_back"],
+                     l["rollbacks"], l["max_rollback_depth"], l["replayed"],
+                     l["state_saves"], l["state_save_bytes"], f"{eff:.3f}"])
+    print_table(
+        "LP heat (by events rolled back)",
+        ["rank", "committed", "processed", "rolled_back", "rollbacks",
+         "max_depth", "replayed", "saves", "save_bytes", "efficiency"],
+        rows, out)
+
+    nodes = sorted(doc.get("node_heat", []),
+                   key=lambda n: (-n["ring_occupancy_hw"], n["rank"]))
+    rows = [[n["rank"], n["ring_occupancy_hw"], n["credit_stalls"],
+             n["gvt_tokens"], n["gvt_token_hold_ns"], n["gvt_token_hold_max_ns"]]
+            for n in nodes[:top]]
+    print_table(
+        "node heat (by NIC ring high-water)",
+        ["rank", "ring_hw", "credit_stalls", "gvt_tokens",
+         "token_hold_ns", "token_hold_max_ns"],
+        rows, out)
+
+    links = sorted(doc.get("links", []),
+                   key=lambda l: (-(l["retransmits"] + l["faults"]),
+                                  -l["packets"], l["src"], l["dst"]))
+    rows = [[f"{l['src']}->{l['dst']}", l["packets"], l["bytes"],
+             l["retransmits"], l["faults"], l["queue_depth_hw"]]
+            for l in links[:top]]
+    print_table(
+        "link heat (by retransmits + faults)",
+        ["link", "packets", "bytes", "retransmits", "faults", "queue_hw"],
+        rows, out)
+
+    total_rb = sum(l["rolled_back"] for l in doc.get("lps", []))
+    total_proc = sum(l["processed"] for l in doc.get("lps", []))
+    eff = (1.0 - total_rb / total_proc) if total_proc else 0.0
+    print(f"{doc.get('nodes', 0)} nodes, {len(doc.get('links', []))} active "
+          f"links; cluster efficiency {eff:.3f} "
+          f"({total_rb} of {total_proc} executions rolled back)", file=out)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+", help="heatmap JSON file(s)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="rows per table (default 10)")
+    args = ap.parse_args()
+    for path in args.files:
+        try:
+            doc = load(path)
+        except (OSError, ValueError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+        if len(args.files) > 1:
+            print(f"--- {path} ---")
+        summarize(doc, args.top, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -37,7 +37,7 @@ MSG_POINTS = [
     "host-deliver",
 ]
 TERMINAL_DROPS = {"nic-drop-tx", "nic-drop-ring"}
-INSTANT_CATS = ("cancel", "rollback", "credit", "gvt")
+INSTANT_CATS = ("cancel", "rollback", "credit", "gvt", "fault", "watchdog")
 
 SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "trace_schema.json")
@@ -182,15 +182,18 @@ def summarize_msg(records, out):
 
 
 def summarize_instants(records, out):
+    """Per-category instant-point tallies for every non-msg category the
+    schema manifest declares — new categories show up with no code change."""
     inst = Counter()
     for r in records:
         if r["kind"] == "trace" and r["cat"] in INSTANT_CATS:
             inst[(r["cat"], r["point"])] += 1
     if not inst:
         return
-    print("== cancel / rollback / credit / gvt points ==", file=out)
+    print("== " + " / ".join(INSTANT_CATS) + " points ==", file=out)
+    cat_w = max(9, max(len(c) for c in INSTANT_CATS))
     for (cat, point), n in sorted(inst.items()):
-        print(f"  {cat:9s} {point:24s} {n:8d}", file=out)
+        print(f"  {cat:{cat_w}s} {point:24s} {n:8d}", file=out)
     print(file=out)
 
 
