@@ -5,12 +5,24 @@
 // amortizes the copy but forces a coast-forward replay from the nearest
 // snapshot on rollback. The sweet spot depends on the rollback rate — this
 // bench sweeps the period on both a mild workload (RAID) and a
-// rollback-heavy one (POLICE).
+// rollback-heavy one (POLICE), then adds two rows the fixed sweep can't
+// reach: the adaptive checkpoint interval (period 0, recomputed from the
+// observed rollback rate) and the incremental undo-log, which replaces the
+// per-step clone with record-before-write logging.
+//
+// Saved-bytes columns report what each discipline actually paid: snapshot
+// bytes for copy saving, logged undo bytes for incremental. Before this
+// column existed the table silently conflated "snapshots taken" with
+// "bytes copied", hiding the fact that period-k saving still clones the
+// whole state on the steps it does save.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace nicwarp;
-  const std::vector<std::int64_t> periods = {1, 2, 4, 8, 16, 64};
+  // Period 0 = adaptive interval; the trailing entry reruns the workload in
+  // incremental (undo-log) mode, where the period only paces snapshots kept
+  // as a fallback for overflow/stale-mark rollbacks.
+  const std::vector<std::int64_t> periods = {1, 2, 4, 8, 16, 64, 0};
 
   std::vector<harness::ExperimentConfig> cfgs;
   for (auto model : {harness::ModelKind::kRaid, harness::ModelKind::kPolice}) {
@@ -21,31 +33,53 @@ int main(int argc, char** argv) {
       cfg.state_save_period = p;
       cfgs.push_back(cfg);
     }
+    harness::ExperimentConfig cfg = bench::gvt_preset(model);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.state_save_period = 0;
+    cfg.state_mode = warped::StateSaveMode::kIncremental;
+    cfgs.push_back(cfg);
   }
   bench::enable_latency(cfgs);
   const auto results = bench::run_sweep(cfgs);
 
+  const std::size_t rows = periods.size() + 1;  // + incremental
+  auto row_label = [&](std::size_t i) -> std::string {
+    if (i == periods.size()) return "incr";
+    if (periods[i] == 0) return "adaptive";
+    return std::to_string(periods[i]);
+  };
+  auto saved_mb = [](const harness::ExperimentResult& r) {
+    // Copy saving reports snapshot bytes; incremental reports logged undo
+    // bytes (its snapshots are the rare fallback, folded in for honesty).
+    return static_cast<double>(r.state_save_bytes + r.undo_bytes_logged) /
+           (1024.0 * 1024.0);
+  };
+
   harness::Table t("Ablation A5 — state-saving period sweep (simulated seconds)");
-  t.set_header({"save period", "RAID (s)", "RAID replays", "POLICE (s)",
-                "POLICE replays", "signatures stable"});
-  for (std::size_t i = 0; i < periods.size(); ++i) {
+  t.set_header({"save period", "RAID (s)", "RAID replays", "RAID saved MB",
+                "POLICE (s)", "POLICE replays", "POLICE saved MB",
+                "signatures stable"});
+  for (std::size_t i = 0; i < rows; ++i) {
     const auto& raid = results[i];
-    const auto& police = results[periods.size() + i];
-    if (bench::add_error_rows(
-            t, {harness::Table::num(static_cast<std::int64_t>(periods[i]))},
-            {&raid, &police})) {
+    const auto& police = results[rows + i];
+    if (bench::add_error_rows(t, {row_label(i)}, {&raid, &police})) {
       continue;
     }
     const bool stable = raid.signature == results[0].signature &&
-                        police.signature == results[periods.size()].signature;
-    t.add_row({harness::Table::num(static_cast<std::int64_t>(periods[i])),
-               harness::Table::num(raid.sim_seconds, 4),
+                        police.signature == results[rows].signature;
+    t.add_row({row_label(i), harness::Table::num(raid.sim_seconds, 4),
                harness::Table::num(raid.events_replayed),
+               harness::Table::num(saved_mb(raid), 2),
                harness::Table::num(police.sim_seconds, 4),
-               harness::Table::num(police.events_replayed), stable ? "yes" : "NO"});
-    bench::register_point("abl_state/raid/period:" + std::to_string(periods[i]), raid);
-    bench::register_point("abl_state/police/period:" + std::to_string(periods[i]),
-                          police);
+               harness::Table::num(police.events_replayed),
+               harness::Table::num(saved_mb(police), 2), stable ? "yes" : "NO"});
+    const std::string variant =
+        i == periods.size() ? "incr"
+        : periods[i] == 0   ? "adaptive"
+                            : "period:" + std::to_string(periods[i]);
+    bench::register_point("abl_state/raid/" + variant, raid);
+    bench::register_point("abl_state/police/" + variant, police);
   }
   return bench::finish(t, argc, argv);
 }

@@ -1,6 +1,7 @@
 #include "micro.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -355,6 +356,114 @@ MicroResult lp_rollback_churn() {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// State-saving churn: incremental undo-log vs the full-copy discipline it
+// replaced, over an identical rollback-heavy schedule with a deliberately
+// fat (2 KB) state. The legacy twin runs the exact pre-PR configuration
+// (copy mode, period 1), so the BENCH json always shows what the undo log
+// buys: a few dozen logged bytes per event instead of a 2 KB clone.
+// ---------------------------------------------------------------------------
+
+struct ChurnState : warped::CloneableState<ChurnState> {
+  std::array<std::int64_t, 256> slots{};
+  std::int64_t cursor{0};
+};
+
+class ChurnObject final : public warped::SimulationObject {
+ public:
+  ChurnObject(ObjectId id, ObjectId ring)
+      : SimulationObject(id, "c" + std::to_string(id),
+                         std::make_unique<ChurnState>()),
+        ring_(ring) {}
+
+  void initialize(warped::ObjectContext&) override {}
+
+  void execute(warped::ObjectContext& ctx, const warped::EventMsg& ev) override {
+    auto& st = state_as<ChurnState>();
+    const std::int64_t v = ev.data.empty() ? 1 : ev.data[0];
+    // Touch two slots plus the cursor: a sparse write set against a fat
+    // state, the regime incremental saving is built for.
+    const auto a = static_cast<std::size_t>((st.cursor + v) & 255);
+    const auto b = static_cast<std::size_t>((st.cursor * 31 + v + 1) & 255);
+    st.mut(st.slots[a]) += v + 1;
+    st.mut(st.slots[b]) ^= st.slots[a] + 0x9E3779B9;
+    st.mut(st.cursor) = st.slots[b] & 0x7FFFFFFF;
+    ctx.fold_signature(st.slots[a] * 17 + ctx.now().t);
+    ctx.send(ring_, ctx.now() + 3 + (st.slots[a] & 7), {st.slots[a] & 1023});
+  }
+
+ private:
+  ObjectId ring_;
+};
+
+// Same shape as lp_rollback_churn: ring fan-out plus a per-round straggler
+// under the horizon. Both state-saving modes run this byte-for-byte identical
+// schedule, so their checksums must match — the bench doubles as an
+// equivalence check between undo-replay and snapshot-restore rollback.
+MicroResult lp_state_churn(warped::StateSaveMode mode, std::int64_t period) {
+  constexpr int kObjects = 16;
+  constexpr int kRounds = 250;
+  StatsRegistry stats;
+  warped::LogicalProcess lp(0, stats, 42, warped::RollbackScope::kObject,
+                            warped::CancellationMode::kAggressive, period, mode);
+  for (int o = 0; o < kObjects; ++o) {
+    lp.add_object(std::make_unique<ChurnObject>(o, (o + 1) % kObjects));
+  }
+
+  std::int64_t ops = 0;
+  std::uint64_t uniq = 0;
+  std::uint64_t rng = 7;
+
+  std::deque<warped::EventMsg> inbox;
+  auto deliver_all = [&] {
+    while (!inbox.empty()) {
+      warped::EventMsg m = std::move(inbox.front());
+      inbox.pop_front();
+      auto res = lp.insert(std::move(m));
+      ++ops;
+      for (auto& a : res.antis) inbox.push_back(std::move(a));
+    }
+  };
+
+  std::int64_t horizon = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int o = 0; o < kObjects; ++o) {
+    lp.insert(external_event(o, horizon + o, ++uniq));
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    for (int step = 0; step < 400 && lp.has_ready_event(); ++step) {
+      auto ex = lp.execute_next();
+      ++ops;
+      horizon = std::max(horizon, ex.ts.t);
+      for (auto& s : ex.sends) inbox.push_back(std::move(s));
+      for (auto& a : ex.antis) inbox.push_back(std::move(a));
+      deliver_all();
+    }
+    const std::uint64_t r = mix(rng);
+    const std::int64_t ts = std::max<std::int64_t>(1, horizon - 40);
+    inbox.push_back(
+        external_event(static_cast<ObjectId>(r % kObjects), ts, ++uniq));
+    deliver_all();
+  }
+
+  MicroResult r;
+  r.wall_seconds = seconds_since(t0);
+  r.ops = ops;
+  r.checksum = lp.signature_sum() ^
+               static_cast<std::int64_t>(lp.events_processed()) ^
+               static_cast<std::int64_t>(lp.rollbacks() * 131);
+  return r;
+}
+
+MicroResult lp_state_churn_incremental() {
+  // Period 0 = adaptive checkpoint interval.
+  return lp_state_churn(warped::StateSaveMode::kIncremental, 0);
+}
+
+MicroResult lp_state_churn_legacy() {
+  return lp_state_churn(warped::StateSaveMode::kCopy, 1);
+}
+
 }  // namespace
 
 const std::vector<MicroBench>& micro_benches() {
@@ -366,6 +475,8 @@ const std::vector<MicroBench>& micro_benches() {
         {"micro/engine/cancel_churn", engine_cancel_churn},
         {"micro/lp/insert_annihilate", lp_insert_annihilate},
         {"micro/lp/rollback_churn", lp_rollback_churn},
+        {"micro/lp/state_churn", lp_state_churn_incremental},
+        {"micro/lp/state_churn_legacy", lp_state_churn_legacy},
     };
     const auto& comm = micro_comm_benches();
     v.insert(v.end(), comm.begin(), comm.end());

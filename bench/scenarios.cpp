@@ -149,6 +149,20 @@ std::vector<Scenario> all_scenarios() {
     cfg.state_save_period = p;
     add(out, "abl_state", "period:" + std::to_string(p), cfg);
   }
+  {
+    // Adaptive checkpoint interval (period 0) and the incremental undo-log,
+    // on the same workload as the period sweep. Committed events and
+    // signature must match the fixed-period rows exactly — state saving is
+    // a cost knob, never a correctness knob.
+    ExperimentConfig cfg = gvt_preset(ModelKind::kRaid);
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.state_save_period = 0;
+    add(out, "abl_state", "adaptive", cfg);
+
+    cfg.state_mode = warped::StateSaveMode::kIncremental;
+    add(out, "abl_state", "incr", cfg);
+  }
 
   // --- chaos: fault-sweep scenarios. Deterministic seeded fault plans; the
   // committed-state metrics (committed/signature) must stay EXACTLY equal to

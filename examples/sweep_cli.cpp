@@ -115,7 +115,19 @@ int main(int argc, char** argv) {
   cfg.cancellation = p.get_str("cancellation", "aggressive") == "lazy"
                          ? warped::CancellationMode::kLazy
                          : warped::CancellationMode::kAggressive;
+  // state_period=N fixes the snapshot cadence; state_period=0 selects the
+  // adaptive interval. state_mode=incremental turns on undo-log saving.
   cfg.state_save_period = p.get_i64("state_period", cfg.state_save_period);
+  const std::string state_mode = p.get_str("state_mode", "copy");
+  if (state_mode == "incremental") {
+    cfg.state_mode = warped::StateSaveMode::kIncremental;
+  } else if (state_mode == "copy") {
+    cfg.state_mode = warped::StateSaveMode::kCopy;
+  } else {
+    std::fprintf(stderr, "unknown state_mode '%s' (copy|incremental)\n",
+                 state_mode.c_str());
+    return 2;
+  }
   cfg.seed = static_cast<std::uint64_t>(p.get_i64("seed", 42));
   cfg.max_sim_seconds = p.get_f64("cap", cfg.max_sim_seconds);
 
@@ -203,6 +215,9 @@ int main(int argc, char** argv) {
                 (long long)r.gvt_token_regens, (long long)r.gvt_tokens_stale,
                 (long long)r.credit_resyncs);
   }
+  std::printf("  state saving   : %lld snapshots (%lld bytes), %lld undo bytes, %lld undo rewinds\n",
+              (long long)r.state_saves, (long long)r.state_save_bytes,
+              (long long)r.undo_bytes_logged, (long long)r.undo_rewinds);
   std::printf("  signature      : %lld\n", (long long)r.signature);
   if (!cfg.trace.categories.empty()) {
     std::printf("  trace          : %llu records (%llu overwritten)",

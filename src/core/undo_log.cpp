@@ -1,0 +1,122 @@
+#include "core/undo_log.hpp"
+
+#include <cstring>
+
+#include "core/assert.hpp"
+
+namespace nicwarp::core {
+
+UndoChunkPool::Chunk* UndoChunkPool::try_acquire() {
+  if (!free_.empty()) {
+    Chunk* c = free_.back();
+    free_.pop_back();
+    live_ += 1;
+    if (live_ > peak_) peak_ = live_;
+    return c;
+  }
+  if (max_chunks_ != 0 && storage_.size() >= max_chunks_) return nullptr;
+  storage_.push_back(std::make_unique<Chunk>());
+  live_ += 1;
+  if (live_ > peak_) peak_ = live_;
+  return storage_.back().get();
+}
+
+void UndoChunkPool::release(Chunk* c) {
+  NW_CHECK(c != nullptr);
+  NW_CHECK_MSG(live_ > 0, "undo chunk double-release");
+  live_ -= 1;
+  free_.push_back(c);
+}
+
+UndoLog::~UndoLog() { release_all_chunks(); }
+
+void UndoLog::release_all_chunks() {
+  for (UndoChunkPool::Chunk* c : chunks_) pool_.release(c);
+  chunks_.clear();
+}
+
+UndoChunkPool::Entry& UndoLog::slot(Mark pos) {
+  NW_CHECK(pos >= base_ && pos < base_ + chunks_.size() * UndoChunkPool::kChunkSlots);
+  const Mark off = pos - base_;
+  return chunks_[off / UndoChunkPool::kChunkSlots]
+      ->slots[off % UndoChunkPool::kChunkSlots];
+}
+
+bool UndoLog::push_entry(const void* addr, std::size_t size) {
+  NW_CHECK(size > 0 && size <= UndoChunkPool::kInlineBytes);
+  if (end_pos_ == base_ + chunks_.size() * UndoChunkPool::kChunkSlots) {
+    UndoChunkPool::Chunk* c = pool_.try_acquire();
+    if (c == nullptr) {
+      overflow_ = true;
+      return false;
+    }
+    chunks_.push_back(c);
+  }
+  UndoChunkPool::Entry& e = slot(end_pos_);
+  e.addr = const_cast<void*>(addr);
+  e.size = static_cast<std::uint32_t>(size);
+  std::memcpy(e.bytes, addr, size);
+  end_pos_ += 1;
+  entries_recorded_ += 1;
+  bytes_logged_ += size;
+  return true;
+}
+
+bool UndoLog::record(const void* addr, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(addr);
+  while (size > 0) {
+    const std::size_t piece = size < UndoChunkPool::kInlineBytes
+                                  ? size
+                                  : UndoChunkPool::kInlineBytes;
+    if (!push_entry(p, piece)) return false;
+    p += piece;
+    size -= piece;
+  }
+  return true;
+}
+
+void UndoLog::rewind_to(Mark m) {
+  NW_CHECK_MSG(m >= first_pos_ && m <= end_pos_, "rewind to a stale undo mark");
+  while (end_pos_ > m) {
+    end_pos_ -= 1;
+    const UndoChunkPool::Entry& e = slot(end_pos_);
+    std::memcpy(e.addr, e.bytes, e.size);
+  }
+  // Recycle tail chunks that now hold no live positions.
+  while (!chunks_.empty() &&
+         base_ + (chunks_.size() - 1) * UndoChunkPool::kChunkSlots >= end_pos_) {
+    pool_.release(chunks_.back());
+    chunks_.pop_back();
+  }
+  if (chunks_.empty()) {
+    NW_CHECK(first_pos_ == end_pos_);
+    base_ = end_pos_;
+  }
+}
+
+void UndoLog::reset() {
+  release_all_chunks();
+  // Burn a position: every mark taken before this reset is <= the old
+  // end_pos_ and therefore strictly below the new first_pos_ — detectably
+  // stale, so no caller can rewind through the discarded entries.
+  end_pos_ += 1;
+  first_pos_ = end_pos_;
+  base_ = end_pos_;
+}
+
+void UndoLog::release_below(Mark m) {
+  NW_CHECK(m <= end_pos_);
+  if (m <= first_pos_) return;
+  first_pos_ = m;
+  while (!chunks_.empty() && base_ + UndoChunkPool::kChunkSlots <= first_pos_) {
+    pool_.release(chunks_.front());
+    chunks_.pop_front();
+    base_ += UndoChunkPool::kChunkSlots;
+  }
+  if (chunks_.empty()) {
+    NW_CHECK(first_pos_ == end_pos_);
+    base_ = end_pos_;
+  }
+}
+
+}  // namespace nicwarp::core

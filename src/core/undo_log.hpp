@@ -1,0 +1,139 @@
+// Pooled record-before-write undo log for incremental state saving.
+//
+// The Time-Warp kernel's copy state saving clones the whole object state
+// every event (or every k-th). The undo log inverts the trade: each state
+// mutation first copies the field's OLD bytes into a log entry, and a
+// rollback restores by replaying entries in reverse. The common case (no
+// rollback) pays a few dozen logged bytes per event instead of a full
+// clone.
+//
+// Storage follows the same slab discipline as hw::PacketPool: entries live
+// in fixed-size chunks acquired from a shared UndoChunkPool (LIFO freelist,
+// stable addresses, optional cap), so steady-state logging performs zero
+// heap allocations. One UndoChunkPool serves every object of a
+// LogicalProcess; each object owns one UndoLog view over chunks it borrows
+// from that pool.
+//
+// Positions ("marks") are monotonically increasing u64 entry indices that
+// are NEVER reused — reset() burns a position — so a mark taken before any
+// destructive operation (reset, release_below past it) compares below
+// first_pos() afterwards and is detectably stale. Callers use that to route
+// a rollback to the snapshot+coast-forward fallback instead of rewinding
+// through discarded or dangling entries.
+//
+// Threading: none. An UndoLog (and its pool) belongs to one LogicalProcess
+// on one simulated node; the whole testbed is single-threaded (see
+// docs/ARCHITECTURE.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace nicwarp::core {
+
+class UndoChunkPool {
+ public:
+  static constexpr std::size_t kInlineBytes = 40;
+  // One logged write. Writes wider than kInlineBytes are split across
+  // consecutive entries by UndoLog::record().
+  struct Entry {
+    void* addr{nullptr};
+    std::uint32_t size{0};
+    unsigned char bytes[kInlineBytes];
+  };
+  static constexpr std::size_t kChunkSlots = 64;
+  struct Chunk {
+    Entry slots[kChunkSlots];
+  };
+
+  // `max_chunks` caps total chunks ever allocated (0 = unbounded). A capped
+  // pool makes logging overflow gracefully: try_acquire returns null and the
+  // affected event falls back to snapshot+coast-forward on rollback.
+  explicit UndoChunkPool(std::size_t max_chunks = 0) : max_chunks_(max_chunks) {}
+
+  UndoChunkPool(const UndoChunkPool&) = delete;
+  UndoChunkPool& operator=(const UndoChunkPool&) = delete;
+
+  // Null when the cap is reached and the freelist is empty.
+  Chunk* try_acquire();
+  void release(Chunk* c);
+
+  std::size_t live() const { return live_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t allocated() const { return storage_.size(); }
+  std::size_t max_chunks() const { return max_chunks_; }
+
+ private:
+  std::vector<std::unique_ptr<Chunk>> storage_;
+  std::vector<Chunk*> free_;  // LIFO: the hottest chunk is reused first
+  std::size_t live_{0};
+  std::size_t peak_{0};
+  std::size_t max_chunks_;
+};
+
+class UndoLog {
+ public:
+  using Mark = std::uint64_t;
+
+  explicit UndoLog(UndoChunkPool& pool) : pool_(pool) {}
+  ~UndoLog();
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  // Position the next entry will occupy. Take one before executing an event;
+  // rewind_to(mark) then undoes exactly that event's writes (and everything
+  // after them).
+  Mark mark() const { return end_pos_; }
+  // Oldest live position. A mark below this is stale: its entries were
+  // discarded (reset) or released (fossil collection).
+  Mark first_pos() const { return first_pos_; }
+
+  // Copies the current `size` bytes at `addr` into the log. False (and the
+  // sticky overflow flag) when the pool cap is hit; already-written partial
+  // entries remain valid restores and are reclaimed like any others.
+  bool record(const void* addr, std::size_t size);
+
+  bool overflowed() const { return overflow_; }
+  void clear_overflow() { overflow_ = false; }
+
+  // Restores logged bytes in reverse order down to (and excluding) entries
+  // below `m`, then recycles fully-emptied tail chunks. `m` must be live:
+  // first_pos() <= m <= mark().
+  void rewind_to(Mark m);
+
+  // Drops every entry WITHOUT applying it and burns one position, so every
+  // previously-taken mark becomes stale. Used when the tracked state object
+  // is replaced wholesale (entry addresses would dangle).
+  void reset();
+
+  // Fossil collection: frees whole chunks strictly below `m` without
+  // applying them. Entries in a chunk straddling `m` survive until the chunk
+  // empties. No-op when m <= first_pos().
+  void release_below(Mark m);
+
+  std::uint64_t entries() const { return end_pos_ - first_pos_; }
+  std::uint64_t entries_recorded() const { return entries_recorded_; }
+  std::uint64_t bytes_logged() const { return bytes_logged_; }
+  std::size_t chunks_held() const { return chunks_.size(); }
+
+ private:
+  UndoChunkPool::Entry& slot(Mark pos);
+  // Appends one entry covering `size` (<= kInlineBytes) bytes at `addr`.
+  bool push_entry(const void* addr, std::size_t size);
+  void release_all_chunks();
+
+  UndoChunkPool& pool_;
+  std::deque<UndoChunkPool::Chunk*> chunks_;
+  Mark base_{0};       // absolute position of chunks_.front() slot 0
+  Mark first_pos_{0};  // oldest live entry
+  Mark end_pos_{0};    // one past the newest entry (monotone, never reused)
+  bool overflow_{false};
+  std::uint64_t entries_recorded_{0};
+  std::uint64_t bytes_logged_{0};
+};
+
+}  // namespace nicwarp::core

@@ -166,6 +166,7 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   kopts.rollback_scope = cfg.rollback_scope;
   kopts.cancellation = cfg.cancellation;
   kopts.state_save_period = cfg.state_save_period;
+  kopts.state_mode = cfg.state_mode;
   kopts.paranoia_checks = cfg.paranoia_checks;
   kopts.profile = tb.profiler.get();
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
@@ -251,6 +252,10 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
     r.events_processed += static_cast<std::int64_t>(lp.events_processed());
     r.events_rolled_back += static_cast<std::int64_t>(lp.events_rolled_back());
     r.rollbacks += static_cast<std::int64_t>(lp.rollbacks());
+    r.state_saves += static_cast<std::int64_t>(lp.state_saves());
+    r.state_save_bytes += static_cast<std::int64_t>(lp.state_save_bytes());
+    r.undo_bytes_logged += static_cast<std::int64_t>(lp.undo_bytes_logged());
+    r.undo_rewinds += static_cast<std::int64_t>(lp.undo_rewinds());
     r.signature += lp.signature_sum();
     r.final_gvt = VirtualTime::max(r.final_gvt, k->gvt());
   }

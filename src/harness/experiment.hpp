@@ -108,7 +108,8 @@ struct ExperimentConfig {
   warped::RollbackScope rollback_scope = warped::RollbackScope::kLp;
   // WARPED-style tuning knobs (extensions; see DESIGN.md):
   warped::CancellationMode cancellation = warped::CancellationMode::kAggressive;
-  std::int64_t state_save_period = 1;
+  std::int64_t state_save_period = 1;  // 0 = adaptive checkpoint interval
+  warped::StateSaveMode state_mode = warped::StateSaveMode::kCopy;
   bool credit_repair = true;       // ablation A2 (§3.2 sequence-number fix)
 
   hw::CostModel cost{};
@@ -140,6 +141,14 @@ struct ExperimentResult {
   std::int64_t rollbacks = 0;
   std::int64_t events_replayed = 0;  // coast-forward (periodic state saving)
   std::int64_t lazy_matched = 0;     // lazy cancellation: regenerated sends
+
+  // State-saving work (sums across kernels). Snapshot counts/bytes reflect
+  // clones actually cut; undo_bytes_logged / undo_rewinds are nonzero only
+  // under StateSaveMode::kIncremental.
+  std::int64_t state_saves = 0;
+  std::int64_t state_save_bytes = 0;
+  std::int64_t undo_bytes_logged = 0;
+  std::int64_t undo_rewinds = 0;
 
   // Event messages generated at hosts (includes ones later cancelled) —
   // the paper's "overall messages generated" (Fig. 8).

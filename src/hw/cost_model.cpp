@@ -11,6 +11,7 @@ CostModel CostModel::from_params(const ParamSet& p) {
   CostModel m;
   m.host_event_exec_us = p.get_f64(key("host_event_exec_us"), m.host_event_exec_us);
   m.host_state_save_us = p.get_f64(key("host_state_save_us"), m.host_state_save_us);
+  m.host_undo_byte_us = p.get_f64(key("host_undo_byte_us"), m.host_undo_byte_us);
   m.host_msg_send_us = p.get_f64(key("host_msg_send_us"), m.host_msg_send_us);
   m.host_msg_recv_us = p.get_f64(key("host_msg_recv_us"), m.host_msg_recv_us);
   m.host_gvt_ctrl_us = p.get_f64(key("host_gvt_ctrl_us"), m.host_gvt_ctrl_us);

@@ -23,6 +23,9 @@ struct CostModel {
   // --- Host CPU (per-task costs, microseconds) ---
   double host_event_exec_us = 18.0;     // run one TW event through the model
   double host_state_save_us = 3.0;      // copy state saving per event
+  // Incremental state saving: per-byte cost of the record-before-write undo
+  // log (a short memcpy into a warm slab; ~2 ns/B at the testbed's host).
+  double host_undo_byte_us = 0.002;
   double host_msg_send_us = 11.0;       // MPI+BIP send-side stack per message
   double host_msg_recv_us = 13.0;       // interrupt + stack + enqueue per message
   double host_gvt_ctrl_us = 9.0;        // build/consume one host GVT control msg

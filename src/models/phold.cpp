@@ -32,7 +32,7 @@ class PholdObject final : public SimulationObject {
 
   void execute(ObjectContext& ctx, const EventMsg& ev) override {
     auto& st = state_as<PholdState>();
-    st.handled += 1;
+    st.mut(st.handled) += 1;
     ctx.fold_signature(static_cast<std::int64_t>(ev.id) + ctx.now().t);
     const VirtualTime next = ctx.now() + delay(ctx);
     if (next.t >= p_.horizon) return;

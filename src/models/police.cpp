@@ -36,7 +36,7 @@ class Station final : public SimulationObject {
     auto& st = state_as<StationState>();
     switch (ev.data.at(0)) {
       case kCall: {
-        st.calls_handled += 1;
+        st.mut(st.calls_handled) += 1;
         ctx.fold_signature(static_cast<std::int64_t>(ev.id) ^ (ctx.now().t * 7919));
         const std::int64_t ttl = ev.data.at(1);
         // Radio fan-out: tight-deadline leaf notifications. They are
@@ -62,7 +62,7 @@ class Station final : public SimulationObject {
         return;
       }
       case kNotify:
-        st.notifications += 1;
+        st.mut(st.notifications) += 1;
         ctx.fold_signature(ev.data.at(1) * 1000003LL + static_cast<std::int64_t>(id()));
         return;
       default:

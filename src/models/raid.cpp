@@ -43,7 +43,7 @@ class Source final : public SimulationObject {
     switch (ev.data.at(0)) {
       case kIssue: {
         if (st.issued >= quota_) return;
-        st.issued += 1;
+        st.mut(st.issued) += 1;
         const std::int64_t block = ctx.rng().uniform(0, 1 << 20);
         const ObjectId fork =
             first_fork_ + static_cast<ObjectId>(ctx.rng().uniform(0, p_.forks - 1));
@@ -57,7 +57,7 @@ class Source final : public SimulationObject {
         return;
       }
       case kReply: {
-        st.replies += 1;
+        st.mut(st.replies) += 1;
         // Reply payload: [kReply, source, seq, completion_ts]
         ctx.fold_signature(ev.data.at(2) * 1315423911LL + ev.data.at(3));
         return;
@@ -93,7 +93,7 @@ class Fork final : public SimulationObject {
   void execute(ObjectContext& ctx, const EventMsg& ev) override {
     NW_CHECK(ev.data.at(0) == kRequest);
     auto& st = state_as<ForkState>();
-    st.routed += 1;
+    st.mut(st.routed) += 1;
     const std::int64_t block = ev.data.at(3);
     const ObjectId disk = first_disk_ + static_cast<ObjectId>(block % p_.disks);
     ctx.send(disk, ctx.now() + ctx.rng().uniform(p_.fork_delay_min, p_.fork_delay_max),
@@ -126,11 +126,11 @@ class Disk final : public SimulationObject {
   void execute(ObjectContext& ctx, const EventMsg& ev) override {
     NW_CHECK(ev.data.at(0) == kForwarded);
     auto& st = state_as<DiskState>();
-    st.served += 1;
+    st.mut(st.served) += 1;
     const std::int64_t service = ctx.rng().uniform(p_.service_min, p_.service_max);
     const VirtualTime start = VirtualTime::max(ctx.now(), st.free_at);
     const VirtualTime done = start + service;
-    st.free_at = done;
+    st.mut(st.free_at) = done;
     const auto source = static_cast<ObjectId>(ev.data.at(1));
     // Completion must be strictly after now even under zero queueing.
     const VirtualTime reply_at = VirtualTime::max(done, ctx.now() + 1);

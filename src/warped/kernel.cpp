@@ -46,7 +46,7 @@ Kernel::Kernel(hw::Node& node, comm::HostComm& comm, std::shared_ptr<const Parti
       opts_(opts),
       world_size_(0),
       lp_(node.id(), node.stats(), seed, opts.rollback_scope, opts.cancellation,
-          opts.state_save_period),
+          opts.state_save_period, opts.state_mode),
       jitter_rng_(seed ^ node.id(), "kernel.jitter") {
   NW_CHECK(part_ != nullptr);
   NW_CHECK(mgr_ != nullptr);
@@ -176,9 +176,18 @@ SimTime Kernel::do_step() {
       opts_.profile->on_send(rank(), r.id, s.id, s.dst_obj, s.recv_ts);
     }
   }
-  // State saving is periodic; amortize its cost over the period.
-  const double save_us =
-      cost().host_state_save_us / static_cast<double>(opts_.state_save_period);
+  // State-saving cost. Copy saving with a fixed period keeps the historical
+  // amortized charge (cost/period every step — byte-identical to the
+  // pre-incremental kernels). Adaptive and incremental modes charge what the
+  // step actually did: a full clone only on snapshot steps, plus the
+  // per-byte undo-logging tax.
+  double save_us = 0.0;
+  if (opts_.state_mode == StateSaveMode::kCopy && opts_.state_save_period >= 1) {
+    save_us = cost().host_state_save_us / static_cast<double>(opts_.state_save_period);
+  } else {
+    if (r.snapshot_saved) save_us += cost().host_state_save_us;
+    save_us += cost().host_undo_byte_us * static_cast<double>(r.undo_bytes);
+  }
   SimTime c = jittered_exec_cost() + cost().us(save_us);
   for (auto& ev : r.antis) dispatch_event(std::move(ev), cost_us);
   for (auto& ev : r.sends) dispatch_event(std::move(ev), cost_us);

@@ -29,7 +29,12 @@ enum class GvtMode { kHostMattern, kNic, kPGvt };
 struct KernelOptions {
   RollbackScope rollback_scope = RollbackScope::kLp;  // paper-era default
   CancellationMode cancellation = CancellationMode::kAggressive;
-  std::int64_t state_save_period = 1;  // copy state saving every N events
+  // Full-snapshot cadence: every N events (N >= 1), or 0 for the adaptive
+  // interval driven by observed rollback depth.
+  std::int64_t state_save_period = 1;
+  // Copy state saving (clone per snapshot) vs incremental undo logging
+  // (record-before-write via State::mut, rewind on rollback).
+  StateSaveMode state_mode = StateSaveMode::kCopy;
   double idle_poll_us = 50.0;  // manager poll cadence when nothing else runs
   bool paranoia_checks = false;  // LP-level pairing checks (tests)
   // When set, every GVT adoption on THIS kernel is reported to the sampler.

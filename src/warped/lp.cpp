@@ -1,6 +1,7 @@
 #include "warped/lp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/assert.hpp"
 #include "core/log.hpp"
@@ -8,6 +9,16 @@
 namespace nicwarp::warped {
 
 namespace {
+
+// Undo-pool cap per LP: 4096 chunks x 64 slots x ~56 B ≈ 14 MB. Hitting it
+// marks the in-flight record undo_ok=false (graceful fallback to
+// snapshot+coast-forward) instead of growing without bound.
+constexpr std::size_t kUndoPoolMaxChunks = 4096;
+
+// Adaptive checkpoint interval bounds and window decay threshold.
+constexpr std::int64_t kAdaptiveMinPeriod = 1;
+constexpr std::int64_t kAdaptiveMaxPeriod = 64;
+constexpr std::uint64_t kAdaptiveWindowCap = 4096;
 
 // ObjectContext used during execute()/initialize(): collects sends and
 // provides per-execution deterministic randomness.
@@ -33,8 +44,10 @@ class ExecCtx final : public ObjectContext {
   Rng& rng() override { return rng_; }
 
   void fold_signature(std::int64_t v) override {
-    // Order-insensitive fold so the commit schedule cannot affect it.
-    obj_.state().signature += v * 0x9E3779B97F4A7C15LL + 0x165667B19E3779F9LL;
+    // Order-insensitive fold so the commit schedule cannot affect it. Goes
+    // through the write barrier: the signature is rollback-able state.
+    State& st = obj_.state();
+    st.mut(st.signature) += v * 0x9E3779B97F4A7C15LL + 0x165667B19E3779F9LL;
   }
 
   std::vector<EventMsg> take_sends() { return std::move(sends_); }
@@ -51,14 +64,31 @@ class ExecCtx final : public ObjectContext {
 
 LogicalProcess::LogicalProcess(NodeId rank, StatsRegistry& stats, std::uint64_t seed,
                                RollbackScope scope, CancellationMode cancellation,
-                               std::int64_t state_save_period)
+                               std::int64_t state_save_period, StateSaveMode state_mode)
     : rank_(rank),
       stats_(stats),
       seed_(seed),
       scope_(scope),
       cancellation_(cancellation),
-      state_save_period_(state_save_period) {
-  NW_CHECK(state_save_period_ >= 1);
+      state_save_period_(state_save_period),
+      state_mode_(state_mode),
+      undo_pool_(kUndoPoolMaxChunks) {
+  NW_CHECK(state_save_period_ >= 0);  // 0 = adaptive interval
+}
+
+void LogicalProcess::recompute_adaptive_period() {
+  // Lin–Lazowska: the checkpoint interval minimizing save + coast-forward
+  // cost is ~sqrt(2µ) for µ events per rollback. The window decays by
+  // halving so the estimate tracks phase changes in rollback pressure; all
+  // inputs are deterministic counts, so so is the cadence.
+  const double mu = static_cast<double>(win_events_ + 1) /
+                    static_cast<double>(win_rollbacks_ + 1);
+  const auto p = static_cast<std::int64_t>(std::llround(std::sqrt(2.0 * mu)));
+  eff_period_ = std::clamp(p, kAdaptiveMinPeriod, kAdaptiveMaxPeriod);
+  if (win_events_ >= kAdaptiveWindowCap) {
+    win_events_ /= 2;
+    win_rollbacks_ /= 2;
+  }
 }
 
 void LogicalProcess::add_object(std::unique_ptr<SimulationObject> obj) {
@@ -299,29 +329,46 @@ std::size_t LogicalProcess::rollback_to(ObjRt& rt, std::size_t pos,
   NW_CHECK(pos < rt.processed.size());
   const std::size_t undone = rt.processed.size() - pos;
 
-  // With periodic state saving the record at `pos` may have no snapshot:
-  // restore the nearest earlier snapshot and coast-forward (deterministic
-  // re-execution with sends suppressed) up to the rollback point.
-  std::size_t snap = pos;
-  while (rt.processed[snap].pre_state == nullptr) {
-    NW_CHECK_MSG(snap > 0, "no state snapshot reachable — fossil collection bug");
-    --snap;
+  // Incremental fast path: when every record being undone logged its writes
+  // completely (undo_ok) and the target mark is still live, restoring is a
+  // reverse byte replay — no snapshot clone, no coast-forward.
+  bool pure_undo = state_mode_ == StateSaveMode::kIncremental && rt.undo != nullptr &&
+                   rt.processed[pos].undo_mark >= rt.undo->first_pos();
+  if (pure_undo) {
+    for (std::size_t i = pos; i < rt.processed.size(); ++i) {
+      if (!rt.processed[i].undo_ok) {
+        pure_undo = false;
+        break;
+      }
+    }
   }
-  rt.obj->replace_state(rt.processed[snap].pre_state->clone());
-  for (std::size_t i = snap; i < pos; ++i) {
-    coast_forward(rt, rt.processed[i].ev);
-    ++replayed;
+  if (pure_undo) {
+    rt.undo->rewind_to(rt.processed[pos].undo_mark);
+    undo_rewinds_ += 1;
+    stats_.counter("tw.undo_rewinds").add(1);
+  } else {
+    // The record at `pos` may have no snapshot (periodic saving skipped it,
+    // or its undo entries are unusable): restore the nearest earlier
+    // snapshot and coast-forward (deterministic re-execution with sends
+    // suppressed) up to the rollback point.
+    std::size_t snap = pos;
+    while (rt.processed[snap].pre_state == nullptr) {
+      NW_CHECK_MSG(snap > 0, "no state snapshot reachable — fossil collection bug");
+      --snap;
+    }
+    rt.obj->replace_state(rt.processed[snap].pre_state->clone());
+    for (std::size_t i = snap; i < pos; ++i) {
+      coast_forward(rt, rt.processed[i].ev);
+      ++replayed;
+    }
+    events_replayed_ += pos - snap;
+    stats_.counter("tw.events_replayed").add(static_cast<std::int64_t>(pos - snap));
+    // replace_state destroyed the object the undo entries point into; burn
+    // the whole log so their marks turn stale (later rollbacks route to
+    // snapshots) instead of rewinding through dangling addresses.
+    if (rt.undo != nullptr) rt.undo->reset();
   }
-  if (snap < pos && rt.processed[pos].pre_state == nullptr) {
-    // The coast-forward rebuilt exactly the pre-state of `pos`; snapshot it
-    // so this record can anchor future rollbacks directly.
-    ScopedPhaseTimer save_scope(phases_, Phase::kStateSave);
-    rt.processed[pos].pre_state = rt.obj->snapshot_state();
-    state_saves_ += 1;
-    state_save_bytes_ += rt.processed[pos].pre_state->byte_size();
-  }
-  events_replayed_ += pos - snap;
-  stats_.counter("tw.events_replayed").add(static_cast<std::int64_t>(pos - snap));
+  win_rollbacks_ += 1;
 
   for (std::size_t i = pos; i < rt.processed.size(); ++i) {
     ProcessedRecord& rec = rt.processed[i];
@@ -442,17 +489,39 @@ LogicalProcess::ExecResult LogicalProcess::execute_next() {
   // An empty history needs an anchor snapshot regardless of the period: a
   // rollback can only restore from a snapshot at or before its position.
   if (best->processed.empty() ||
-      best->exec_count % static_cast<std::uint64_t>(state_save_period_) == 0) {
+      best->exec_count % static_cast<std::uint64_t>(current_period()) == 0) {
     ScopedPhaseTimer save_scope(phases_, Phase::kStateSave);
     rec.pre_state = best->obj->snapshot_state();
     state_saves_ += 1;
     state_save_bytes_ += rec.pre_state->byte_size();
+    res.snapshot_saved = true;
   }
   best->exec_count += 1;
+
+  std::uint64_t undo_bytes_before = 0;
+  if (state_mode_ == StateSaveMode::kIncremental) {
+    if (best->undo == nullptr) {
+      best->undo = std::make_unique<core::UndoLog>(undo_pool_);
+    }
+    // (Re-)attach every event: a fallback rollback replaces the state with a
+    // detached clone, and snapshots/restores never carry the attachment.
+    best->obj->state().set_undo(best->undo.get());
+    rec.undo_mark = best->undo->mark();
+    best->undo->clear_overflow();
+    undo_bytes_before = best->undo->bytes_logged();
+  }
 
   ExecCtx ctx(*best->obj, ev.recv_ts, ev.id, seed_);
   best->obj->execute(ctx, ev);
   rec.outputs = ctx.take_sends();
+
+  if (state_mode_ == StateSaveMode::kIncremental) {
+    rec.undo_ok = !best->undo->overflowed();
+    res.undo_bytes = best->undo->bytes_logged() - undo_bytes_before;
+    undo_bytes_logged_ += res.undo_bytes;
+  }
+  win_events_ += 1;
+  if (state_save_period_ == 0) recompute_adaptive_period();
 
   res.executed = true;
   res.ts = ev.recv_ts;
@@ -523,6 +592,17 @@ std::size_t LogicalProcess::fossil_collect(VirtualTime gvt) {
       }
     }
     q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(keep_from));
+
+    // Undo entries below the first surviving record's mark can never be
+    // rewound to again; hand their chunks back to the pool. An emptied
+    // history frees the whole log (the next execution re-anchors).
+    if (rt.undo != nullptr) {
+      if (q.empty()) {
+        rt.undo->reset();
+      } else if (q.front().undo_mark > rt.undo->first_pos()) {
+        rt.undo->release_below(q.front().undo_mark);
+      }
+    }
 
     // Orphan antis strictly below GVT can never meet their positive (the
     // positive was NIC-dropped or annihilated); they are garbage now.

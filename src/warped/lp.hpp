@@ -52,12 +52,27 @@ enum class RollbackScope { kObject, kLp };
 //                message gets an anti).
 enum class CancellationMode { kAggressive, kLazy };
 
+// State-saving strategy.
+//  kCopy        — clone the whole object state every k-th event (WARPED's
+//                 copy state saving; k = state_save_period).
+//  kIncremental — record-before-write undo logging: mutations through
+//                 State::mut() copy old bytes into a pooled undo log, and a
+//                 rollback rewinds entries in reverse. Full snapshots are
+//                 still cut every k-th event as anchors for the fallback
+//                 path (log overflow, state replacement); between them the
+//                 log alone carries the history.
+enum class StateSaveMode { kCopy, kIncremental };
+
 class LogicalProcess {
  public:
+  // `state_save_period` >= 1 fixes the snapshot cadence; 0 selects the
+  // adaptive interval (Lin–Lazowska square-root rule driven by the observed
+  // events-per-rollback ratio, see current_period()).
   LogicalProcess(NodeId rank, StatsRegistry& stats, std::uint64_t seed,
                  RollbackScope scope = RollbackScope::kObject,
                  CancellationMode cancellation = CancellationMode::kAggressive,
-                 std::int64_t state_save_period = 1);
+                 std::int64_t state_save_period = 1,
+                 StateSaveMode state_mode = StateSaveMode::kCopy);
 
   void add_object(std::unique_ptr<SimulationObject> obj);
   bool has_object(ObjectId id) const { return objs_.count(id) != 0; }
@@ -104,6 +119,13 @@ class LogicalProcess {
     // kLazy: antis for held outputs whose generators are now past (flushed
     // because execution moved beyond them without regenerating).
     std::vector<EventMsg> antis;
+    // True when this step cut a full state snapshot (always at period 1;
+    // sparse under periodic/adaptive saving). The kernel charges the save
+    // cost per actual snapshot in those modes.
+    bool snapshot_saved{false};
+    // kIncremental: bytes the executed event appended to the undo log (the
+    // kernel charges the per-byte logging cost).
+    std::uint64_t undo_bytes{0};
   };
   // Executes the globally-least pending event (canonical EventOrder).
   ExecResult execute_next();
@@ -136,6 +158,15 @@ class LogicalProcess {
   std::uint64_t events_replayed() const { return events_replayed_; }
   std::uint64_t state_saves() const { return state_saves_; }
   std::uint64_t state_save_bytes() const { return state_save_bytes_; }
+  // kIncremental accounting: bytes appended to undo logs, rollbacks served
+  // purely by rewinding them (no coast-forward), and pool high-water mark.
+  std::uint64_t undo_bytes_logged() const { return undo_bytes_logged_; }
+  std::uint64_t undo_rewinds() const { return undo_rewinds_; }
+  std::size_t undo_pool_peak_chunks() const { return undo_pool_.peak(); }
+  StateSaveMode state_mode() const { return state_mode_; }
+  // Snapshot cadence currently in force: the fixed period, or the adaptive
+  // estimate when state_save_period == 0.
+  std::int64_t effective_period() const { return current_period(); }
   std::uint64_t committed_lower_bound() const {
     return events_processed_ - events_rolled_back_;
   }
@@ -173,6 +204,14 @@ class LogicalProcess {
     // Engine clock at execution; stamped only while latency recording is on
     // (zero otherwise). Feeds the commit_us histogram at fossil collection.
     SimTime exec_at{SimTime::zero()};
+    // kIncremental: undo-log position before this event executed. Rewinding
+    // to it restores exactly this record's pre-state — valid only while
+    // undo_ok holds and the mark is still >= the log's first_pos() (reset /
+    // fossil trim make marks stale).
+    core::UndoLog::Mark undo_mark{0};
+    // False when the log overflowed mid-event (capped pool) or the LP runs
+    // copy state saving; such records roll back via snapshot+coast-forward.
+    bool undo_ok{false};
   };
   // kLazy: an output of an undone event, held until its generator either
   // regenerates it (no anti) or disappears (anti now).
@@ -192,6 +231,9 @@ class LogicalProcess {
     std::deque<ProcessedRecord> processed;  // ascending EventOrder
     std::multiset<EventMsg, EventOrder> orphan_antis;  // antis without positives
     std::vector<LazyRecord> lazy;  // kLazy: held outputs, ascending gen order
+    // kIncremental: this object's undo-log view over the LP's shared chunk
+    // pool (created on first execution, null under kCopy).
+    std::unique_ptr<core::UndoLog> undo;
     std::uint64_t antis_processed{0};
     std::uint64_t exec_count{0};   // drives the state-saving period
     VirtualTime last_anti_ts{VirtualTime::zero()};
@@ -222,6 +264,13 @@ class LogicalProcess {
   // First processed position in `rt` at or after `pivot`.
   static std::size_t rollback_pos(const ObjRt& rt, const EventMsg& pivot);
   bool is_straggler(const ObjRt& rt, const EventMsg& ev) const;
+  // Snapshot cadence in force (fixed period, or the adaptive estimate).
+  std::int64_t current_period() const {
+    return state_save_period_ > 0 ? state_save_period_ : eff_period_;
+  }
+  // Adaptive interval: re-derives eff_period_ from the decayed event /
+  // rollback window (Lin–Lazowska square-root rule).
+  void recompute_adaptive_period();
 
   ObjRt& runtime_for(ObjectId id);
 
@@ -241,7 +290,17 @@ class LogicalProcess {
   std::uint64_t seed_;
   RollbackScope scope_;
   CancellationMode cancellation_;
-  std::int64_t state_save_period_;
+  std::int64_t state_save_period_;  // 0 = adaptive (eff_period_ governs)
+  StateSaveMode state_mode_;
+  // Shared slab for every object's undo log (kIncremental). Capped so a
+  // runaway log degrades to snapshot+coast-forward instead of eating memory.
+  core::UndoChunkPool undo_pool_;
+  // Adaptive-interval state: current estimate plus a decayed observation
+  // window of executions and rollbacks. Driven purely by deterministic
+  // counters, so the cadence is identical across reruns of a seed.
+  std::int64_t eff_period_{8};
+  std::uint64_t win_events_{0};
+  std::uint64_t win_rollbacks_{0};
   bool paranoia_{false};
   bool collect_undone_{false};
   std::uint64_t lp_antis_processed_{0};
@@ -279,6 +338,8 @@ class LogicalProcess {
   std::uint64_t events_replayed_{0};     // coast-forward re-executions
   std::uint64_t state_saves_{0};
   std::uint64_t state_save_bytes_{0};
+  std::uint64_t undo_bytes_logged_{0};  // kIncremental: total bytes recorded
+  std::uint64_t undo_rewinds_{0};       // rollbacks served without replay
   VirtualTime max_gvt_seen_{VirtualTime::zero()};
 
   LatencyRecorder* latency_{nullptr};

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
+#include "core/undo_log.hpp"
 #include "warped/event.hpp"
 
 namespace nicwarp::warped {
@@ -24,14 +26,56 @@ namespace nicwarp::warped {
 // folded on every committed-effect update; because it lives in the state it
 // is rolled back with it, so the final sum over all objects is a
 // schedule-independent fingerprint of the simulation's result.
+//
+// Write barrier: under incremental state saving (StateSaveMode::kIncremental)
+// every mutation of a state field must go through mut(), which logs the
+// field's old bytes into the attached undo log before handing back a
+// writable reference. Under copy state saving the attachment is null and
+// mut() is a plain pass-through (one predicted-false branch). The contract:
+//
+//   st.mut(st.field) = v;      // any write to rollback-able data
+//   st.mut(st.count) += 1;
+//
+// Only trivially-copyable fields qualify (enforced at compile time); states
+// with out-of-line storage must keep it behind trivially-copyable handles or
+// stay on copy state saving.
 struct State {
   std::int64_t signature{0};
+
+  State() = default;
+  // Copies carry only the simulation-visible payload. The undo attachment is
+  // identity, not state: clones (snapshots) and restored states start
+  // detached, which is what keeps coast-forward replay from logging.
+  State(const State& other) : signature(other.signature) {}
+  State& operator=(const State& other) {
+    signature = other.signature;
+    return *this;
+  }
+
   virtual ~State() = default;
   virtual std::unique_ptr<State> clone() const = 0;
   // Approximate footprint of one saved copy (heatmap state_save_bytes
   // attribution). The default undercounts states with out-of-line storage;
   // override for exact accounting.
   virtual std::size_t byte_size() const { return sizeof(State); }
+
+  // Record-before-write barrier; see the class comment.
+  template <typename T>
+  T& mut(T& field) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "undo logging restores raw bytes; field must be "
+                  "trivially copyable");
+    if (undo_ != nullptr) undo_->record(&field, sizeof(T));
+    return field;
+  }
+
+  // Kernel hook: attaches (or detaches, with null) the undo log that mut()
+  // feeds. Not owned.
+  void set_undo(core::UndoLog* log) { undo_ = log; }
+  core::UndoLog* undo() const { return undo_; }
+
+ private:
+  core::UndoLog* undo_{nullptr};
 };
 
 // CRTP convenience: gives a copyable state struct its clone().

@@ -4,6 +4,9 @@
 // rely on.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
+
 #include "core/stats.hpp"
 #include "warped/lp.hpp"
 
@@ -328,6 +331,210 @@ TEST_F(LpWideFixture, SignatureMatchesObjectScopeRun) {
   drain(obj_lp);
 
   EXPECT_EQ(lp_.signature_sum(), obj_lp.signature_sum());
+}
+
+// ---------------------------------------------------------------------------
+// State saving: checkpoint-period gaps, the incremental undo log, and the
+// adaptive interval.
+// ---------------------------------------------------------------------------
+
+// AccObject with write-barriered mutations, as the incremental undo log
+// requires (see docs/ARCHITECTURE.md, "write-barrier contract").
+struct BarrierState : CloneableState<BarrierState> {
+  std::int64_t acc{0};
+  std::int64_t executed{0};
+};
+
+class BarrierObject final : public SimulationObject {
+ public:
+  explicit BarrierObject(ObjectId id)
+      : SimulationObject(id, "bar" + std::to_string(id),
+                         std::make_unique<BarrierState>()) {}
+
+  void initialize(ObjectContext&) override {}
+
+  void execute(ObjectContext& ctx, const EventMsg& ev) override {
+    auto& st = state_as<BarrierState>();
+    st.mut(st.acc) += ev.data.at(0);
+    st.mut(st.executed) += 1;
+    ctx.fold_signature(ev.data.at(0) * 17 + ctx.now().t);
+    if (ev.data.size() >= 3 && ev.data.at(1) >= 0) {
+      ctx.send(static_cast<ObjectId>(ev.data.at(1)), ctx.now() + ev.data.at(2),
+               {ev.data.at(0) + 1, -1, 0});
+    }
+  }
+};
+
+std::unique_ptr<LogicalProcess> make_state_lp(StatsRegistry& stats,
+                                              std::int64_t period,
+                                              StateSaveMode mode,
+                                              int objects = 1) {
+  auto lp = std::make_unique<LogicalProcess>(0, stats, 42, RollbackScope::kObject,
+                                             CancellationMode::kAggressive, period,
+                                             mode);
+  for (int o = 0; o < objects; ++o) {
+    lp->add_object(std::make_unique<BarrierObject>(static_cast<ObjectId>(o)));
+  }
+  lp->set_paranoia(true);
+  return lp;
+}
+
+TEST(LpStateSaving, GapRollbackTakesNoDeadSnapshot) {
+  // Regression: rolling back to a position whose record has no snapshot
+  // (periodic saving skipped it) used to cut an extra snapshot into the
+  // target record and then immediately erase the record — pure waste that
+  // inflated state_saves/state_save_bytes. The rollback itself must not
+  // snapshot anything.
+  StatsRegistry stats;
+  auto lp = make_state_lp(stats, 4, StateSaveMode::kCopy);
+  lp->insert(make_event(0, 10, 100));
+  lp->insert(make_event(0, 20, 1000));
+  lp->insert(make_event(0, 30, 10000));
+  drain(*lp);
+  // Period 4: only the anchor snapshot before the first execution.
+  EXPECT_EQ(lp->state_saves(), 1u);
+  const std::uint64_t saves_before = lp->state_saves();
+  const std::uint64_t bytes_before = lp->state_save_bytes();
+
+  // Straggler at 15: target position (the record at 20) is a gap.
+  auto res = lp->insert(make_event(0, 15, 7));
+  EXPECT_TRUE(res.rollback);
+  EXPECT_EQ(res.events_undone, 2u);
+  EXPECT_EQ(lp->state_saves(), saves_before);
+  EXPECT_EQ(lp->state_save_bytes(), bytes_before);
+  // Coast-forward replayed exactly the one event between the anchor snapshot
+  // (position 0) and the rollback point — no double counting.
+  EXPECT_EQ(lp->events_replayed(), 1u);
+
+  drain(*lp);
+  EXPECT_EQ(lp->events_processed(), 6u);  // 3 + straggler + 2 re-executions
+}
+
+TEST(LpStateSaving, IncrementalRollbackIsPureUndo) {
+  StatsRegistry stats;
+  auto lp = make_state_lp(stats, 0, StateSaveMode::kIncremental);
+  lp->insert(make_event(0, 10, 100));
+  lp->insert(make_event(0, 20, 1000));
+  lp->insert(make_event(0, 30, 10000));
+  drain(*lp);
+  EXPECT_GT(lp->undo_bytes_logged(), 0u);
+
+  auto res = lp->insert(make_event(0, 15, 7));
+  EXPECT_TRUE(res.rollback);
+  EXPECT_EQ(res.events_undone, 2u);
+  // Served by reverse byte replay: no snapshot restore, no coast-forward.
+  EXPECT_EQ(lp->undo_rewinds(), 1u);
+  EXPECT_EQ(lp->events_replayed(), 0u);
+
+  drain(*lp);
+  // Same trajectory as an in-order copy-mode run of the same four events.
+  StatsRegistry stats2;
+  auto ref = make_state_lp(stats2, 1, StateSaveMode::kCopy);
+  ref->insert(make_event(0, 10, 100));
+  ref->insert(make_event(0, 15, 7));
+  ref->insert(make_event(0, 20, 1000));
+  ref->insert(make_event(0, 30, 10000));
+  drain(*ref);
+  EXPECT_EQ(lp->signature_sum(), ref->signature_sum());
+}
+
+TEST(LpStateSaving, IncrementalMatchesCopyAcrossScrambledSchedules) {
+  // The same 40-event workload (two objects, forwarding, repeated
+  // stragglers) in copy period-1, copy period-3, incremental adaptive, and
+  // incremental period-3 modes: identical committed signatures and event
+  // counts. State saving is a cost knob, never a correctness knob.
+  struct Run {
+    std::int64_t period;
+    StateSaveMode mode;
+  };
+  const Run runs[] = {{1, StateSaveMode::kCopy},
+                      {3, StateSaveMode::kCopy},
+                      {0, StateSaveMode::kIncremental},
+                      {3, StateSaveMode::kIncremental}};
+  std::vector<std::int64_t> sigs;
+  std::vector<std::uint64_t> processed;
+  for (const Run& run : runs) {
+    StatsRegistry stats;
+    auto lp = make_state_lp(stats, run.period, run.mode, 2);
+    // Unlike the fixture drain(), route antis too: a rollback of a
+    // forwarding event regenerates its send, which must annihilate the
+    // stale copy instead of colliding with it under paranoia.
+    std::deque<EventMsg> inbox;
+    auto deliver = [&] {
+      while (!inbox.empty()) {
+        EventMsg m = std::move(inbox.front());
+        inbox.pop_front();
+        auto res = lp->insert(std::move(m));
+        for (auto& a : res.antis) inbox.push_back(std::move(a));
+      }
+    };
+    auto pump = [&] {
+      deliver();
+      while (lp->has_ready_event()) {
+        auto r = lp->execute_next();
+        for (auto& ev : r.sends) inbox.push_back(std::move(ev));
+        for (auto& a : r.antis) inbox.push_back(std::move(a));
+        deliver();
+      }
+    };
+    std::uint64_t s = 7;
+    std::vector<EventMsg> evs;
+    for (int i = 0; i < 40; ++i) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      EventMsg ev = make_event(static_cast<ObjectId>(i % 2),
+                               5 + static_cast<std::int64_t>(s % 200),
+                               static_cast<std::int64_t>(s % 97),
+                               static_cast<EventId>(70000 + i));
+      if (i % 5 == 0) ev.data = {ev.data[0], (i + 1) % 2, 3};  // forward
+      evs.push_back(ev);
+    }
+    // Insert out of order in bursts so stragglers land below the horizon.
+    for (int i = 0; i < 40; i += 8) {
+      for (int j = i; j < i + 8; ++j) {
+        inbox.push_back(evs[static_cast<std::size_t>(j)]);
+      }
+      pump();
+    }
+    sigs.push_back(lp->signature_sum());
+    processed.push_back(lp->events_processed());
+    if (run.mode == StateSaveMode::kIncremental) {
+      EXPECT_GT(lp->undo_bytes_logged(), 0u);
+    }
+  }
+  for (std::size_t i = 1; i < sigs.size(); ++i) {
+    EXPECT_EQ(sigs[i], sigs[0]) << "mode " << i;
+    EXPECT_EQ(processed[i], processed[0]) << "mode " << i;
+  }
+}
+
+TEST(LpStateSaving, AdaptivePeriodStretchesWhenRollbacksAreRare) {
+  StatsRegistry stats;
+  auto lp = make_state_lp(stats, 0, StateSaveMode::kCopy);
+  EXPECT_EQ(lp->effective_period(), 8);  // the pre-observation default
+  for (int i = 0; i < 120; ++i) {
+    lp->insert(make_event(0, 10 + i, 1));
+    drain(*lp);
+  }
+  // 120 events, zero rollbacks: the Lin–Lazowska interval sqrt(2*mu) has
+  // grown past the default.
+  EXPECT_GT(lp->effective_period(), 8);
+  EXPECT_LE(lp->effective_period(), 64);
+}
+
+TEST(LpStateSaving, AdaptivePeriodShrinksUnderRollbackPressure) {
+  StatsRegistry stats;
+  auto lp = make_state_lp(stats, 0, StateSaveMode::kCopy);
+  // Every second event is a straggler: rollback rate ~0.5 → interval near 2.
+  std::int64_t t = 100;
+  for (int i = 0; i < 60; ++i) {
+    lp->insert(make_event(0, t, 1));
+    drain(*lp);
+    lp->insert(make_event(0, t - 50, 1));  // straggler below the last event
+    drain(*lp);
+    t += 60;
+  }
+  EXPECT_GT(lp->rollbacks(), 0u);
+  EXPECT_LT(lp->effective_period(), 8);
 }
 
 }  // namespace

@@ -372,5 +372,68 @@ TEST_P(ChaosSignature, CommittedStateMatchesFaultFreeRun) {
 
 INSTANTIATE_TEST_SUITE_P(FaultSeeds, ChaosSignature, ::testing::Values(1, 2, 3));
 
+// Incremental state saving under the same chaos envelope: for every fault
+// plan and seed, the undo-log run commits byte-for-byte the same state as
+// the full-copy run of the same plan. Faults force deep and oddly-shaped
+// rollbacks (delayed stragglers, regenerated tokens), which is exactly the
+// stress the record-before-write log has to survive.
+class ChaosIncrementalTwin : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosIncrementalTwin, MatchesFullCopyUnderFaults) {
+  std::vector<ChaosCase> cases;
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.01;
+    cases.push_back({"drop1", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.02;
+    p.dup_rate = 0.02;
+    cases.push_back({"drop+dup", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.corrupt_rate = 0.02;
+    p.delay_rate = 0.05;
+    p.delay_max_us = 40.0;
+    cases.push_back({"corrupt+delay", p});
+  }
+  {
+    hw::FaultPlan p;
+    p.drop_rate = 0.05;
+    p.dup_rate = 0.01;
+    p.corrupt_rate = 0.01;
+    p.delay_rate = 0.02;
+    cases.push_back({"mixed5", p});
+  }
+
+  for (const ChaosCase& c : cases) {
+    harness::ExperimentConfig copy;
+    copy.model = harness::ModelKind::kRaid;
+    copy.raid.total_requests = 600;
+    copy.nodes = 4;
+    copy.gvt_mode = warped::GvtMode::kNic;
+    copy.paranoia_checks = true;
+    copy.fault = c.plan;
+    copy.fault.seed = GetParam();
+
+    harness::ExperimentConfig incr = copy;
+    incr.state_save_period = 0;  // adaptive fallback-snapshot interval
+    incr.state_mode = warped::StateSaveMode::kIncremental;
+
+    SCOPED_TRACE(::testing::Message() << c.name << " / seed " << GetParam());
+    const harness::ExperimentResult a = harness::run_experiment(copy);
+    const harness::ExperimentResult b = harness::run_experiment(incr);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_EQ(b.signature, a.signature);
+    EXPECT_EQ(b.committed_events, a.committed_events);
+    EXPECT_GT(b.undo_bytes_logged, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, ChaosIncrementalTwin, ::testing::Values(1, 2, 3));
+
 }  // namespace
 }  // namespace nicwarp

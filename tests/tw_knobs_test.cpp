@@ -171,6 +171,53 @@ TEST(StateSavingTest, ComposesWithEarlyCancellation) {
   EXPECT_EQ(a.signature, b.signature);
 }
 
+TEST(StateSavingTest, AdaptiveIntervalStaysCanonical) {
+  // Period 0 = adaptive checkpoint interval: the period changes on the fly
+  // with the observed rollback rate, which must never leak into results.
+  ExperimentConfig ref = knob_config(9);
+  const ExperimentResult canon = harness::run_experiment(ref);
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = 0;
+  const ExperimentResult r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.signature, canon.signature);
+  EXPECT_EQ(r.committed_events, canon.committed_events);
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IncrementalSweep, UndoLogStaysCanonical) {
+  // Incremental (undo-log) state saving across fallback-snapshot periods,
+  // including the adaptive interval (0): byte-identical committed results.
+  ExperimentConfig ref = knob_config(9);
+  const ExperimentResult canon = harness::run_experiment(ref);
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = GetParam();
+  cfg.state_mode = warped::StateSaveMode::kIncremental;
+  const ExperimentResult r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.completed) << "period " << GetParam();
+  EXPECT_EQ(r.signature, canon.signature);
+  EXPECT_EQ(r.committed_events, canon.committed_events);
+  EXPECT_GT(r.undo_bytes_logged, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, IncrementalSweep, ::testing::Values(0, 1, 8));
+
+TEST(StateSavingTest, IncrementalServesRollbacksWithoutReplay) {
+  // With every model mutation write-barriered, rollbacks take the pure-undo
+  // path: rewinds happen, coast-forward does not.
+  ExperimentConfig cfg = knob_config(9);
+  cfg.state_save_period = 0;
+  cfg.state_mode = warped::StateSaveMode::kIncremental;
+  harness::Testbed tb = harness::build_testbed(cfg);
+  ASSERT_TRUE(tb.run_to_completion(cfg.max_sim_seconds));
+  const StatsRegistry& st = tb.cluster->stats();
+  if (st.value("tw.rollbacks") > 0) {
+    EXPECT_GT(st.value("tw.undo_rewinds"), 0);
+    EXPECT_EQ(st.value("tw.events_replayed"), 0);
+  }
+}
+
 TEST(StateSavingTest, ComposesWithLazyCancellation) {
   ExperimentConfig cfg = knob_config(13);
   cfg.cancellation = warped::CancellationMode::kLazy;

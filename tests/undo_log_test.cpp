@@ -1,0 +1,206 @@
+// Unit tests for the pooled record-before-write undo log
+// (src/core/undo_log.hpp): record/rewind symmetry, wide-write splitting,
+// mark staleness after reset, chunk recycling through the pool, capped-pool
+// overflow, and fossil trimming via release_below.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "core/undo_log.hpp"
+
+namespace nicwarp::core {
+namespace {
+
+TEST(UndoLog, RecordRewindRestoresExactBytes) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  std::int64_t a = 10;
+  double b = 2.5;
+  std::array<char, 8> c{'o', 'r', 'i', 'g', 'i', 'n', 'a', 'l'};
+
+  const UndoLog::Mark m = log.mark();
+  EXPECT_TRUE(log.record(&a, sizeof(a)));
+  a = 99;
+  EXPECT_TRUE(log.record(&b, sizeof(b)));
+  b = -7.25;
+  EXPECT_TRUE(log.record(&c, sizeof(c)));
+  c = {'c', 'l', 'o', 'b', 'b', 'e', 'r', '!'};
+
+  log.rewind_to(m);
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, 2.5);
+  EXPECT_EQ(c[0], 'o');
+  EXPECT_EQ(c[7], 'l');
+  EXPECT_EQ(log.mark(), m);
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(UndoLog, RewindToIntermediateMarkKeepsOlderEntries) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  int x = 1;
+  const UndoLog::Mark m0 = log.mark();
+  log.record(&x, sizeof(x));
+  x = 2;
+  const UndoLog::Mark m1 = log.mark();
+  log.record(&x, sizeof(x));
+  x = 3;
+
+  log.rewind_to(m1);  // undoes only the second write
+  EXPECT_EQ(x, 2);
+  log.rewind_to(m0);
+  EXPECT_EQ(x, 1);
+}
+
+TEST(UndoLog, WideWritesSplitAcrossEntriesAndRestore) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  // 300 bytes: far past kInlineBytes, forcing a multi-entry split.
+  std::array<unsigned char, 300> buf{};
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 7 + 1);
+  }
+  const auto orig = buf;
+
+  const UndoLog::Mark m = log.mark();
+  EXPECT_TRUE(log.record(buf.data(), buf.size()));
+  EXPECT_GT(log.entries(), 1u);
+  EXPECT_EQ(log.bytes_logged(), buf.size());
+  buf.fill(0xEE);
+
+  log.rewind_to(m);
+  EXPECT_EQ(buf, orig);
+}
+
+TEST(UndoLog, ResetMakesAllPriorMarksStale) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  int x = 5;
+  const UndoLog::Mark before = log.mark();
+  log.record(&x, sizeof(x));
+  x = 6;
+
+  EXPECT_GE(before, log.first_pos());
+  log.reset();
+  // Entries discarded without being applied...
+  EXPECT_EQ(x, 6);
+  EXPECT_EQ(log.entries(), 0u);
+  // ...and the burned position makes every earlier mark detectably stale,
+  // including a mark taken exactly at the old end.
+  EXPECT_LT(before, log.first_pos());
+  EXPECT_LT(log.mark() - 1, log.first_pos());
+  // New marks taken after the reset are live again.
+  const UndoLog::Mark after = log.mark();
+  log.record(&x, sizeof(x));
+  x = 7;
+  log.rewind_to(after);
+  EXPECT_EQ(x, 6);
+}
+
+TEST(UndoLog, ChunkReuseAfterRewindDoesNotGrowPool) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  int sink = 0;
+  // Burn in: one rollback's worth of entries, spanning several chunks.
+  constexpr int kEntriesPerRound = UndoChunkPool::kChunkSlots * 3 + 5;
+  const UndoLog::Mark m = log.mark();
+  for (int i = 0; i < kEntriesPerRound; ++i) log.record(&sink, sizeof(sink));
+  log.rewind_to(m);
+  const std::size_t plateau = pool.allocated();
+  EXPECT_GE(plateau, 3u);
+
+  // Steady state: the same record/rewind cycle must recycle chunks through
+  // the pool freelist, not allocate fresh ones.
+  for (int round = 0; round < 50; ++round) {
+    const UndoLog::Mark r = log.mark();
+    for (int i = 0; i < kEntriesPerRound; ++i) log.record(&sink, sizeof(sink));
+    log.rewind_to(r);
+  }
+  EXPECT_EQ(pool.allocated(), plateau);
+  EXPECT_EQ(pool.peak(), plateau);
+}
+
+TEST(UndoLog, CappedPoolOverflowsStickilyAndRecovers) {
+  UndoChunkPool pool(1);  // exactly one chunk ever
+  UndoLog log(pool);
+
+  int sink = 0;
+  for (std::size_t i = 0; i < UndoChunkPool::kChunkSlots; ++i) {
+    EXPECT_TRUE(log.record(&sink, sizeof(sink)));
+  }
+  // 65th entry needs a second chunk: cap hit, sticky flag raised.
+  EXPECT_FALSE(log.record(&sink, sizeof(sink)));
+  EXPECT_TRUE(log.overflowed());
+  EXPECT_FALSE(log.record(&sink, sizeof(sink)));
+
+  // The already-logged prefix still restores correctly.
+  const UndoLog::Mark all = log.first_pos();
+  sink = 42;
+  log.rewind_to(all);
+  EXPECT_EQ(sink, 0);
+
+  log.clear_overflow();
+  EXPECT_FALSE(log.overflowed());
+  EXPECT_TRUE(log.record(&sink, sizeof(sink)));
+  EXPECT_EQ(pool.allocated(), 1u);
+}
+
+TEST(UndoLog, ReleaseBelowFreesWholeChunksOnly) {
+  UndoChunkPool pool;
+  UndoLog log(pool);
+
+  int sink = 0;
+  constexpr std::size_t kSlots = UndoChunkPool::kChunkSlots;
+  for (std::size_t i = 0; i < kSlots * 2 + 10; ++i) {
+    log.record(&sink, sizeof(sink));
+  }
+  EXPECT_EQ(log.chunks_held(), 3u);
+
+  // Mark inside the second chunk: only the first chunk is physically freed,
+  // but the logical floor advances all the way to the mark — entries below
+  // it are fossil-collected even while their straddled chunk survives.
+  const UndoLog::Mark mid = log.first_pos() + kSlots + 3;
+  log.release_below(mid);
+  EXPECT_EQ(log.chunks_held(), 2u);
+  EXPECT_EQ(log.first_pos(), mid);
+  EXPECT_EQ(pool.live(), 2u);
+
+  // No-op when the mark is at or below the current floor.
+  log.release_below(log.first_pos());
+  EXPECT_EQ(log.chunks_held(), 2u);
+
+  // Entries at or above the floor still rewind.
+  const UndoLog::Mark tail = log.mark();
+  log.record(&sink, sizeof(sink));
+  sink = 9;
+  log.rewind_to(tail);
+  EXPECT_EQ(sink, 0);
+}
+
+TEST(UndoLog, DestructorReturnsChunksToPool) {
+  UndoChunkPool pool;
+  {
+    UndoLog log(pool);
+    int sink = 0;
+    for (std::size_t i = 0; i < UndoChunkPool::kChunkSlots + 1; ++i) {
+      log.record(&sink, sizeof(sink));
+    }
+    EXPECT_EQ(pool.live(), 2u);
+  }
+  EXPECT_EQ(pool.live(), 0u);
+  // A second log reuses the freed chunks instead of allocating.
+  UndoLog log2(pool);
+  int sink = 0;
+  log2.record(&sink, sizeof(sink));
+  EXPECT_EQ(pool.allocated(), 2u);
+}
+
+}  // namespace
+}  // namespace nicwarp::core
