@@ -88,6 +88,14 @@ void write_scenario_json(std::ostream& os, const ScenarioRun& run) {
      << ", \"filtered_antis\": " << r.filtered_antis
      << ", \"antis_suppressed\": " << r.antis_suppressed
      << ", \"signature\": " << r.signature;
+  if (run.sc->cfg.shards > 1) {
+    // Sharded scenarios only: keeping these keys out of shards=1 rows leaves
+    // every pre-sharding baseline block byte-identical. shard_rounds is
+    // deterministic — the LBTS decisions are data-dependent, not
+    // timing-dependent.
+    os << ", \"shards\": " << run.sc->cfg.shards
+       << ", \"shard_rounds\": " << r.shard_rounds;
+  }
   if (run.sc->cfg.fault.enabled()) {
     // Chaos scenarios: injection and recovery volumes are seeded and fully
     // deterministic, so they gate exactly like the commit metrics.

@@ -270,6 +270,28 @@ std::vector<Scenario> all_scenarios() {
     add(out, "micro", "phold/e2e", cfg);
   }
 
+  // --- micro/shard: host-thread sharding on the PHOLD churn workload
+  // (docs/SHARDING.md). s1 is the legacy single-threaded twin — same config,
+  // same seed — so the wall-clock ratio s1/sN is the sharding speedup and the
+  // committed/signature rows prove the partitioned run commits the same
+  // events. The link latency is raised to 40us to give the conservative
+  // windows useful width; all three variants share it, so they stay
+  // comparable with each other (not with micro/phold/e2e above). ---
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    ExperimentConfig cfg;
+    cfg.model = ModelKind::kPhold;
+    cfg.nodes = 16;
+    cfg.seed = 23;
+    cfg.gvt_mode = warped::GvtMode::kNic;
+    cfg.gvt_period = 200;
+    cfg.phold.objects = 64;
+    cfg.phold.population = 4;
+    cfg.phold.horizon = 20000;
+    cfg.cost.link_latency_us = 40.0;
+    cfg.shards = shards;
+    add(out, "micro", "shard_phold/s" + std::to_string(shards), cfg);
+  }
+
   return out;
 }
 

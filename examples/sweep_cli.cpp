@@ -95,6 +95,10 @@ int main(int argc, char** argv) {
   cfg.phold.horizon = p.get_i64("horizon", cfg.phold.horizon);
 
   cfg.nodes = static_cast<std::uint32_t>(p.get_i64("nodes", cfg.nodes));
+  // shards=N partitions the testbed across N worker threads (conservative
+  // windows, docs/SHARDING.md); pin=1 pins shard s to CPU s (Linux only).
+  cfg.shards = static_cast<std::uint32_t>(p.get_i64("shards", cfg.shards));
+  cfg.pin_threads = p.get_bool("pin", cfg.pin_threads);
   cfg.gvt_period = p.get_i64("period", cfg.gvt_period);
   const std::string gvt = p.get_str("gvt", "nic");
   if (gvt == "mattern") {
@@ -219,6 +223,12 @@ int main(int argc, char** argv) {
               (long long)r.state_saves, (long long)r.state_save_bytes,
               (long long)r.undo_bytes_logged, (long long)r.undo_rewinds);
   std::printf("  signature      : %lld\n", (long long)r.signature);
+  if (cfg.shards > 1) {
+    // Only printed when sharded, so shards=1 stdout stays byte-identical to
+    // pre-sharding builds (the CI determinism checks diff it verbatim).
+    std::printf("  sharding       : %u shards, %lld LBTS rounds\n", cfg.shards,
+                (long long)r.shard_rounds);
+  }
   if (!cfg.trace.categories.empty()) {
     std::printf("  trace          : %llu records (%llu overwritten)",
                 (unsigned long long)r.trace_records,

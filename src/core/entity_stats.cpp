@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "core/assert.hpp"
+
 namespace nicwarp {
 
 void EntityStats::configure(std::uint32_t nodes) {
@@ -58,6 +60,42 @@ void EntityStats::to_json(std::ostream& os) const {
     }
   }
   os << "\n  ]\n}\n";
+}
+
+void EntityStats::merge_from(const EntityStats& other) {
+  NW_CHECK_MSG(enabled_ && other.enabled_ && nodes_ == other.nodes_,
+               "entity-stats merge: registries must be configured alike");
+  for (std::uint32_t r = 0; r < nodes_; ++r) {
+    LpHeat& a = lps_[r];
+    const LpHeat& b = other.lps_[r];
+    a.committed += b.committed;
+    a.processed += b.processed;
+    a.rolled_back += b.rolled_back;
+    a.rollbacks += b.rollbacks;
+    if (b.max_rollback_depth > a.max_rollback_depth) a.max_rollback_depth = b.max_rollback_depth;
+    a.replayed += b.replayed;
+    a.state_saves += b.state_saves;
+    a.state_save_bytes += b.state_save_bytes;
+
+    NodeHeat& n = node_heat_[r];
+    const NodeHeat& m = other.node_heat_[r];
+    if (m.ring_occupancy_hw > n.ring_occupancy_hw) n.ring_occupancy_hw = m.ring_occupancy_hw;
+    n.credit_stalls += m.credit_stalls;
+    n.gvt_tokens += m.gvt_tokens;
+    n.gvt_token_hold_ns += m.gvt_token_hold_ns;
+    if (m.gvt_token_hold_max_ns > n.gvt_token_hold_max_ns) {
+      n.gvt_token_hold_max_ns = m.gvt_token_hold_max_ns;
+    }
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkHeat& a = links_[i];
+    const LinkHeat& b = other.links_[i];
+    a.packets += b.packets;
+    a.bytes += b.bytes;
+    a.retransmits += b.retransmits;
+    a.faults += b.faults;
+    if (b.queue_depth_hw > a.queue_depth_hw) a.queue_depth_hw = b.queue_depth_hw;
+  }
 }
 
 EntityStats& EntityStats::null_stats() {

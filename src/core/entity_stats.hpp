@@ -100,6 +100,12 @@ class EntityStats {
   // values, fixed field order — byte-identical across reruns of a seed.
   void to_json(std::ostream& os) const;
 
+  // Folds another registry (same node count) in: additive fields sum,
+  // high-water fields take the max.  Used to merge per-shard registries into
+  // the cluster-wide heatmap; each entity is recorded by exactly one shard,
+  // so the merge is a disjoint union and order-independent.
+  void merge_from(const EntityStats& other);
+
   // Shared disabled instance for construction paths without a cluster.
   static EntityStats& null_stats();
 

@@ -51,6 +51,14 @@ void LatencyRecorder::clear() {
   commit_us_.reset();
 }
 
+void LatencyRecorder::merge_from(const LatencyRecorder& other) {
+  delivery_vt_.merge(other.delivery_vt_);
+  delivery_us_.merge(other.delivery_us_);
+  nic_wire_us_.merge(other.nic_wire_us_);
+  commit_vt_.merge(other.commit_vt_);
+  commit_us_.merge(other.commit_us_);
+}
+
 LatencyStats LatencyStats::from(const Histogram& h) {
   LatencyStats s;
   s.count = h.count();

@@ -84,6 +84,11 @@ class LatencyRecorder {
   // Zeroes all histograms in place; enabled flag is kept.
   void clear();
 
+  // Folds another recorder's samples in histogram-by-histogram (per-shard
+  // latency merge, docs/SHARDING.md). Deterministic: bucket counts, sums and
+  // exact min/max merge exactly as recording the union would have.
+  void merge_from(const LatencyRecorder& other);
+
   // HDR-style bounds: per-decade multipliers {1, 1.5, 2, 3, 5, 7.5} from
   // 0.01 up through 1e9 — fine enough near the median, wide enough that the
   // overflow bucket never fires for modeled times.

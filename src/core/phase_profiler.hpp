@@ -57,6 +57,17 @@ class PhaseProfiler {
     return static_cast<double>(nanos(p)) * 1e-9;
   }
 
+  // Sums another profiler's accumulators in (per-shard merge). The result is
+  // total wall nanoseconds across shard threads that ran CONCURRENTLY, so
+  // merged phase seconds can exceed the run's wall time — see docs/PERF.md.
+  void merge_from(const PhaseProfiler& other) {
+    if (other.enabled_) enabled_ = true;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      ns_[i] += other.ns_[i];
+      calls_[i] += other.calls_[i];
+    }
+  }
+
   // Shared disabled instance for construction paths without a cluster.
   static PhaseProfiler& null_profiler() {
     static PhaseProfiler inst;

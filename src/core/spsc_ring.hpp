@@ -1,0 +1,75 @@
+// Single-producer / single-consumer ring over a fixed power-of-two buffer.
+//
+// The cross-shard mailboxes (hw/shard_mailbox.hpp) are built on this: exactly
+// one shard thread pushes and exactly one shard thread pops, so the only
+// synchronization needed is an acquire/release pair on the head and tail
+// indices — no locks, no CAS loops. Unlike core::FlatRing (single-threaded,
+// grows on demand), this ring has a FIXED capacity: try_push() fails when the
+// consumer has fallen `capacity` entries behind, and the caller decides how
+// to wait (the mailbox layer stages its own inbound traffic while blocked so
+// two full rings can never deadlock each other).
+//
+// Indices are free-running 64-bit counters masked on access; at any plausible
+// push rate they cannot wrap within a run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace nicwarp {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) : buf_(capacity), mask_(capacity - 1) {
+    NW_CHECK_MSG(capacity >= 2 && (capacity & mask_) == 0,
+                 "SpscRing capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  // Producer side. Returns false (leaving `v` untouched) when the ring is
+  // full; the value is moved into the slot only on success.
+  bool try_push(T&& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= buf_.size()) return false;
+    buf_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: pointer to the oldest entry, or nullptr when empty. The
+  // entry stays valid until pop(); the consumer may move out of it first.
+  T* front() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return nullptr;
+    return &buf_[h & mask_];
+  }
+
+  // Consumer side; only valid after a non-null front().
+  void pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // Approximate when racing the producer; exact from the consumer thread.
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace nicwarp

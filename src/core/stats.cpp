@@ -65,6 +65,16 @@ void Histogram::reset() {
   max_ = 0.0;
 }
 
+void Histogram::merge(const Histogram& other) {
+  NW_CHECK_MSG(bounds_ == other.bounds_, "histogram merge: bucket bounds differ");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  min_ = count_ ? std::min(min_, other.min_) : other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& StatsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter{}).first;
@@ -111,6 +121,11 @@ void StatsRegistry::reset() {
   // keep recording).
   for (auto& [k, c] : counters_) c.reset();
   for (auto& [k, h] : histograms_) h.reset();
+}
+
+void StatsRegistry::merge_from(const StatsRegistry& other) {
+  for (const auto& [k, c] : other.counters_) counter(k).add(c.get());
+  for (const auto& [k, h] : other.histograms_) histogram(k).merge(h);
 }
 
 }  // namespace nicwarp

@@ -49,6 +49,12 @@ class Histogram {
   // Zeroes all samples; bucket bounds are kept.
   void reset();
 
+  // Folds another histogram's samples in bucket-wise. Both histograms must
+  // have identical bounds (per-shard stats merge, docs/SHARDING.md); the
+  // merged count/sum/min/max are exactly what recording the union of both
+  // sample sets would have produced.
+  void merge(const Histogram& other);
+
   static std::vector<double> default_bounds();
 
  private:
@@ -80,6 +86,12 @@ class StatsRegistry {
   // any Counter&/Histogram& a call site holds) stay valid, which is what
   // per-round sampling and re-used testbeds need.
   void reset();
+
+  // Folds another registry in: counters are summed by name, histograms are
+  // bucket-merged by name. Used to build the cluster-wide view from
+  // per-shard registries; merging shards in ascending shard order is
+  // deterministic because the map is name-sorted regardless.
+  void merge_from(const StatsRegistry& other);
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

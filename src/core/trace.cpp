@@ -120,7 +120,10 @@ void export_trace_schema(std::ostream& os) {
     return TraceCat::kWatchdog;
   };
 
-  os << "{\n  \"type\": \"trace_schema\",\n  \"schema_version\": 1,\n";
+  // v2: the `sharding` section — on shards>1 runs every exported document
+  // (trace, heatmap, latency, metrics series, BENCH rows) is the merged
+  // cluster-wide view described there; record/field shapes are unchanged.
+  os << "{\n  \"type\": \"trace_schema\",\n  \"schema_version\": 2,\n";
   os << "  \"categories\": [";
   bool first = true;
   for (TraceCat c : kCats) {
@@ -171,7 +174,19 @@ void export_trace_schema(std::ostream& os) {
         "\"credit_stalls\", \"gvt_tokens\", \"gvt_token_hold_ns\", "
         "\"gvt_token_hold_max_ns\"],\n"
      << "    \"link_fields\": [\"src\", \"dst\", \"packets\", \"bytes\", "
-        "\"retransmits\", \"faults\", \"queue_depth_hw\"]\n  }\n}\n";
+        "\"retransmits\", \"faults\", \"queue_depth_hw\"]\n  },\n";
+  // How shards>1 runs (docs/SHARDING.md) assemble the documents above. The
+  // shapes are identical to single-threaded runs; only provenance changes:
+  // every document is the deterministic merge of the per-shard recorders.
+  os << "  \"sharding\": {\n"
+     << "    \"trace_merge\": \"k-way by (at, shard index); "
+        "total_recorded/overwritten sum the shard rings\",\n"
+     << "    \"counter_merge\": \"summed by name across shards\",\n"
+     << "    \"histogram_merge\": \"bucket-wise sum, exact min/max\",\n"
+     << "    \"heatmap_merge\": \"disjoint union; high-water fields take "
+        "max\",\n"
+     << "    \"metrics_series\": \"sampled from shard 0 (rank 0's shard) "
+        "only\"\n  }\n}\n";
 }
 
 void TraceRecorder::configure(std::uint32_t category_mask, std::size_t capacity) {

@@ -148,6 +148,13 @@ class TraceRecorder {
   std::size_t capacity() const { return buf_.size(); }
   std::uint64_t total_recorded() const { return total_; }
   std::uint64_t overwritten() const { return overwritten_; }
+  // After a cross-shard ring merge: overrides the accounting so the merged
+  // view reports the sums of the source rings' totals, not the merge's own
+  // record() count.
+  void set_accounting(std::uint64_t total_recorded, std::uint64_t overwritten) {
+    total_ = total_recorded;
+    overwritten_ = overwritten;
+  }
   // i == 0 is the oldest retained record; records are in SimTime order.
   const TraceRecord& at(std::size_t i) const;
 

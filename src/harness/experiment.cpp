@@ -8,9 +8,15 @@
 #include <stdexcept>
 #include <thread>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "core/assert.hpp"
 #include "core/log.hpp"
 #include "firmware/combined_firmware.hpp"
+#include "sim/shard_sync.hpp"
 #include "warped/gvt_mattern.hpp"
 #include "warped/gvt_nic.hpp"
 #include "warped/gvt_pgvt.hpp"
@@ -113,6 +119,15 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   if (cfg.nodes == 0) {
     throw std::invalid_argument("ExperimentConfig.nodes must be >= 1");
   }
+  if (cfg.shards == 0 || cfg.shards > cfg.nodes) {
+    throw std::invalid_argument(
+        "ExperimentConfig.shards must satisfy 1 <= shards <= nodes");
+  }
+  if (cfg.profile.on() && cfg.shards > 1) {
+    throw std::invalid_argument(
+        "ExperimentConfig.profile is incompatible with shards > 1: the "
+        "cascade collector is single-threaded");
+  }
   if ((cfg.model == ModelKind::kRaid && cfg.raid.total_requests <= 0) ||
       (cfg.model == ModelKind::kPolice && cfg.police.stations <= 0) ||
       (cfg.model == ModelKind::kPhold && cfg.phold.objects <= 0)) {
@@ -125,19 +140,21 @@ Testbed build_testbed(const ExperimentConfig& cfg) {
   if (cfg.fault.enabled()) cost.rel_enabled = true;
   tb.cluster = std::make_unique<hw::Cluster>(cost, cfg.nodes,
                                              make_firmware_factory(cfg), cfg.seed,
-                                             cfg.fault);
+                                             cfg.fault, cfg.shards);
+  tb.shards = cfg.shards;
+  tb.pin_threads = cfg.pin_threads;
   if (!cfg.trace.categories.empty()) {
-    tb.cluster->trace().configure(parse_trace_categories(cfg.trace.categories),
-                                  cfg.trace.capacity);
+    tb.cluster->configure_trace(parse_trace_categories(cfg.trace.categories),
+                                cfg.trace.capacity);
   }
   if (cfg.latency.on()) {
-    tb.cluster->latency().set_enabled(true);
+    tb.cluster->set_latency_enabled(true);
   }
   if (cfg.heatmap.on()) {
-    tb.cluster->entity().configure(cfg.nodes);
+    tb.cluster->configure_entity(cfg.nodes);
   }
   if (cfg.phase.enabled) {
-    tb.cluster->phases().enable();
+    tb.cluster->enable_phases();
   }
   if (cfg.metrics.enabled()) {
     TimeSeriesSampler::Options sopts;
@@ -189,8 +206,167 @@ bool Testbed::all_stopped() const {
   return true;
 }
 
+namespace {
+
+// The sharded run loop: one worker thread per shard, advancing in
+// conservative windows under the two-phase LBTS exchange (sim/shard_sync.hpp,
+// docs/SHARDING.md). Per shard s, round r (starting at 1):
+//
+//   Phase A  await fence[p] >= r-1 from every peer (all round-(r-1) mailbox
+//            pushes are then visible), drain inbound entries stamped <= r-1
+//            onto the engine, publish (h = next_time, done, best GVT) as the
+//            round-r snapshot.
+//   Phase B  await every shard's round-r snapshot, decide floor = min h and
+//            all_done = AND done — identically on every shard — then run the
+//            window [.., floor + lookahead - 1] and publish fence = r.
+//
+// The wall-clock GVT watchdog lives on the shard-0 worker and keys off the
+// *published* best GVT, not the floor: the kernels' idle-poll timers keep
+// every engine non-empty, so the floor advances even when GVT is wedged.
+bool run_sharded(Testbed& tb, double max_sim_seconds,
+                 const WatchdogConfig& watchdog) {
+  hw::Cluster& cl = *tb.cluster;
+  const std::uint32_t num_shards = cl.shards();
+  sim::ShardSync sync(num_shards);
+  const std::int64_t cap_ns = SimTime::from_seconds(max_sim_seconds).ns;
+  const std::int64_t lookahead_ns = cl.lookahead().ns;
+  NW_CHECK_MSG(lookahead_ns > 0, "sharded run requires positive lookahead");
+
+  std::vector<std::vector<warped::Kernel*>> by_shard(num_shards);
+  for (std::size_t i = 0; i < tb.kernels.size(); ++i) {
+    by_shard[cl.shard_of(static_cast<NodeId>(i))].push_back(tb.kernels[i].get());
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    // Blocked-push hook: staging our own inbound rings is what lets the peer
+    // we are pushing to always make progress (deadlock freedom, see
+    // hw/shard_mailbox.hpp).
+    cl.set_shard_idle_hook(s, [&cl, &sync, s] {
+      cl.stage_shard_inbound(s);
+      return sync.aborted();
+    });
+  }
+  // start() touches only the kernel's own shard engine; do it here, single
+  // threaded, before any worker exists.
+  for (auto& k : tb.kernels) k->start();
+
+  std::vector<std::string> errors(num_shards);
+  std::atomic<bool> stalled{false};
+  std::atomic<std::int64_t> rounds0{0};
+
+  auto worker = [&](std::uint32_t s) {
+    try {
+      sim::Engine& eng = cl.engine(s);
+      const auto idle = [&cl, s] { cl.stage_shard_inbound(s); };
+      VirtualTime wd_best = VirtualTime::zero();
+      auto wd_last = std::chrono::steady_clock::now();
+      for (std::uint64_t r = 1;; ++r) {
+        if (!sync.await_fences(s, r - 1, idle)) break;  // aborted
+        cl.stage_shard_inbound(s);
+        cl.drain_shard_inbound(s, r - 1);
+        cl.shard_round(s) = r;  // outbound pushes below are stamped r
+        bool done = true;
+        std::int64_t best_gvt = VirtualTime::zero().t;
+        for (const warped::Kernel* k : by_shard[s]) {
+          if (!k->stopped()) done = false;
+          best_gvt = std::max(best_gvt, k->gvt().t);
+        }
+        sync.publish(s, r, eng.next_time().ns, done, best_gvt);
+        if (!sync.await_rounds(r, idle)) break;  // aborted
+        const sim::ShardSync::Decision d = sync.decide();
+        if (d.all_done || d.floor_ns == sim::ShardSync::kInfNs ||
+            d.floor_ns > cap_ns) {
+          // Uniform decision: every shard reads the same round-r snapshot
+          // and takes this exit in the same round.
+          if (s == 0) rounds0.store(static_cast<std::int64_t>(r),
+                                    std::memory_order_relaxed);
+          sync.set_fence(s, r);
+          break;
+        }
+        const SimTime deadline{std::min(d.floor_ns + (lookahead_ns - 1), cap_ns)};
+        // run_until can return early on a latched kernel stop(); keep going
+        // until the window is genuinely exhausted.
+        while (!sync.aborted() && eng.next_time() <= deadline) {
+          eng.run_until(deadline);
+        }
+        sync.set_fence(s, r);
+        if (s != 0) continue;
+        rounds0.store(static_cast<std::int64_t>(r), std::memory_order_relaxed);
+        if (!watchdog.on()) continue;
+        const VirtualTime g{sync.global_best_gvt()};
+        if (wd_best < g) {
+          wd_best = g;
+          wd_last = std::chrono::steady_clock::now();
+          continue;
+        }
+        const double stalled_for =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wd_last)
+                .count();
+        if (stalled_for < watchdog.stall_wall_seconds) continue;
+        if (cl.trace(0).enabled(TraceCat::kWatchdog)) {
+          cl.trace(0).record(
+              {eng.now(), wd_best, TraceCat::kWatchdog,
+               TracePoint::kWatchdogStall, false, 0, kInvalidNode, kInvalidEvent,
+               static_cast<std::uint64_t>(watchdog.stall_wall_seconds * 1000.0),
+               static_cast<std::uint64_t>(eng.pending())});
+        }
+        stalled.store(true, std::memory_order_relaxed);
+        sync.abort();
+        break;
+      }
+    } catch (const std::exception& e) {
+      errors[s] = e.what();
+      sync.abort();
+    } catch (...) {
+      errors[s] = "unknown exception";
+      sync.abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    threads.emplace_back(worker, s);
+#ifdef __linux__
+    if (tb.pin_threads) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+      CPU_SET(s % cores, &set);
+      pthread_setaffinity_np(threads.back().native_handle(), sizeof(set), &set);
+    }
+#endif
+  }
+  for (auto& t : threads) t.join();
+  tb.shard_rounds = rounds0.load(std::memory_order_relaxed);
+
+  if (stalled.load(std::memory_order_relaxed)) {
+    const VirtualTime stuck{sync.global_best_gvt()};
+    if (!watchdog.snapshot_out.empty()) {
+      std::ofstream os(watchdog.snapshot_out);
+      NW_CHECK_MSG(os.good(), "cannot open watchdog snapshot file");
+      write_watchdog_snapshot(os, tb, watchdog, stuck);
+    }
+    std::ostringstream msg;
+    msg << "GVT watchdog: no GVT advance past " << stuck.t << " within "
+        << watchdog.stall_wall_seconds << "s of wall time (sharded run, "
+        << num_shards << " shards, " << tb.shard_rounds << " LBTS rounds)";
+    throw std::runtime_error(msg.str());
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (!errors[s].empty()) {
+      throw std::runtime_error("shard " + std::to_string(s) +
+                               " worker failed: " + errors[s]);
+    }
+  }
+  return tb.all_stopped();
+}
+
+}  // namespace
+
 bool Testbed::run_to_completion(double max_sim_seconds,
                                 const WatchdogConfig& watchdog) {
+  if (shards > 1) return run_sharded(*this, max_sim_seconds, watchdog);
   for (auto& k : kernels) k->start();
   sim::Engine& eng = cluster->engine();
   const SimTime cap = SimTime::from_seconds(max_sim_seconds);
@@ -244,8 +420,8 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   // engine may have coasted past it on housekeeping timers).
   SimTime done = SimTime::zero();
   for (const auto& k : tb.kernels) done = std::max(done, k->stop_time());
-  r.sim_seconds = completed ? done.seconds() : tb.cluster->engine().now().seconds();
-  const StatsRegistry& st = tb.cluster->stats();
+  r.sim_seconds = completed ? done.seconds() : tb.cluster->now_max().seconds();
+  const StatsRegistry& st = tb.cluster->merged_stats();
 
   for (const auto& k : tb.kernels) {
     const warped::LogicalProcess& lp = k->lp();
@@ -273,6 +449,7 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
   r.gvt_rounds = st.value("gvt.rounds");
   r.gvt_estimations = st.value("gvt.estimations");
   r.host_gvt_ctrl_msgs = st.value("comm.credit_msgs");
+  r.shard_rounds = tb.shard_rounds;
 
   r.fault_drops = st.value("net.fault_drops");
   r.fault_dups = st.value("net.fault_dups");
@@ -295,14 +472,17 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
     tb.sampler->force_sample(tb.cluster->engine().now(), r.final_gvt);
     r.series = tb.sampler->samples();
   }
-  r.trace_records = tb.cluster->trace().total_recorded();
-  r.trace_overwritten = tb.cluster->trace().overwritten();
-  r.latency = tb.cluster->latency().report();
+  {
+    const TraceRecorder& tr = tb.cluster->merged_trace();
+    r.trace_records = tr.total_recorded();
+    r.trace_overwritten = tr.overwritten();
+  }
+  r.latency = tb.cluster->merged_latency().report();
 
   if (tb.cluster->entity().enabled()) {
-    // Roll the per-LP counters into the registry; the link/node rows were
-    // filled on the hot paths as the run went.
-    EntityStats& es = tb.cluster->entity();
+    // Roll the per-LP counters into the owning shard's registry (each rank
+    // belongs to exactly one shard, so the merge below is a disjoint union);
+    // the link/node rows were filled on the hot paths as the run went.
     for (std::size_t i = 0; i < tb.kernels.size(); ++i) {
       const warped::LogicalProcess& lp = tb.kernels[i]->lp();
       LpHeat h;
@@ -314,18 +494,20 @@ ExperimentResult extract_result(Testbed& tb, bool completed) {
       h.replayed = lp.events_replayed();
       h.state_saves = lp.state_saves();
       h.state_save_bytes = lp.state_save_bytes();
-      es.set_lp(static_cast<NodeId>(i), h);
+      const NodeId rank = static_cast<NodeId>(i);
+      tb.cluster->entity(tb.cluster->shard_of(rank)).set_lp(rank, h);
     }
     std::ostringstream os;
-    es.to_json(os);
+    tb.cluster->merged_entity().to_json(os);
     r.heatmap_json = os.str();
   }
   if (tb.cluster->phases().enabled()) {
     r.phase_enabled = true;
+    const PhaseProfiler& pp = tb.cluster->merged_phases();
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       const Phase ph = static_cast<Phase>(p);
-      r.phase_seconds[p] = tb.cluster->phases().seconds(ph);
-      r.phase_calls[p] = tb.cluster->phases().calls(ph);
+      r.phase_seconds[p] = pp.seconds(ph);
+      r.phase_calls[p] = pp.calls(ph);
     }
   }
 
@@ -349,11 +531,11 @@ void write_experiment_outputs(const ExperimentConfig& cfg, Testbed& tb,
   };
   if (!cfg.trace.chrome_out.empty()) {
     auto os = open(cfg.trace.chrome_out);
-    tb.cluster->trace().export_chrome_json(os);
+    tb.cluster->merged_trace().export_chrome_json(os);
   }
   if (!cfg.trace.jsonl_out.empty()) {
     auto os = open(cfg.trace.jsonl_out);
-    tb.cluster->trace().export_jsonl(os);
+    tb.cluster->merged_trace().export_jsonl(os);
   }
   if (tb.sampler != nullptr && !cfg.metrics.out_path.empty()) {
     auto os = open(cfg.metrics.out_path);

@@ -101,6 +101,18 @@ struct ExperimentConfig {
   models::PholdParams phold;
 
   std::uint32_t nodes = 8;
+  // Host-thread sharding (docs/SHARDING.md): partition the node ranks across
+  // this many engine slices, one worker thread each, synchronized by the
+  // conservative-window LBTS protocol. 1 (the default) is the classic
+  // single-threaded run and its outputs are byte-identical to pre-sharding
+  // builds. Multi-shard runs are seed-stable across reruns but are a
+  // *different* event schedule than shards=1. Incompatible with cfg.profile
+  // (the cascade collector is single-threaded).
+  std::uint32_t shards = 1;
+  // Pin worker thread s to CPU (s mod hardware_concurrency) (Linux only;
+  // ignored elsewhere). Off by default: the scheduler usually does fine, and
+  // pinning oversubscribed shards onto one core hurts.
+  bool pin_threads = false;
   warped::GvtMode gvt_mode = warped::GvtMode::kHostMattern;
   std::int64_t gvt_period = 100;   // "GVT Period (Events)" on the figures' x axes
   bool early_cancel = false;       // install the cancellation firmware
@@ -167,6 +179,9 @@ struct ExperimentResult {
   std::int64_t gvt_estimations = 0;
   std::int64_t host_gvt_ctrl_msgs = 0;  // wire tokens + broadcasts from hosts
 
+  // LBTS rounds the shard-0 worker completed (0 on single-shard runs).
+  std::int64_t shard_rounds = 0;
+
   // Fault injection (zero unless cfg.fault is enabled).
   std::int64_t fault_drops = 0;
   std::int64_t fault_dups = 0;
@@ -224,6 +239,12 @@ struct Testbed {
   std::unique_ptr<TimeSeriesSampler> sampler;
   // Non-null when cfg.profile is on; one collector serves every kernel.
   std::unique_ptr<profile::ProfileCollector> profiler;
+  // Copied from the config by build_testbed; drives run_to_completion's
+  // choice between the single-threaded loop and the sharded round protocol.
+  std::uint32_t shards = 1;
+  bool pin_threads = false;
+  // Filled by the sharded run: LBTS rounds shard 0 completed.
+  std::int64_t shard_rounds = 0;
 
   bool all_stopped() const;
   // Runs until every kernel terminated or the cap; returns completed flag.

@@ -58,7 +58,16 @@ void Network::transmit(NodeId src, PacketRef ref, std::function<void()> on_link_
 
 void Network::schedule_delivery(PacketRef ref, SimTime extra) {
   const NodeId dst = pool_.get(ref).hdr.dst;
-  engine_.schedule(cost_.us(cost_.link_latency_us) + extra, [this, dst, ref] {
+  const SimTime dt = cost_.us(cost_.link_latency_us) + extra;
+  if (!remote_.empty() && remote_[dst]) {
+    // Off-shard destination: the packet leaves this shard's pool as a value
+    // and crosses via the shard mailbox; the destination engine delivers it
+    // at the same absolute instant the local path would have.
+    stats_.counter("net.xshard_packets").add(1);
+    remote_push_(dst, engine_.now() + dt, pool_.take(ref));
+    return;
+  }
+  engine_.schedule(dt, [this, dst, ref] {
     ++delivered_;
     sink_(dst, ref);
   });

@@ -39,6 +39,20 @@ class Network {
   // Routes packets that complete wire traversal; set once by the Cluster.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  // Cross-shard egress (sharded clusters only; see docs/SHARDING.md). When
+  // `is_remote[dst]` is set, a packet completing wire traversal is moved OUT
+  // of this shard's pool and handed to `push` as a value, together with its
+  // absolute delivery time `now + link latency + fault extra`; the
+  // destination shard re-acquires it into its own pool and runs the sink
+  // there. An empty mask (the default) leaves every delivery on the exact
+  // single-shard path. Faults are all drawn on the source side, so the fault
+  // schedule of a link is identical however the cluster is sharded.
+  using RemotePush = std::function<void(NodeId dst, SimTime deliver_at, Packet&& pkt)>;
+  void set_remote_route(std::vector<std::uint8_t> is_remote, RemotePush push) {
+    remote_ = std::move(is_remote);
+    remote_push_ = std::move(push);
+  }
+
   // Arms deterministic fault injection. One RNG stream per injection link so
   // traffic on one link never perturbs another's fault schedule. An inert
   // plan (enabled() == false) leaves delivery byte-identical to the reliable
@@ -63,6 +77,8 @@ class Network {
   PacketPool& pool_;
   std::vector<std::unique_ptr<sim::Server>> links_;
   Sink sink_;
+  std::vector<std::uint8_t> remote_;  // empty unless sharded (1 = off-shard dst)
+  RemotePush remote_push_;
   std::uint64_t delivered_{0};
 
   // Applies the fault plan to one serialized packet; schedules 0, 1, or 2

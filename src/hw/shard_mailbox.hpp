@@ -1,0 +1,119 @@
+// Cross-shard packet mailboxes: one SPSC ring per ordered shard pair.
+//
+// When a packet finishes wire traversal on its source shard and its
+// destination node lives on another shard, the source network takes the
+// value-typed Packet out of its pool and pushes a ShardMsg here (see
+// Network::set_remote_route / docs/SHARDING.md). The destination shard
+// drains its inbound rings at the top of each LBTS round and re-acquires the
+// packet into its OWN pool — pools never cross threads; the Packet value is
+// the hand-off boundary, exactly like pool.take() at host delivery.
+//
+// Entries carry the sender's round number as a `stamp`; stamps on one ring
+// are nondecreasing (a shard's round only grows), so "drain everything with
+// stamp <= r-1" is a prefix pop and the LBTS fence guarantees that prefix is
+// complete when the consumer looks.
+//
+// Deadlock freedom by opportunistic staging: rings have fixed capacity, and
+// a producer blocked on a full ring could otherwise cycle-wait with a
+// consumer blocked on an LBTS fence. Every spin loop in the round protocol —
+// fence waits, publish waits, AND the blocked-push loop itself (via the
+// cluster's per-shard idle hook) — calls stage(), which moves inbound ring
+// entries into plain per-source deques owned by the consumer thread.
+// Staging frees ring space unconditionally; PROCESSING stays restricted to
+// drain() at the round boundary, in fixed sender order, staged prefix first,
+// so the schedule seen by the destination engine is timing-independent and
+// multi-shard runs stay seed-stable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/spsc_ring.hpp"
+#include "core/types.hpp"
+#include "hw/packet.hpp"
+
+namespace nicwarp::hw {
+
+struct ShardMsg {
+  std::int64_t deliver_at_ns{0};  // absolute destination-engine delivery time
+  std::uint64_t stamp{0};         // sender's LBTS round when pushed
+  NodeId dst{kInvalidNode};
+  Packet pkt;
+};
+
+class ShardMailboxes {
+ public:
+  explicit ShardMailboxes(std::uint32_t shards, std::size_t ring_slots = 1u << 12)
+      : shards_(shards), staged_(static_cast<std::size_t>(shards) * shards) {
+    NW_CHECK(shards >= 2);
+    rings_.resize(static_cast<std::size_t>(shards) * shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      for (std::uint32_t t = 0; t < shards; ++t) {
+        if (s == t) continue;
+        rings_[idx(s, t)] = std::make_unique<SpscRing<ShardMsg>>(ring_slots);
+      }
+    }
+  }
+
+  // Producer side (thread `src` only). Blocks while the ring is full; `idle`
+  // is the shard's idle hook (stages src's own inbound traffic so the peer
+  // can always make progress) and returns true to abandon the push on abort.
+  void push(std::uint32_t src, std::uint32_t dst, ShardMsg&& m,
+            const std::function<bool()>& idle) {
+    SpscRing<ShardMsg>& ring = *rings_[idx(src, dst)];
+    while (!ring.try_push(std::move(m))) {
+      if (idle && idle()) return;  // aborted run: the message dies with it
+      std::this_thread::yield();
+    }
+  }
+
+  // Consumer side (thread `dst` only): moves every currently-visible ring
+  // entry into the staged deques. Safe at any time; changes nothing about
+  // what drain() delivers or in what order.
+  void stage(std::uint32_t dst) {
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+      if (src == dst) continue;
+      SpscRing<ShardMsg>& ring = *rings_[idx(src, dst)];
+      std::deque<ShardMsg>& dq = staged_[idx(src, dst)];
+      while (ShardMsg* m = ring.front()) {
+        dq.push_back(std::move(*m));
+        ring.pop();
+      }
+    }
+  }
+
+  // Consumer side (thread `dst` only): delivers, in FIFO order, every entry
+  // from `src` with stamp <= max_stamp — staged prefix first, then the ring.
+  template <typename Fn>
+  void drain(std::uint32_t src, std::uint32_t dst, std::uint64_t max_stamp,
+             Fn&& fn) {
+    std::deque<ShardMsg>& dq = staged_[idx(src, dst)];
+    while (!dq.empty() && dq.front().stamp <= max_stamp) {
+      fn(std::move(dq.front()));
+      dq.pop_front();
+    }
+    if (!dq.empty()) return;  // newer-round entries; ring holds only >= stamps
+    SpscRing<ShardMsg>& ring = *rings_[idx(src, dst)];
+    while (ShardMsg* m = ring.front()) {
+      if (m->stamp > max_stamp) break;
+      fn(std::move(*m));
+      ring.pop();
+    }
+  }
+
+ private:
+  std::size_t idx(std::uint32_t src, std::uint32_t dst) const {
+    return static_cast<std::size_t>(src) * shards_ + dst;
+  }
+
+  std::uint32_t shards_;
+  std::vector<std::unique_ptr<SpscRing<ShardMsg>>> rings_;  // [src][dst]
+  std::vector<std::deque<ShardMsg>> staged_;                // touched by dst only
+};
+
+}  // namespace nicwarp::hw

@@ -70,6 +70,14 @@ class Engine {
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  // Earliest pending task's time, or SimTime::max() when the queue is empty.
+  // This is the `h` each shard advertises in the LBTS exchange
+  // (sim/shard_sync.hpp); it never runs anything and never consumes a
+  // latched stop().
+  SimTime next_time() const {
+    return heap_.empty() ? SimTime::max() : heap_[0].when;
+  }
+
  private:
   struct HeapNode {
     SimTime when;

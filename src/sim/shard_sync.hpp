@@ -1,0 +1,155 @@
+// Barrier-free lower-bound-time-stamp (LBTS) exchange between shard threads.
+//
+// When the testbed is partitioned across `shards=N` worker threads (see
+// docs/SHARDING.md), each shard runs its own sim::Engine and advances in
+// conservative windows: in round r a shard may execute every event strictly
+// below `min over shards of next_time() + lookahead`, because any cross-shard
+// packet sent while executing events at time >= floor arrives at
+// `send time + lookahead >= floor + lookahead` — outside the window.
+//
+// The exchange is a two-phase round protocol over one cache-line-padded cell
+// of atomics per shard; no mutex, no condition variable, no central barrier
+// object. Per shard s, round r (rounds start at 1):
+//
+//   Phase A:  wait until fence[p] >= r-1 for every peer p (all round-(r-1)
+//             mailbox traffic is then visible), drain inbound entries with
+//             stamp <= r-1, publish (h = next_time, done, best_gvt) tagged
+//             h_round = r.
+//   Phase B:  wait until h_round[p] >= r for every shard p, compute
+//             floor = min h and all_done = AND done — every shard reads the
+//             SAME round-r values, so termination and window bounds are
+//             decided identically everywhere — run the window, then publish
+//             fence = r.
+//
+// Why a reader in round r can never see a round-(r+1) value: shard p only
+// overwrites its h after seeing fence[q] >= r from every q (Phase A of round
+// r+1), and q publishes fence = r only after its round-r decide() read. The
+// release store on h_round / fence pairs with the acquire load in the waits,
+// which also makes all SPSC-ring pushes from the sender's round visible
+// before the consumer drains them.
+//
+// Waits spin and call the caller's idle hook (which stages inbound mailbox
+// traffic — the deadlock-freedom half of the design, see shard_mailbox.hpp)
+// plus std::this_thread::yield(), so a run degrades gracefully when shards
+// outnumber cores. abort() (watchdog / exception paths) unblocks every wait.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "core/assert.hpp"
+
+namespace nicwarp::sim {
+
+class ShardSync {
+ public:
+  // `h` values are engine next_time() in nanoseconds; an empty engine
+  // publishes kInfNs.
+  static constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max();
+
+  explicit ShardSync(std::uint32_t shards)
+      : n_(shards), cells_(std::make_unique<Cell[]>(shards)) {
+    NW_CHECK(shards >= 1);
+  }
+
+  struct Decision {
+    std::int64_t floor_ns;  // min next_time across shards (kInfNs: all empty)
+    bool all_done;          // every shard's kernels have stopped
+  };
+
+  // Phase A wait: every peer has finished round `r` (fence >= r). `idle` is
+  // polled while spinning; returns false if the exchange was aborted.
+  template <typename IdleFn>
+  bool await_fences(std::uint32_t self, std::uint64_t r, IdleFn&& idle) {
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      if (p == self) continue;
+      while (cells_[p].fence.load(std::memory_order_acquire) < r) {
+        if (aborted()) return false;
+        idle();
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  // Publishes this shard's round-`round` snapshot. The release store on
+  // h_round is what readers synchronize on.
+  void publish(std::uint32_t self, std::uint64_t round, std::int64_t h_ns,
+               bool done, std::int64_t best_gvt) {
+    Cell& c = cells_[self];
+    c.h.store(h_ns, std::memory_order_relaxed);
+    c.done.store(done ? 1 : 0, std::memory_order_relaxed);
+    c.best_gvt.store(best_gvt, std::memory_order_relaxed);
+    c.h_round.store(round, std::memory_order_release);
+  }
+
+  // Phase B wait: every shard (self included, trivially) has published its
+  // round-`r` snapshot. Returns false if aborted.
+  template <typename IdleFn>
+  bool await_rounds(std::uint64_t r, IdleFn&& idle) {
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      while (cells_[p].h_round.load(std::memory_order_acquire) < r) {
+        if (aborted()) return false;
+        idle();
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  // Only valid between a successful await_rounds(r) and set_fence(r): every
+  // cell then holds exactly its round-r snapshot (see the overwrite argument
+  // in the header comment), so all shards decide identically.
+  Decision decide() const {
+    Decision d{kInfNs, true};
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      const std::int64_t h = cells_[p].h.load(std::memory_order_relaxed);
+      if (h < d.floor_ns) d.floor_ns = h;
+      if (cells_[p].done.load(std::memory_order_relaxed) == 0) d.all_done = false;
+    }
+    return d;
+  }
+
+  // End of round `r`: this shard's window ran; its round-r mailbox pushes are
+  // visible to anyone who observes the fence.
+  void set_fence(std::uint32_t self, std::uint64_t r) {
+    cells_[self].fence.store(r, std::memory_order_release);
+  }
+
+  std::uint64_t fence(std::uint32_t shard) const {
+    return cells_[shard].fence.load(std::memory_order_acquire);
+  }
+
+  // Best GVT any shard has published — the watchdog's liveness signal (the
+  // LBTS floor always advances even when GVT is wedged, because the kernels'
+  // idle-poll timers keep every engine non-empty).
+  std::int64_t global_best_gvt() const {
+    std::int64_t g = std::numeric_limits<std::int64_t>::min();
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      const std::int64_t v = cells_[p].best_gvt.load(std::memory_order_relaxed);
+      if (v > g) g = v;
+    }
+    return g;
+  }
+
+  void abort() { abort_.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return abort_.load(std::memory_order_relaxed); }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> fence{0};
+    std::atomic<std::uint64_t> h_round{0};
+    std::atomic<std::int64_t> h{0};
+    std::atomic<std::uint8_t> done{0};
+    std::atomic<std::int64_t> best_gvt{std::numeric_limits<std::int64_t>::min()};
+  };
+
+  std::uint32_t n_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace nicwarp::sim

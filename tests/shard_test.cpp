@@ -1,0 +1,159 @@
+// Host-thread sharding tests (docs/SHARDING.md): the SPSC mailbox ring, the
+// shards=1 compatibility contract, multi-shard seed stability, and the
+// committed-state equivalence between sharded and single-threaded runs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/spsc_ring.hpp"
+#include "harness/experiment.hpp"
+
+namespace nicwarp {
+namespace {
+
+TEST(SpscRing, PushPopFifoAcrossWraparound) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.front(), nullptr);
+  int next_push = 0;
+  int next_pop = 0;
+  // 5 in, 3 out, repeated: the indices lap the capacity many times.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 5 && ring.size() < 8; ++i) {
+      ASSERT_TRUE(ring.try_push(int{next_push}));
+      ++next_push;
+    }
+    for (int i = 0; i < 3; ++i) {
+      int* front = ring.front();
+      ASSERT_NE(front, nullptr);
+      EXPECT_EQ(*front, next_pop);
+      ring.pop();
+      ++next_pop;
+    }
+  }
+  while (int* front = ring.front()) {
+    EXPECT_EQ(*front, next_pop);
+    ring.pop();
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, FullRingRejectsWithoutConsumingTheValue) {
+  SpscRing<std::string> ring(2);
+  ASSERT_TRUE(ring.try_push(std::string("a")));
+  ASSERT_TRUE(ring.try_push(std::string("b")));
+  std::string keep = "survives-a-failed-push";
+  EXPECT_FALSE(ring.try_push(std::move(keep)));
+  EXPECT_EQ(keep, "survives-a-failed-push");  // move only happens on success
+  ring.pop();
+  ASSERT_TRUE(ring.try_push(std::move(keep)));
+  ring.pop();
+  ASSERT_NE(ring.front(), nullptr);
+  EXPECT_EQ(*ring.front(), "survives-a-failed-push");
+}
+
+harness::ExperimentConfig shard_config(std::uint32_t shards) {
+  harness::ExperimentConfig cfg;
+  cfg.model = harness::ModelKind::kPhold;
+  cfg.nodes = 8;
+  cfg.seed = 7;
+  cfg.gvt_mode = warped::GvtMode::kNic;
+  cfg.gvt_period = 200;
+  cfg.phold.objects = 16;
+  cfg.phold.population = 2;
+  cfg.phold.horizon = 2000;
+  // Wider conservative windows keep the LBTS round count (and test wall
+  // time) small; the knob is shared by every variant in a comparison.
+  cfg.cost.link_latency_us = 40.0;
+  cfg.shards = shards;
+  cfg.heatmap.enabled = true;
+  return cfg;
+}
+
+TEST(Sharding, SingleShardRunsAreByteIdenticalAcrossReruns) {
+  const harness::ExperimentResult a = harness::run_experiment(shard_config(1));
+  const harness::ExperimentResult b = harness::run_experiment(shard_config(1));
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.committed_events, b.committed_events);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.wire_packets, b.wire_packets);
+  EXPECT_EQ(a.heatmap_json, b.heatmap_json);
+  EXPECT_EQ(a.shard_rounds, 0);  // the single-threaded loop, not the LBTS one
+}
+
+TEST(Sharding, MultiShardRunsAreSeedStableAcrossReruns) {
+  for (std::uint32_t shards : {2u, 4u}) {
+    const harness::ExperimentResult first =
+        harness::run_experiment(shard_config(shards));
+    ASSERT_TRUE(first.completed) << shards << " shards";
+    EXPECT_GT(first.shard_rounds, 0) << shards << " shards";
+    for (int rerun = 0; rerun < 2; ++rerun) {
+      const harness::ExperimentResult again =
+          harness::run_experiment(shard_config(shards));
+      EXPECT_EQ(again.signature, first.signature) << shards << " shards";
+      EXPECT_EQ(again.committed_events, first.committed_events);
+      EXPECT_EQ(again.events_processed, first.events_processed);
+      EXPECT_EQ(again.rollbacks, first.rollbacks);
+      EXPECT_EQ(again.wire_packets, first.wire_packets);
+      EXPECT_EQ(again.shard_rounds, first.shard_rounds);
+      EXPECT_EQ(again.heatmap_json, first.heatmap_json);
+    }
+  }
+}
+
+TEST(Sharding, ShardedRunCommitsExactlyTheSingleThreadedEvents) {
+  const harness::ExperimentResult single = harness::run_experiment(shard_config(1));
+  for (std::uint32_t shards : {2u, 4u}) {
+    const harness::ExperimentResult sharded =
+        harness::run_experiment(shard_config(shards));
+    ASSERT_TRUE(sharded.completed) << shards << " shards";
+    // The optimistic schedule differs (events_processed may not match), but
+    // the committed history — count and order-independent signature — must
+    // be exactly the single-threaded one.
+    EXPECT_EQ(sharded.committed_events, single.committed_events)
+        << shards << " shards";
+    EXPECT_EQ(sharded.signature, single.signature) << shards << " shards";
+    EXPECT_EQ(sharded.final_gvt.t, single.final_gvt.t) << shards << " shards";
+  }
+}
+
+TEST(Sharding, ChaosOnCrossShardLinksIsRecoveredExactly) {
+  // Fault fabric at shards=2: drops and dups now hit packets that cross the
+  // mailbox boundary. Recovery must cost work (retransmits), never
+  // correctness (signature equals the fault-free twin).
+  harness::ExperimentConfig clean = shard_config(2);
+  harness::ExperimentConfig chaos = shard_config(2);
+  chaos.fault.drop_rate = 0.01;
+  chaos.fault.dup_rate = 0.005;
+  chaos.fault.seed = 11;
+  const harness::ExperimentResult a = harness::run_experiment(clean);
+  const harness::ExperimentResult b = harness::run_experiment(chaos);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(b.fault_drops, 0);
+  EXPECT_GT(b.retransmits, 0);
+  EXPECT_EQ(b.committed_events, a.committed_events);
+  EXPECT_EQ(b.signature, a.signature);
+  // And the chaos run itself is seed-stable.
+  const harness::ExperimentResult b2 = harness::run_experiment(chaos);
+  EXPECT_EQ(b2.signature, b.signature);
+  EXPECT_EQ(b2.retransmits, b.retransmits);
+  EXPECT_EQ(b2.fault_drops, b.fault_drops);
+}
+
+TEST(Sharding, InvalidConfigsThrowInsteadOfAborting) {
+  harness::ExperimentConfig cfg = shard_config(1);
+  cfg.shards = 0;
+  EXPECT_THROW(harness::build_testbed(cfg), std::invalid_argument);
+  cfg.shards = cfg.nodes + 1;
+  EXPECT_THROW(harness::build_testbed(cfg), std::invalid_argument);
+  cfg.shards = 2;
+  cfg.profile.enabled = true;  // cascade collector is single-threaded
+  EXPECT_THROW(harness::build_testbed(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nicwarp

@@ -51,7 +51,9 @@ def load_schema(path=SCHEMA_PATH):
             doc = json.load(f)
     except (OSError, ValueError):
         return False
-    if doc.get("type") != "trace_schema" or doc.get("schema_version") != 1:
+    # v2 added the informational "sharding" section; the record shapes this
+    # tool consumes are identical in v1 and v2.
+    if doc.get("type") != "trace_schema" or doc.get("schema_version") not in (1, 2):
         return False
     MSG_POINTS = doc["msg_lifecycle"]
     TERMINAL_DROPS = set(doc["terminal_drops"])
